@@ -1,0 +1,42 @@
+//! Timing of MST construction + Zahn clustering at Figure-9 scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use son_core::{mst_complete, ZahnClusterer, ZahnConfig};
+
+fn clustered_points(n: usize, seed: u64) -> Vec<(f64, f64)> {
+    // Points in 12 geometric blobs, like proxies in stub domains.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<(f64, f64)> = (0..12)
+        .map(|_| (rng.gen::<f64>() * 1000.0, rng.gen::<f64>() * 1000.0))
+        .collect();
+    (0..n)
+        .map(|i| {
+            let (cx, cy) = centers[i % centers.len()];
+            (cx + rng.gen::<f64>() * 40.0, cy + rng.gen::<f64>() * 40.0)
+        })
+        .collect()
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zahn_clustering");
+    group.sample_size(10);
+    for &n in &[250usize, 500, 1000] {
+        let points = clustered_points(n, 7);
+        group.bench_with_input(BenchmarkId::new("mst_plus_cut", n), &n, |b, _| {
+            b.iter(|| {
+                let dist = |a: usize, bb: usize| {
+                    ((points[a].0 - points[bb].0).powi(2) + (points[a].1 - points[bb].1).powi(2))
+                        .sqrt()
+                };
+                let mst = mst_complete(points.len(), dist);
+                ZahnClusterer::new(ZahnConfig::default()).cluster(&mst)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

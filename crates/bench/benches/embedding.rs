@@ -1,0 +1,37 @@
+//! Timing of the GNP coordinate pipeline: landmark fit + per-host
+//! solves (the paper's Section 3.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use son_core::{
+    select_landmarks_maxmin, EmbeddingConfig, GnpEmbedding, MeasureConfig, PhysicalNetwork,
+    TransitStubConfig,
+};
+
+fn bench_embedding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gnp_embedding");
+    group.sample_size(10);
+    for &hosts in &[50usize, 150] {
+        let net = PhysicalNetwork::generate(&TransitStubConfig::with_target_size(300, 3));
+        let stubs = net.stub_nodes();
+        let landmarks = select_landmarks_maxmin(net.graph(), &stubs, 10);
+        let host_nodes: Vec<_> = stubs
+            .iter()
+            .copied()
+            .filter(|n| !landmarks.contains(n))
+            .take(hosts)
+            .collect();
+        let config = EmbeddingConfig {
+            measure: MeasureConfig::noiseless(),
+            ..EmbeddingConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("landmarks_plus_hosts", hosts),
+            &hosts,
+            |b, _| b.iter(|| GnpEmbedding::compute(net.graph(), &landmarks, &host_nodes, &config)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_embedding);
+criterion_main!(benches);

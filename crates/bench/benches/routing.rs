@@ -1,0 +1,56 @@
+//! Per-request routing latency: hierarchical vs mesh-baseline vs
+//! full-state HFC, on a prebuilt world.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use son_core::{ServiceOverlay, SonConfig};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_one_request");
+    group.sample_size(20);
+    for &proxies in &[60usize, 120] {
+        let mut env = son_core::Environment::small(11);
+        env.proxies = proxies;
+        env.physical_nodes = proxies * 2;
+        let overlay = ServiceOverlay::build(&SonConfig::from_environment(env));
+        let router = overlay.hier_router();
+        let mesh = overlay.build_mesh();
+        let requests = overlay.generate_requests(64, 5);
+
+        group.bench_with_input(
+            BenchmarkId::new("hierarchical", proxies),
+            &proxies,
+            |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let r = &requests[i % requests.len()];
+                    i += 1;
+                    router.route(r).ok()
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("mesh", proxies), &proxies, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let r = &requests[i % requests.len()];
+                i += 1;
+                overlay.route_mesh(&mesh, r).ok()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("hfc_full_state", proxies),
+            &proxies,
+            |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let r = &requests[i % requests.len()];
+                    i += 1;
+                    router.route_without_aggregation(r).ok()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Timing of a full state-distribution protocol run to quiescence
+//! (Section 4) on generated overlays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use son_core::{ProtocolConfig, ServiceOverlay, SonConfig, StateProtocol};
+
+fn bench_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_protocol");
+    group.sample_size(10);
+    for &proxies in &[60usize, 120] {
+        let mut env = son_core::Environment::small(13);
+        env.proxies = proxies;
+        env.physical_nodes = proxies * 2;
+        let overlay = ServiceOverlay::build(&SonConfig::from_environment(env));
+        group.bench_with_input(
+            BenchmarkId::new("run_to_quiescence", proxies),
+            &proxies,
+            |b, _| {
+                b.iter(|| {
+                    let mut protocol = StateProtocol::new(
+                        overlay.hfc(),
+                        overlay.services().to_vec(),
+                        overlay.true_delays(),
+                        ProtocolConfig::default(),
+                    );
+                    let report = protocol.run_to_quiescence();
+                    assert!(report.converged);
+                    report
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_state);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Border load-balancing ablation: how evenly are border duties spread
+//! across proxies under the paper's closest-pair rule vs. arbitrary
+//! (first-pair) selection?
+//!
+//! The paper (Section 3) argues for closest-pair partly on load
+//! grounds: "it's very unlikely that a single node will be selected to
+//! be border nodes to all other clusters, which improves load
+//! balancing on border nodes."
+//!
+//! ```sh
+//! cargo run --release -p son-bench --bin border_load
+//! ```
+
+use son_bench::environment_for;
+use son_core::{BorderSelection, ServiceOverlay, SonConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick {
+        &[60, 120]
+    } else {
+        &[250, 500, 750, 1000]
+    };
+
+    println!("Border duties per proxy (how many cluster pairs a proxy borders)");
+    println!(
+        "{:>8} {:>10} {:>22} {:>22}",
+        "proxies", "clusters", "closest-pair max/mean", "first-pair max/mean"
+    );
+    for &proxies in sizes {
+        let mut rows = Vec::new();
+        for selection in [BorderSelection::ClosestPair, BorderSelection::FirstPair] {
+            let mut config = SonConfig::from_environment(environment_for(proxies, 42));
+            config.border_selection = selection;
+            let overlay = ServiceOverlay::build(&config);
+            let duties = overlay.hfc().border_duty_counts();
+            let borders: Vec<usize> = duties.iter().copied().filter(|&d| d > 0).collect();
+            let max = borders.iter().copied().max().unwrap_or(0);
+            let mean = borders.iter().sum::<usize>() as f64 / borders.len().max(1) as f64;
+            rows.push((overlay.hfc().cluster_count(), max, mean));
+        }
+        println!(
+            "{:>8} {:>10} {:>22} {:>22}",
+            proxies,
+            rows[0].0,
+            format!("{} / {:.1}", rows[0].1, rows[0].2),
+            format!("{} / {:.1}", rows[1].1, rows[1].2),
+        );
+    }
+    println!(
+        "\nUnder first-pair, one proxy per cluster carries every duty\n\
+         (max = clusters − 1); closest-pair spreads duties across many\n\
+         border proxies, as the paper predicts from geometry."
+    );
+}

@@ -1,0 +1,53 @@
+//! Regenerates Figure 10: average service path length for the mesh
+//! baseline, HFC with state aggregation, and HFC without aggregation.
+//!
+//! ```sh
+//! cargo run --release -p son-bench --bin fig10                  # paper scale
+//! cargo run --release -p son-bench --bin fig10 -- --quick       # smoke run
+//! cargo run --release -p son-bench --bin fig10 -- --no-backtrack # ablation
+//! ```
+
+use son_bench::{figure10, Fig10Options};
+use son_core::BorderSelection;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let backtracking = !args.iter().any(|a| a == "--no-backtrack");
+    let border_selection = if args.iter().any(|a| a == "--first-borders") {
+        BorderSelection::FirstPair
+    } else {
+        BorderSelection::ClosestPair
+    };
+
+    // Paper setup: up to 5 physical topologies per size, 1000 client
+    // requests per run.
+    let (sizes, runs, requests): (Vec<usize>, usize, usize) = if quick {
+        (vec![60, 120], 2, 50)
+    } else {
+        (vec![250, 500, 750, 1000], 5, 1000)
+    };
+
+    let mut label = String::new();
+    if !backtracking {
+        label.push_str(" — ablation: back-tracking disabled");
+    }
+    if border_selection == BorderSelection::FirstPair {
+        label.push_str(" — ablation: arbitrary border pairs");
+    }
+    println!("Figure 10: average service path length (ms){label}");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>10}",
+        "proxies", "mesh", "hfc-w/-agg", "hfc-w/o-agg", "requests"
+    );
+    let options = Fig10Options {
+        backtracking,
+        border_selection,
+    };
+    for r in figure10(&sizes, runs, requests, 500, options) {
+        println!(
+            "{:>8} {:>12.1} {:>14.1} {:>14.1} {:>10}",
+            r.proxies, r.mesh, r.hfc_aggregated, r.hfc_full_state, r.requests
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerates Figure 9: per-proxy state-maintenance overhead, flat vs
+//! HFC, averaged over physical topologies.
+//!
+//! ```sh
+//! cargo run --release -p son-bench --bin fig9             # both panels, paper scale
+//! cargo run --release -p son-bench --bin fig9 -- coords   # Figure 9(a) only
+//! cargo run --release -p son-bench --bin fig9 -- services # Figure 9(b) only
+//! cargo run --release -p son-bench --bin fig9 -- --quick  # small smoke run
+//! ```
+
+use son_bench::figure9;
+use son_core::OverheadKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let want_coords = args.is_empty()
+        || args.iter().any(|a| a == "coords")
+        || (quick && !args.iter().any(|a| a == "services"));
+    let want_services = args.is_empty()
+        || args.iter().any(|a| a == "services")
+        || (quick && !args.iter().any(|a| a == "coords"));
+
+    // Paper setup: sizes 250..1000, averaged over 10 physical
+    // topologies per size.
+    let (sizes, topologies): (Vec<usize>, usize) = if quick {
+        (vec![60, 120], 2)
+    } else {
+        (vec![250, 500, 750, 1000], 10)
+    };
+
+    if want_coords {
+        println!("Figure 9(a): coordinates-related node-states per proxy");
+        print_rows(figure9(OverheadKind::Coordinates, &sizes, topologies, 100));
+        println!();
+    }
+    if want_services {
+        println!("Figure 9(b): service-related node-states per proxy");
+        print_rows(figure9(
+            OverheadKind::ServiceCapability,
+            &sizes,
+            topologies,
+            100,
+        ));
+    }
+}
+
+fn print_rows(rows: Vec<son_bench::Figure9Row>) {
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "proxies", "flat", "hfc-mean", "hfc-min", "hfc-max", "clusters"
+    );
+    for r in rows {
+        println!(
+            "{:>8} {:>12.1} {:>12.1} {:>10} {:>10} {:>10.1}",
+            r.proxies, r.flat, r.hfc_mean, r.hfc_min, r.hfc_max, r.clusters_mean
+        );
+    }
+}

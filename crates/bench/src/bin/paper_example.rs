@@ -1,0 +1,103 @@
+//! Walks through the paper's Section 5 example (Figures 6–8) and
+//! prints every intermediate artifact: the borders, the aggregate
+//! state, the cluster-level service path, the child requests and the
+//! final composed path.
+//!
+//! ```sh
+//! cargo run --release -p son-bench --bin paper_example
+//! ```
+
+use son_core::fixtures::paper_example;
+use son_core::{HierConfig, HierarchicalRouter, ProxyId, ServiceGraph, ServiceId, ServiceRequest};
+
+const NAMES: [&str; 13] = [
+    "C0.0", "C0.1", "C0.2", "C0.3", "C1.0", "C1.1", "C1.2", "C1.3", "C2.0", "C2.1", "C2.2", "C3.0",
+    "C3.1",
+];
+
+fn name(p: ProxyId) -> &'static str {
+    NAMES[p.index()]
+}
+
+fn main() {
+    let (hfc, delays, services) = paper_example();
+
+    println!("== Figure 6: the service topology ==");
+    for c in hfc.clusters() {
+        let members: Vec<String> = hfc
+            .members(c)
+            .iter()
+            .map(|&m| {
+                let set: Vec<String> = services[m.index()]
+                    .iter()
+                    .map(|s| format!("S{}", s.index()))
+                    .collect();
+                format!("{}{{{}}}", name(m), set.join(","))
+            })
+            .collect();
+        println!("  {c}: {}", members.join("  "));
+    }
+
+    println!("\n== Figure 4: border pairs ==");
+    for i in hfc.clusters() {
+        for j in hfc.clusters() {
+            if i < j {
+                let pair = hfc.border(i, j);
+                println!(
+                    "  ({i}, {j}) -> ({}, {}) at {:.0}",
+                    name(pair.local),
+                    name(pair.remote),
+                    delays_between(&delays, pair.local, pair.remote)
+                );
+            }
+        }
+    }
+
+    // The request of Figure 7: C0.2 → S1→S2→S3→S4→S5 → C2.1.
+    let request = ServiceRequest::new(
+        ProxyId::new(2),
+        ServiceGraph::linear((1..=5).map(ServiceId::new).collect()),
+        ProxyId::new(9),
+    );
+    println!("\n== Figure 7: request C0.2 -> S1,S2,S3,S4,S5 -> C2.1 ==");
+    let router = HierarchicalRouter::from_services(&hfc, &services, &delays, HierConfig::default());
+
+    println!("\n  aggregate state (SCT_C) perceived at C2.1:");
+    for (c, set) in router.sctc().iter() {
+        let names: Vec<String> = set.iter().map(|s| format!("S{}", s.index())).collect();
+        println!("    {c}: {{{}}}", names.join(", "));
+    }
+
+    let route = router
+        .route(&request)
+        .expect("the paper example is routable");
+    println!("\n  cluster-level service path (CSP):");
+    for (stage, cluster) in &route.csp {
+        println!(
+            "    S{} -> {cluster}",
+            request.graph.service(*stage).index()
+        );
+    }
+    println!("  dissected into {} child requests", route.child_count);
+
+    println!("\n== Figure 7(e): final composed service path ==");
+    let rendered: Vec<String> = route
+        .path
+        .hops()
+        .iter()
+        .map(|h| match h.service {
+            Some(s) => format!("S{}/{}", s.index(), name(h.proxy)),
+            None => format!("-/{}", name(h.proxy)),
+        })
+        .collect();
+    println!("  {}", rendered.join("  ->  "));
+    println!(
+        "  total length: {:.0} time units",
+        route.path.length(&delays)
+    );
+}
+
+fn delays_between(delays: &son_core::DelayMatrix, a: ProxyId, b: ProxyId) -> f64 {
+    use son_core::DelayModel;
+    delays.delay(a, b)
+}

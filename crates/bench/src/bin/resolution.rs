@@ -1,0 +1,69 @@
+//! Resolution-latency experiment (beyond the paper): how long does the
+//! divide-and-conquer protocol of Section 5 take to *resolve* a
+//! request — from the source issuing it to the destination proxy
+//! composing the final path — and how many control messages does it
+//! spend, as the overlay grows?
+//!
+//! Measured on the event simulator with true end-to-end delays for the
+//! control messages.
+//!
+//! ```sh
+//! cargo run --release -p son-bench --bin resolution
+//! cargo run --release -p son-bench --bin resolution -- --quick
+//! ```
+
+use son_bench::environment_for;
+use son_core::{resolve_distributed, ServiceOverlay, SonConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sizes, requests): (Vec<usize>, usize) = if quick {
+        (vec![60, 120], 50)
+    } else {
+        (vec![250, 500, 750, 1000], 300)
+    };
+
+    println!("Hierarchical resolution latency and control-message cost");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>14} {:>10}",
+        "proxies", "avg-latency", "p95-latency", "avg-msgs", "avg-children", "resolved"
+    );
+    for &proxies in &sizes {
+        let overlay =
+            ServiceOverlay::build(&SonConfig::from_environment(environment_for(proxies, 42)));
+        let router = overlay.hier_router();
+        let batch = overlay.generate_requests(requests, 5);
+        let mut latencies = Vec::new();
+        let mut messages = 0u64;
+        let mut children = 0usize;
+        for request in &batch {
+            let Ok(session) = resolve_distributed(&router, request, overlay.true_delays()) else {
+                continue;
+            };
+            latencies.push(session.resolution_latency.as_ms());
+            messages += session.messages;
+            children += session.route.child_count;
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = latencies.len();
+        if n == 0 {
+            println!("{proxies:>8} {:>12} (no resolvable requests)", "-");
+            continue;
+        }
+        println!(
+            "{:>8} {:>10.1}ms {:>10.1}ms {:>12.1} {:>14.2} {:>10}",
+            proxies,
+            latencies.iter().sum::<f64>() / n as f64,
+            latencies[(n as f64 * 0.95) as usize % n],
+            messages as f64 / n as f64,
+            children as f64 / n as f64,
+            n
+        );
+    }
+    println!(
+        "\nResolution cost is a few control-message round trips between the\n\
+         destination proxy and the exit borders of the clusters on the\n\
+         path — independent of overlay size, the scalability story of the\n\
+         divide-and-conquer design."
+    );
+}

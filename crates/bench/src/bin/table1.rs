@@ -1,0 +1,32 @@
+//! Regenerates the paper's Table 1 (simulation test environments).
+//!
+//! ```sh
+//! cargo run --release -p son-bench --bin table1
+//! ```
+
+use son_core::table1_environments;
+
+fn main() {
+    println!("Table 1. Simulation test environments.");
+    println!();
+    println!(
+        "{:>17} {:>10} {:>8} {:>8} {:>15} {:>19}",
+        "physical topology",
+        "landmarks",
+        "proxies",
+        "clients",
+        "services/proxy",
+        "service req. length"
+    );
+    for env in table1_environments(0) {
+        println!(
+            "{:>17} {:>10} {:>8} {:>8} {:>15} {:>19}",
+            env.physical_nodes,
+            env.landmarks,
+            env.proxies,
+            env.clients,
+            format!("{}-{}", env.services_per_proxy.0, env.services_per_proxy.1),
+            format!("{}-{}", env.request_length.0, env.request_length.1),
+        );
+    }
+}

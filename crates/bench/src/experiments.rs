@@ -1,0 +1,226 @@
+//! Experiment drivers for the paper's Section 6.
+
+use son_core::{BorderSelection, Environment, OverheadKind, RouteError, ServiceOverlay, SonConfig};
+
+/// The environment used for a given overlay size: the exact Table 1
+/// row when one exists, otherwise a proportionally scaled world
+/// (quick/smoke runs).
+pub fn environment_for(proxies: usize, seed: u64) -> Environment {
+    match proxies {
+        250 | 500 | 750 | 1000 => Environment::table1(proxies, seed),
+        _ => Environment {
+            physical_nodes: ((proxies * 6) / 5).max(60), // Table 1's 5:6 ratio, generator minimum 50
+            landmarks: 10,
+            proxies,
+            clients: (proxies / 6).max(2),
+            services_per_proxy: (4, 10),
+            request_length: (4, 10),
+            service_universe: 60,
+            seed,
+        },
+    }
+}
+
+/// One row of Figure 9: per-proxy node-state overhead at a given
+/// overlay size, averaged over several physical topologies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Figure9Row {
+    /// Overlay size.
+    pub proxies: usize,
+    /// Flat-topology node-states per proxy (= proxies).
+    pub flat: f64,
+    /// Mean HFC node-states per proxy.
+    pub hfc_mean: f64,
+    /// Smallest per-proxy HFC count observed.
+    pub hfc_min: usize,
+    /// Largest per-proxy HFC count observed.
+    pub hfc_max: usize,
+    /// Mean cluster count across topologies.
+    pub clusters_mean: f64,
+    /// Topologies averaged.
+    pub topologies: usize,
+}
+
+/// Reproduces Figure 9 ((a) with [`OverheadKind::Coordinates`], (b)
+/// with [`OverheadKind::ServiceCapability`]): per-proxy node-state
+/// overhead, flat vs. HFC, averaged over `topologies` different
+/// physical topologies per size.
+pub fn figure9(
+    kind: OverheadKind,
+    sizes: &[usize],
+    topologies: usize,
+    base_seed: u64,
+) -> Vec<Figure9Row> {
+    sizes
+        .iter()
+        .map(|&proxies| {
+            let mut flat_sum = 0.0;
+            let mut hfc_sum = 0.0;
+            let mut clusters = 0.0;
+            let mut min = usize::MAX;
+            let mut max = 0;
+            for t in 0..topologies {
+                let seed = base_seed.wrapping_add(t as u64);
+                let config = SonConfig::from_environment(environment_for(proxies, seed));
+                let overlay = ServiceOverlay::build(&config);
+                let (flat, hfc) = overlay.overhead(kind);
+                flat_sum += flat.mean;
+                hfc_sum += hfc.mean;
+                clusters += overlay.hfc().cluster_count() as f64;
+                min = min.min(hfc.min);
+                max = max.max(hfc.max);
+            }
+            Figure9Row {
+                proxies,
+                flat: flat_sum / topologies as f64,
+                hfc_mean: hfc_sum / topologies as f64,
+                hfc_min: min,
+                hfc_max: max,
+                clusters_mean: clusters / topologies as f64,
+                topologies,
+            }
+        })
+        .collect()
+}
+
+/// Ablation switches for [`figure10`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig10Options {
+    /// Back-tracking refinement in inter-cluster routing (paper: on).
+    pub backtracking: bool,
+    /// Border-pair selection rule (paper: closest pair).
+    pub border_selection: BorderSelection,
+}
+
+impl Default for Fig10Options {
+    fn default() -> Self {
+        Fig10Options {
+            backtracking: true,
+            border_selection: BorderSelection::ClosestPair,
+        }
+    }
+}
+
+/// One row of Figure 10: average service path length (time units) for
+/// the three systems at one overlay size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Figure10Row {
+    /// Overlay size.
+    pub proxies: usize,
+    /// Average true path length over the mesh baseline.
+    pub mesh: f64,
+    /// Average true path length with HFC + state aggregation.
+    pub hfc_aggregated: f64,
+    /// Average true path length with HFC topology but full state.
+    pub hfc_full_state: f64,
+    /// Requests that all three systems answered (others skipped).
+    pub requests: usize,
+    /// Topology/run pairs averaged.
+    pub runs: usize,
+}
+
+/// Reproduces Figure 10: average service path lengths of the mesh
+/// baseline, HFC with state aggregation, and HFC without aggregation,
+/// over `requests_per_run` client requests on each of `runs` physical
+/// topologies per size.
+///
+/// `options` toggles the design-choice ablations: the inter-cluster
+/// back-tracking refinement and the border selection rule (the paper's
+/// defaults are back-tracking on, closest-pair borders).
+pub fn figure10(
+    sizes: &[usize],
+    runs: usize,
+    requests_per_run: usize,
+    base_seed: u64,
+    options: Fig10Options,
+) -> Vec<Figure10Row> {
+    sizes
+        .iter()
+        .map(|&proxies| {
+            let mut mesh_sum = 0.0;
+            let mut agg_sum = 0.0;
+            let mut full_sum = 0.0;
+            let mut answered = 0usize;
+            for run in 0..runs {
+                let seed = base_seed.wrapping_add(run as u64);
+                let mut config = SonConfig::from_environment(environment_for(proxies, seed));
+                config.hier.backtracking = options.backtracking;
+                config.border_selection = options.border_selection;
+                let overlay = ServiceOverlay::build(&config);
+                let router = overlay.hier_router();
+                let mesh = overlay.build_mesh();
+                let requests = overlay.generate_client_requests(
+                    requests_per_run,
+                    seed.wrapping_mul(31).wrapping_add(7),
+                );
+                for request in &requests {
+                    let mesh_path = match overlay.route_mesh(&mesh, request) {
+                        Ok(p) => p,
+                        Err(RouteError::NoProvider(_)) | Err(RouteError::Infeasible) => continue,
+                    };
+                    let Ok(hier) = router.route(request) else {
+                        continue;
+                    };
+                    let Ok(full) = router.route_without_aggregation(request) else {
+                        continue;
+                    };
+                    mesh_sum += overlay.true_length(&mesh_path);
+                    agg_sum += overlay.true_length(&hier.path);
+                    full_sum += overlay.true_length(&full);
+                    answered += 1;
+                }
+            }
+            let n = answered.max(1) as f64;
+            Figure10Row {
+                proxies,
+                mesh: mesh_sum / n,
+                hfc_aggregated: agg_sum / n,
+                hfc_full_state: full_sum / n,
+                requests: answered,
+                runs,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_shapes_hold_at_small_scale() {
+        let rows = figure9(OverheadKind::ServiceCapability, &[40, 80], 2, 1);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.flat, row.proxies as f64);
+            assert!(row.hfc_mean < row.flat, "{row:?}");
+        }
+        // Flat grows linearly; HFC grows much slower.
+        let flat_growth = rows[1].flat - rows[0].flat;
+        let hfc_growth = rows[1].hfc_mean - rows[0].hfc_mean;
+        assert!(hfc_growth < flat_growth, "HFC must grow slower than flat");
+    }
+
+    #[test]
+    fn figure10_produces_comparable_systems() {
+        let rows = figure10(&[60], 2, 25, 3, Fig10Options::default());
+        let row = &rows[0];
+        assert!(row.requests > 20, "{row:?}");
+        assert!(row.mesh > 0.0 && row.hfc_aggregated > 0.0 && row.hfc_full_state > 0.0);
+        // Shape check with slack: HFC stays within 30% of mesh.
+        assert!(
+            row.hfc_aggregated < row.mesh * 1.3,
+            "HFC not competitive: {row:?}"
+        );
+    }
+
+    #[test]
+    fn environments_match_table1_when_available() {
+        let env = environment_for(500, 9);
+        assert_eq!(env.physical_nodes, 600);
+        assert_eq!(env.clients, 90);
+        let custom = environment_for(100, 9);
+        assert_eq!(custom.proxies, 100);
+        assert_eq!(custom.physical_nodes, 120);
+    }
+}

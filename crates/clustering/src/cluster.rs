@@ -1,0 +1,189 @@
+//! The result of a clustering pass.
+
+/// A partition of the points `0..len` into clusters.
+///
+/// Cluster ids are dense (`0..cluster_count`) and assigned in order of
+/// each cluster's smallest member, so results are stable across runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    assignment: Vec<usize>,
+    members: Vec<Vec<usize>>,
+}
+
+impl Clustering {
+    /// Builds a clustering from a raw per-point label vector. Labels
+    /// may be arbitrary; they are renumbered densely.
+    pub fn from_labels(labels: &[usize]) -> Self {
+        let mut remap: Vec<Option<usize>> = Vec::new();
+        let mut assignment = Vec::with_capacity(labels.len());
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        for (point, &raw) in labels.iter().enumerate() {
+            if raw >= remap.len() {
+                remap.resize(raw + 1, None);
+            }
+            let dense = match remap[raw] {
+                Some(d) => d,
+                None => {
+                    let d = members.len();
+                    remap[raw] = Some(d);
+                    members.push(Vec::new());
+                    d
+                }
+            };
+            assignment.push(dense);
+            members[dense].push(point);
+        }
+        Clustering {
+            assignment,
+            members,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if there are no points at all.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Number of points.
+    pub fn point_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The cluster id of `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` is out of range.
+    pub fn cluster_of(&self, point: usize) -> usize {
+        self.assignment[point]
+    }
+
+    /// Members of cluster `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= len()`.
+    pub fn members(&self, id: usize) -> &[usize] {
+        &self.members[id]
+    }
+
+    /// Iterates over clusters as `(id, members)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[usize])> {
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (i, m.as_slice()))
+    }
+
+    /// Sizes of all clusters.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.members.iter().map(|m| m.len()).collect()
+    }
+
+    /// Size of the largest cluster.
+    pub fn max_cluster_size(&self) -> usize {
+        self.members.iter().map(|m| m.len()).max().unwrap_or(0)
+    }
+
+    /// Mean intra-cluster distance divided by mean inter-cluster
+    /// distance under `dist` — a quality score where lower is better
+    /// (well-separated clusters score well below 1).
+    ///
+    /// Returns `None` if either side has no pairs (e.g. a single
+    /// cluster, or all singletons).
+    pub fn separation_score<D>(&self, dist: D) -> Option<f64>
+    where
+        D: Fn(usize, usize) -> f64,
+    {
+        let mut intra_sum = 0.0;
+        let mut intra_n = 0u64;
+        let mut inter_sum = 0.0;
+        let mut inter_n = 0u64;
+        let n = self.assignment.len();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d = dist(a, b);
+                if self.assignment[a] == self.assignment[b] {
+                    intra_sum += d;
+                    intra_n += 1;
+                } else {
+                    inter_sum += d;
+                    inter_n += 1;
+                }
+            }
+        }
+        if intra_n == 0 || inter_n == 0 {
+            return None;
+        }
+        Some((intra_sum / intra_n as f64) / (inter_sum / inter_n as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_renumbered_densely() {
+        let c = Clustering::from_labels(&[7, 7, 3, 9, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.cluster_of(0), c.cluster_of(1));
+        assert_eq!(c.cluster_of(2), c.cluster_of(4));
+        assert_ne!(c.cluster_of(0), c.cluster_of(3));
+        // Dense ids in order of first appearance.
+        assert_eq!(c.cluster_of(0), 0);
+        assert_eq!(c.cluster_of(2), 1);
+        assert_eq!(c.cluster_of(3), 2);
+    }
+
+    #[test]
+    fn members_partition_points() {
+        let c = Clustering::from_labels(&[0, 1, 0, 2, 1, 0]);
+        let mut all: Vec<usize> = c.iter().flat_map(|(_, m)| m.iter().copied()).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(c.sizes(), vec![3, 2, 1]);
+        assert_eq!(c.max_cluster_size(), 3);
+        assert_eq!(c.point_count(), 6);
+    }
+
+    #[test]
+    fn separation_score_prefers_tight_clusters() {
+        // points 0,1 near zero; 2,3 near 100
+        let xs: &[f64] = &[0.0, 1.0, 100.0, 101.0];
+        let dist = |a: usize, b: usize| (xs[a] - xs[b]).abs();
+        let good = Clustering::from_labels(&[0, 0, 1, 1]);
+        let bad = Clustering::from_labels(&[0, 1, 0, 1]);
+        let sg = good.separation_score(dist).unwrap();
+        let sb = bad.separation_score(dist).unwrap();
+        assert!(sg < 0.1, "good clustering score {sg}");
+        assert!(sb > 1.0, "bad clustering score {sb}");
+    }
+
+    #[test]
+    fn separation_score_edge_cases() {
+        let xs: &[f64] = &[0.0, 1.0];
+        let dist = |a: usize, b: usize| (xs[a] - xs[b]).abs();
+        // Single cluster: no inter pairs.
+        assert!(Clustering::from_labels(&[0, 0])
+            .separation_score(dist)
+            .is_none());
+        // All singletons: no intra pairs.
+        assert!(Clustering::from_labels(&[0, 1])
+            .separation_score(dist)
+            .is_none());
+    }
+
+    #[test]
+    fn empty_clustering() {
+        let c = Clustering::from_labels(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.max_cluster_size(), 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Minimum spanning trees over point sets and explicit edge lists.
+
+use crate::unionfind::UnionFind;
+
+/// One edge of a minimum spanning tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MstEdge {
+    /// First endpoint (point index).
+    pub a: usize,
+    /// Second endpoint (point index).
+    pub b: usize,
+    /// Edge length.
+    pub weight: f64,
+}
+
+/// A minimum spanning tree over points `0..len`.
+///
+/// Stores the `len - 1` tree edges and an adjacency index for
+/// neighborhood walks (used by Zahn's inconsistency test).
+#[derive(Debug, Clone)]
+pub struct Mst {
+    len: usize,
+    edges: Vec<MstEdge>,
+    /// For each node, indices into `edges` of its incident tree edges.
+    incidence: Vec<Vec<usize>>,
+}
+
+impl Mst {
+    fn from_edges(len: usize, edges: Vec<MstEdge>) -> Self {
+        let mut incidence = vec![Vec::new(); len];
+        for (i, e) in edges.iter().enumerate() {
+            incidence[e.a].push(i);
+            incidence[e.b].push(i);
+        }
+        Mst {
+            len,
+            edges,
+            incidence,
+        }
+    }
+
+    /// Number of points spanned.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the tree spans no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The tree edges (`len - 1` of them for a non-empty tree).
+    pub fn edges(&self) -> &[MstEdge] {
+        &self.edges
+    }
+
+    /// Indices (into [`Mst::edges`]) of the edges incident to `node`.
+    pub fn incident_edges(&self, node: usize) -> &[usize] {
+        &self.incidence[node]
+    }
+
+    /// Total weight of the tree.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+}
+
+/// Builds the MST of the *complete* graph over `n` points using Prim's
+/// algorithm in `O(n²)` time — the right shape for a dense metric,
+/// where Kruskal would have to materialize `n(n-1)/2` edges.
+///
+/// `dist(a, b)` must be symmetric and non-negative.
+///
+/// # Panics
+///
+/// Panics if a queried distance is negative or NaN.
+///
+/// # Example
+///
+/// ```
+/// use son_clustering::mst_complete;
+///
+/// let xs: &[f64] = &[0.0, 1.0, 10.0];
+/// let mst = mst_complete(3, |a, b| (xs[a] - xs[b]).abs());
+/// assert_eq!(mst.edges().len(), 2);
+/// assert_eq!(mst.total_weight(), 10.0); // 0-1 (1.0) + 1-2 (9.0)
+/// ```
+pub fn mst_complete<D>(n: usize, dist: D) -> Mst
+where
+    D: Fn(usize, usize) -> f64,
+{
+    if n == 0 {
+        return Mst::from_edges(0, Vec::new());
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![f64::INFINITY; n];
+    let mut best_link = vec![0usize; n];
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    in_tree[0] = true;
+    for v in 1..n {
+        let d = dist(0, v);
+        assert!(d >= 0.0, "distances must be non-negative, got {d}");
+        best_dist[v] = d;
+        best_link[v] = 0;
+    }
+    for _ in 1..n {
+        let (next, _) = best_dist
+            .iter()
+            .enumerate()
+            .filter(|(v, _)| !in_tree[*v])
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("some node remains outside the tree");
+        in_tree[next] = true;
+        edges.push(MstEdge {
+            a: best_link[next],
+            b: next,
+            weight: best_dist[next],
+        });
+        for v in 0..n {
+            if !in_tree[v] {
+                let d = dist(next, v);
+                assert!(d >= 0.0, "distances must be non-negative, got {d}");
+                if d < best_dist[v] {
+                    best_dist[v] = d;
+                    best_link[v] = next;
+                }
+            }
+        }
+    }
+    Mst::from_edges(n, edges)
+}
+
+/// Builds an MST (minimum spanning forest if disconnected) from an
+/// explicit edge list using Kruskal's algorithm.
+///
+/// # Panics
+///
+/// Panics if an edge references a node `>= n` or has a negative/NaN
+/// weight.
+pub fn mst_kruskal(n: usize, edges: &[MstEdge]) -> Mst {
+    let mut sorted: Vec<&MstEdge> = edges.iter().collect();
+    for e in &sorted {
+        assert!(e.a < n && e.b < n, "edge endpoint out of range");
+        assert!(e.weight >= 0.0, "edge weights must be non-negative");
+    }
+    sorted.sort_by(|x, y| {
+        x.weight
+            .partial_cmp(&y.weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut uf = UnionFind::new(n);
+    let mut tree = Vec::new();
+    for e in sorted {
+        if uf.union(e.a, e.b) {
+            tree.push(*e);
+            if tree.len() + 1 == n {
+                break;
+            }
+        }
+    }
+    Mst::from_edges(n, tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prim_on_a_square() {
+        // Unit square; MST weight = 3 sides = 3.
+        let pts = [[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]];
+        let dist = |a: usize, b: usize| {
+            (((pts[a][0] - pts[b][0]) as f64).powi(2) + ((pts[a][1] - pts[b][1]) as f64).powi(2))
+                .sqrt()
+        };
+        let mst = mst_complete(4, dist);
+        assert_eq!(mst.edges().len(), 3);
+        assert!((mst.total_weight() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kruskal_matches_prim_on_complete_graphs() {
+        let xs: [f64; 6] = [3.0, -1.0, 7.5, 0.25, 12.0, 5.5];
+        let n = xs.len();
+        let dist = |a: usize, b: usize| (xs[a] - xs[b]).abs();
+        let prim = mst_complete(n, dist);
+        let mut all_edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                all_edges.push(MstEdge {
+                    a,
+                    b,
+                    weight: dist(a, b),
+                });
+            }
+        }
+        let kruskal = mst_kruskal(n, &all_edges);
+        assert!((prim.total_weight() - kruskal.total_weight()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kruskal_builds_forest_when_disconnected() {
+        let edges = [
+            MstEdge {
+                a: 0,
+                b: 1,
+                weight: 1.0,
+            },
+            MstEdge {
+                a: 2,
+                b: 3,
+                weight: 2.0,
+            },
+        ];
+        let mst = mst_kruskal(4, &edges);
+        assert_eq!(mst.edges().len(), 2);
+    }
+
+    #[test]
+    fn incidence_index_is_consistent() {
+        let xs: &[f64] = &[0.0, 1.0, 2.0, 3.0];
+        let mst = mst_complete(4, |a, b| (xs[a] - xs[b]).abs());
+        for node in 0..4 {
+            for &ei in mst.incident_edges(node) {
+                let e = mst.edges()[ei];
+                assert!(e.a == node || e.b == node);
+            }
+        }
+        // A path graph: endpoints have degree 1, middles degree 2.
+        let degrees: Vec<usize> = (0..4).map(|v| mst.incident_edges(v).len()).collect();
+        let mut sorted = degrees.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mst = mst_complete(0, |_, _| 0.0);
+        assert!(mst.is_empty());
+        let mst = mst_complete(1, |_, _| 0.0);
+        assert_eq!(mst.len(), 1);
+        assert!(mst.edges().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_distance_panics() {
+        let _ = mst_complete(2, |_, _| -1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Exhaustively enumerates spanning trees of small complete graphs
+    /// to confirm Prim's result is minimal.
+    fn brute_force_mst_weight(points: &[(f64, f64)]) -> f64 {
+        let n = points.len();
+        let dist = |a: usize, b: usize| {
+            ((points[a].0 - points[b].0).powi(2) + (points[a].1 - points[b].1).powi(2)).sqrt()
+        };
+        // Enumerate all edge subsets of size n-1 (n is small).
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((a, b, dist(a, b)));
+            }
+        }
+        let m = edges.len();
+        let mut best = f64::INFINITY;
+        // Bitmask over edges; keep subsets with exactly n-1 edges that connect.
+        for mask in 0u32..(1 << m) {
+            if mask.count_ones() as usize != n - 1 {
+                continue;
+            }
+            let mut uf = UnionFind::new(n);
+            let mut w = 0.0;
+            for (i, e) in edges.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    uf.union(e.0, e.1);
+                    w += e.2;
+                }
+            }
+            if uf.set_count() == 1 && w < best {
+                best = w;
+            }
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prim_is_minimal_on_small_instances(
+            points in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 2..6)
+        ) {
+            let n = points.len();
+            let dist = |a: usize, b: usize| {
+                ((points[a].0 - points[b].0).powi(2) + (points[a].1 - points[b].1).powi(2)).sqrt()
+            };
+            let mst = mst_complete(n, dist);
+            let brute = brute_force_mst_weight(&points);
+            prop_assert!((mst.total_weight() - brute).abs() < 1e-9,
+                "prim {} vs brute {}", mst.total_weight(), brute);
+        }
+
+        #[test]
+        fn mst_spans_all_points(
+            points in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..40)
+        ) {
+            let n = points.len();
+            let dist = |a: usize, b: usize| {
+                ((points[a].0 - points[b].0).powi(2) + (points[a].1 - points[b].1).powi(2)).sqrt()
+            };
+            let mst = mst_complete(n, dist);
+            prop_assert_eq!(mst.edges().len(), n - 1);
+            let mut uf = UnionFind::new(n);
+            for e in mst.edges() {
+                uf.union(e.a, e.b);
+            }
+            prop_assert_eq!(uf.set_count(), 1);
+        }
+    }
+}

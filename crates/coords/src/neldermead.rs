@@ -1,0 +1,272 @@
+//! Nelder–Mead downhill simplex minimization (Nelder & Mead, 1965).
+//!
+//! A derivative-free minimizer for small-dimensional continuous
+//! problems — exactly the method the paper cites (ref.\ 23) for fitting
+//! landmark and host coordinates to measured delays. Uses the standard
+//! reflection / expansion / contraction / shrink moves with the usual
+//! coefficients (α=1, γ=2, ρ=0.5, σ=0.5).
+
+/// Parameters controlling a [`minimize`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadConfig {
+    /// Maximum number of iterations (one reflection cycle each).
+    pub max_iterations: usize,
+    /// Convergence threshold on the objective spread across the simplex.
+    pub tolerance: f64,
+    /// Size of the initial simplex around the starting point.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        NelderMeadConfig {
+            max_iterations: 2_000,
+            tolerance: 1e-9,
+            initial_step: 10.0,
+        }
+    }
+}
+
+/// Minimizes `f` starting from `x0`; returns `(argmin, min_value)`.
+///
+/// The initial simplex is `x0` plus one vertex per dimension offset by
+/// `config.initial_step`. Deterministic: same inputs, same output.
+///
+/// # Panics
+///
+/// Panics if `x0` is empty.
+///
+/// # Example
+///
+/// ```
+/// use son_coords::neldermead::{minimize, NelderMeadConfig};
+///
+/// // Minimize the 2-D sphere function centred on (3, -2).
+/// let f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] + 2.0).powi(2);
+/// let (x, v) = minimize(&f, &[0.0, 0.0], &NelderMeadConfig::default());
+/// assert!(v < 1e-6);
+/// assert!((x[0] - 3.0).abs() < 1e-3 && (x[1] + 2.0).abs() < 1e-3);
+/// ```
+pub fn minimize<F>(f: &F, x0: &[f64], config: &NelderMeadConfig) -> (Vec<f64>, f64)
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(
+        !x0.is_empty(),
+        "cannot minimize a zero-dimensional function"
+    );
+    let n = x0.len();
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    // Initial simplex: x0 and x0 + step * e_i.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    simplex.push((x0.to_vec(), f(x0)));
+    for i in 0..n {
+        let mut v = x0.to_vec();
+        v[i] += config.initial_step;
+        let fv = f(&v);
+        simplex.push((v, fv));
+    }
+
+    for _ in 0..config.max_iterations {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let best = simplex[0].1;
+        let worst = simplex[n].1;
+        if (worst - best).abs() <= config.tolerance * (1.0 + best.abs()) {
+            // Guard against a simplex straddling the minimum with equal
+            // values at spatially distant vertices: also require the
+            // simplex itself to have collapsed.
+            let scale = 1.0 + simplex[0].0.iter().map(|v| v.abs()).fold(0.0, f64::max);
+            let extent = simplex[1..]
+                .iter()
+                .flat_map(|(v, _)| v.iter().zip(&simplex[0].0).map(|(a, b)| (a - b).abs()))
+                .fold(0.0, f64::max);
+            if extent <= config.tolerance.sqrt() * scale {
+                break;
+            }
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for (v, _) in &simplex[..n] {
+            for (c, x) in centroid.iter_mut().zip(v) {
+                *c += x;
+            }
+        }
+        for c in &mut centroid {
+            *c /= n as f64;
+        }
+
+        let combine = |a: &[f64], coeff: f64, b: &[f64]| -> Vec<f64> {
+            a.iter().zip(b).map(|(c, w)| c + coeff * (c - w)).collect()
+        };
+
+        let reflected = combine(&centroid, ALPHA, &simplex[n].0);
+        let f_reflected = f(&reflected);
+
+        if f_reflected < simplex[0].1 {
+            // Try to expand further in the same direction.
+            let expanded = combine(&centroid, GAMMA, &simplex[n].0);
+            let f_expanded = f(&expanded);
+            simplex[n] = if f_expanded < f_reflected {
+                (expanded, f_expanded)
+            } else {
+                (reflected, f_reflected)
+            };
+            continue;
+        }
+        if f_reflected < simplex[n - 1].1 {
+            simplex[n] = (reflected, f_reflected);
+            continue;
+        }
+
+        // Contract toward the centroid.
+        let contracted: Vec<f64> = centroid
+            .iter()
+            .zip(&simplex[n].0)
+            .map(|(c, w)| c + RHO * (w - c))
+            .collect();
+        let f_contracted = f(&contracted);
+        if f_contracted < simplex[n].1 {
+            simplex[n] = (contracted, f_contracted);
+            continue;
+        }
+
+        // Shrink everything toward the best vertex.
+        let best_vertex = simplex[0].0.clone();
+        for entry in simplex.iter_mut().skip(1) {
+            let shrunk: Vec<f64> = best_vertex
+                .iter()
+                .zip(&entry.0)
+                .map(|(b, v)| b + SIGMA * (v - b))
+                .collect();
+            let fv = f(&shrunk);
+            *entry = (shrunk, fv);
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let (x, v) = simplex.swap_remove(0);
+    (x, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> NelderMeadConfig {
+        NelderMeadConfig {
+            max_iterations: 5_000,
+            tolerance: 1e-12,
+            initial_step: 1.0,
+        }
+    }
+
+    #[test]
+    fn minimizes_1d_quadratic() {
+        let f = |x: &[f64]| (x[0] - 7.0).powi(2) + 1.0;
+        let (x, v) = minimize(&f, &[-100.0], &cfg());
+        assert!((x[0] - 7.0).abs() < 1e-4);
+        assert!((v - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        // The classic banana function; minimum 0 at (1, 1).
+        let f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let (x, v) = minimize(&f, &[-1.2, 1.0], &cfg());
+        assert!(v < 1e-6, "value {v}");
+        assert!((x[0] - 1.0).abs() < 1e-2 && (x[1] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn minimizes_higher_dimensional_sphere() {
+        let target: Vec<f64> = (0..8).map(|i| i as f64 - 3.5).collect();
+        let t = target.clone();
+        let f = move |x: &[f64]| -> f64 { x.iter().zip(&t).map(|(a, b)| (a - b).powi(2)).sum() };
+        let (x, v) = minimize(&f, &vec![0.0; 8], &cfg());
+        assert!(v < 1e-6, "value {v}");
+        for (a, b) in x.iter().zip(&target) {
+            assert!((a - b).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>().sqrt() + (x[0] - 1.0).abs();
+        let a = minimize(&f, &[5.0, 5.0, 5.0], &cfg());
+        let b = minimize(&f, &[5.0, 5.0, 5.0], &cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn respects_iteration_budget() {
+        // With a budget of zero iterations we get (roughly) the start.
+        let f = |x: &[f64]| x[0] * x[0];
+        let limited = NelderMeadConfig {
+            max_iterations: 0,
+            ..cfg()
+        };
+        let (x, _) = minimize(&f, &[42.0], &limited);
+        assert!((x[0] - 42.0).abs() <= limited.initial_step);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-dimensional")]
+    fn empty_start_panics() {
+        let f = |_: &[f64]| 0.0;
+        let _ = minimize(&f, &[], &cfg());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The minimizer never does worse than the starting point.
+        #[test]
+        fn minimize_is_a_descent(
+            x0 in proptest::collection::vec(-50.0f64..50.0, 1..6),
+            target in proptest::collection::vec(-50.0f64..50.0, 6),
+            weights in proptest::collection::vec(0.1f64..5.0, 6),
+        ) {
+            let dims = x0.len();
+            let f = move |x: &[f64]| -> f64 {
+                x.iter()
+                    .enumerate()
+                    .map(|(i, v)| weights[i] * (v - target[i]).powi(2))
+                    .sum()
+            };
+            let f0 = f(&x0);
+            let (_, v) = minimize(&f, &x0, &NelderMeadConfig::default());
+            prop_assert!(v <= f0 + 1e-12, "minimize went uphill: {v} > {f0}");
+            // On a convex quadratic it should actually get close to 0.
+            prop_assert!(v < 1e-3 * (1.0 + f0), "poor convergence: {v} from {f0}, dims {dims}");
+        }
+
+        /// Weighted-quadratic minimum is found at the planted target.
+        #[test]
+        fn finds_planted_minimum(
+            target in proptest::collection::vec(-20.0f64..20.0, 1..5),
+        ) {
+            let t = target.clone();
+            let f = move |x: &[f64]| -> f64 {
+                x.iter().zip(&t).map(|(a, b)| (a - b).powi(2)).sum()
+            };
+            let start = vec![0.0; target.len()];
+            let (x, _) = minimize(&f, &start, &NelderMeadConfig {
+                max_iterations: 10_000,
+                tolerance: 1e-12,
+                initial_step: 5.0,
+            });
+            for (a, b) in x.iter().zip(&target) {
+                prop_assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! # son-core
+//!
+//! Large-scale service overlay networking with distance-based
+//! clustering — a from-scratch reproduction of Jin & Nahrstedt
+//! (Middleware 2003).
+//!
+//! This crate is the facade over the workspace: it wires the
+//! substrates (transit-stub network simulation, GNP coordinates, Zahn
+//! clustering, HFC topology, state distribution, hierarchical routing)
+//! into one [`ServiceOverlay`] you can build in a single call and ask
+//! for routes, state-overhead figures, and protocol runs.
+//!
+//! ```
+//! use son_core::{ServiceOverlay, SonConfig};
+//!
+//! // A scaled-down world (the paper-scale Table 1 rows are
+//! // `SonConfig::table1(250..1000, seed)`).
+//! let overlay = ServiceOverlay::build(&SonConfig::small(7));
+//! assert!(overlay.hfc().cluster_count() > 1);
+//!
+//! // Route a random request hierarchically and check it's real.
+//! let requests = overlay.generate_requests(5, 99);
+//! let router = overlay.hier_router();
+//! for request in &requests {
+//!     if let Ok(route) = router.route(request) {
+//!         route
+//!             .path
+//!             .validate(request, |p, s| overlay.carries(p, s))
+//!             .unwrap();
+//!     }
+//! }
+//! ```
+
+pub mod export;
+pub mod membership;
+pub mod multilevel;
+pub mod overlay_system;
+
+pub use membership::DynamicOverlay;
+pub use multilevel::{MultiLevelHfc, MultiLevelRouter, SuperClusterId};
+pub use overlay_system::{BuildStats, ServiceOverlay, SonConfig};
+
+// Re-export the full public API of the component crates so downstream
+// users (examples, benches) need only one dependency.
+pub use son_clustering::{
+    mst_complete, mst_kruskal, Clustering, InconsistencyRule, Mst, MstEdge, UnionFind,
+    ZahnClusterer, ZahnConfig,
+};
+pub use son_coords::{
+    minimize, select_landmarks_maxmin, select_landmarks_random, Coordinates, EmbeddingConfig,
+    ErrorStats, GnpEmbedding, NelderMeadConfig,
+};
+pub use son_netsim::{
+    Actor, Ctx, DelayMeasurer, EventQueue, Graph, MeasureConfig, NodeId, NodeKind, PhysicalNetwork,
+    SimStats, SimTime, Simulator, TransitStubConfig,
+};
+pub use son_overlay::{
+    BorderPair, BorderSelection, ClusterId, CoordDelays, DelayMatrix, DelayModel, HfcDelays,
+    HfcTopology, MeshConfig, MeshTopology, Proxy, ProxyId, QosProfile, QosRequirement,
+    ServiceGraph, ServiceId, ServiceRegistry, ServiceRequest, ServiceSet, StageId,
+};
+pub use son_routing::fixtures;
+pub use son_routing::{
+    resolve_distributed, solve_service_dag, Assignment, ChildSpec, FlatRouter, HierConfig,
+    HierRoute, HierarchicalRouter, PathHop, ProviderIndex, ProviderLookup, RouteError, RoutePlan,
+    ServicePath, SessionReport, ValidatePathError,
+};
+pub use son_state::{
+    flat_overhead, hfc_overhead, OverheadKind, OverheadReport, ProtocolConfig, SctC, SctP,
+    StateProtocol, StateReport,
+};
+pub use son_workload::{
+    assign_services, generate_requests, place_proxies, place_proxies_excluding,
+    table1_environments, Environment, RequestProfile,
+};

@@ -1,0 +1,271 @@
+//! Dynamic membership — the paper's first "future direction" (§7):
+//!
+//! > While we can let future proxies join clusters of their nearest
+//! > neighbors, multiple joins and leaves may deteriorate the quality
+//! > of clustering. Hence some kind of re-structuring mechanism needs
+//! > to be devised.
+//!
+//! [`DynamicOverlay`] implements exactly that: cheap incremental joins
+//! (a newcomer adopts its nearest neighbor's cluster) and leaves, a
+//! clustering-quality score to detect deterioration, and a
+//! [`DynamicOverlay::restructure`] operation that re-runs the full
+//! MST + Zahn pipeline when quality drops below a threshold.
+
+use son_clustering::{mst_complete, Clustering, ZahnClusterer, ZahnConfig};
+use son_coords::Coordinates;
+use son_overlay::{CoordDelays, HfcTopology, ProxyId};
+
+/// A clustered overlay whose membership changes over time.
+///
+/// Proxy ids are dense indices into the current membership; a
+/// [`DynamicOverlay::leave`] uses swap-remove, so the *last* proxy
+/// takes over the departed proxy's id (the returned value tells the
+/// caller which one moved).
+///
+/// # Example
+///
+/// ```
+/// use son_core::membership::DynamicOverlay;
+/// use son_core::{Coordinates, ZahnConfig};
+///
+/// // Two far-apart groups.
+/// let coords: Vec<Coordinates> = [0.0, 1.0, 2.0, 100.0, 101.0, 102.0]
+///     .iter()
+///     .map(|&x| Coordinates::new(vec![x, 0.0]))
+///     .collect();
+/// let mut overlay = DynamicOverlay::new(coords, ZahnConfig::default());
+/// assert_eq!(overlay.hfc().cluster_count(), 2);
+///
+/// // A newcomer near the second group joins it.
+/// let p = overlay.join(Coordinates::new(vec![103.0, 0.0]));
+/// let second = overlay.hfc().cluster_of(son_core::ProxyId::new(3));
+/// assert_eq!(overlay.hfc().cluster_of(p), second);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicOverlay {
+    coords: Vec<Coordinates>,
+    labels: Vec<usize>,
+    zahn: ZahnConfig,
+    hfc: HfcTopology,
+    delays: CoordDelays,
+}
+
+impl DynamicOverlay {
+    /// Clusters `coords` from scratch (MST + Zahn) and builds the
+    /// initial HFC topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords` is empty.
+    pub fn new(coords: Vec<Coordinates>, zahn: ZahnConfig) -> Self {
+        assert!(!coords.is_empty(), "an overlay needs at least one proxy");
+        let mut overlay = DynamicOverlay {
+            labels: vec![0; coords.len()],
+            delays: CoordDelays::new(coords.clone()),
+            coords,
+            zahn,
+            hfc: HfcTopology::build(
+                &Clustering::from_labels(&[0]),
+                &CoordDelays::new(vec![Coordinates::origin(1)]),
+            ),
+        };
+        overlay.restructure();
+        overlay
+    }
+
+    /// Number of live proxies.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Returns `true` if no proxies remain (impossible by
+    /// construction, kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// The current HFC topology.
+    pub fn hfc(&self) -> &HfcTopology {
+        &self.hfc
+    }
+
+    /// The coordinate-based delay model over current members.
+    pub fn delays(&self) -> &CoordDelays {
+        &self.delays
+    }
+
+    /// A newcomer joins the cluster of its nearest existing neighbor
+    /// (no re-clustering). Returns the new proxy's id.
+    pub fn join(&mut self, coords: Coordinates) -> ProxyId {
+        let nearest = (0..self.coords.len())
+            .min_by(|&a, &b| {
+                let da = self.coords[a].distance(&coords);
+                let db = self.coords[b].distance(&coords);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("overlay is never empty");
+        self.labels.push(self.labels[nearest]);
+        self.coords.push(coords);
+        self.refresh();
+        ProxyId::new(self.coords.len() - 1)
+    }
+
+    /// Removes `proxy` (swap-remove). Returns the id of the proxy that
+    /// was moved into the vacated slot, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proxy` is out of range or it is the last remaining
+    /// proxy.
+    pub fn leave(&mut self, proxy: ProxyId) -> Option<ProxyId> {
+        assert!(self.coords.len() > 1, "the last proxy cannot leave");
+        let i = proxy.index();
+        assert!(i < self.coords.len(), "unknown proxy {proxy}");
+        let last = self.coords.len() - 1;
+        self.coords.swap_remove(i);
+        self.labels.swap_remove(i);
+        self.refresh();
+        (i != last).then(|| ProxyId::new(i))
+    }
+
+    /// Mean intra-cluster over mean inter-cluster distance — lower is
+    /// better. `None` when there is only one cluster or all clusters
+    /// are singletons.
+    pub fn quality(&self) -> Option<f64> {
+        Clustering::from_labels(&self.labels)
+            .separation_score(|a, b| self.coords[a].distance(&self.coords[b]))
+    }
+
+    /// Re-runs the full MST + Zahn clustering over the current members
+    /// — the paper's "re-structuring mechanism".
+    pub fn restructure(&mut self) {
+        let n = self.coords.len();
+        let mst = mst_complete(n, |a, b| self.coords[a].distance(&self.coords[b]));
+        let clustering = ZahnClusterer::new(self.zahn.clone()).cluster(&mst);
+        self.labels = (0..n).map(|p| clustering.cluster_of(p)).collect();
+        self.refresh();
+    }
+
+    /// Restructures only when quality has deteriorated past
+    /// `threshold`; returns `true` if a restructure ran.
+    pub fn restructure_if_needed(&mut self, threshold: f64) -> bool {
+        match self.quality() {
+            Some(q) if q > threshold => {
+                self.restructure();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn refresh(&mut self) {
+        self.delays = CoordDelays::new(self.coords.clone());
+        self.hfc = HfcTopology::build(&Clustering::from_labels(&self.labels), &self.delays);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_coords() -> Vec<Coordinates> {
+        // Three groups at x = 0, 500, 1000.
+        let mut out = Vec::new();
+        for g in 0..3 {
+            for i in 0..4 {
+                out.push(Coordinates::new(vec![
+                    g as f64 * 500.0 + i as f64 * 5.0,
+                    0.0,
+                ]));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn initial_clustering_detects_groups() {
+        let overlay = DynamicOverlay::new(grid_coords(), ZahnConfig::default());
+        assert_eq!(overlay.hfc().cluster_count(), 3);
+        assert_eq!(overlay.len(), 12);
+    }
+
+    #[test]
+    fn join_adopts_nearest_cluster() {
+        let mut overlay = DynamicOverlay::new(grid_coords(), ZahnConfig::default());
+        let mid_cluster = overlay.hfc().cluster_of(ProxyId::new(4)); // group at 500
+        let p = overlay.join(Coordinates::new(vec![510.0, 0.0]));
+        assert_eq!(overlay.hfc().cluster_of(p), mid_cluster);
+        assert_eq!(overlay.len(), 13);
+        // HFC invariants still hold.
+        for i in overlay.hfc().clusters() {
+            for j in overlay.hfc().clusters() {
+                if i != j {
+                    let pair = overlay.hfc().border(i, j);
+                    assert_eq!(overlay.hfc().cluster_of(pair.local), i);
+                    assert_eq!(overlay.hfc().cluster_of(pair.remote), j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leave_swaps_last_proxy_in() {
+        let mut overlay = DynamicOverlay::new(grid_coords(), ZahnConfig::default());
+        let last_coords = Coordinates::new(vec![1000.0 + 15.0, 0.0]);
+        assert_eq!(overlay.delays().coordinates(ProxyId::new(11)), &last_coords);
+        let moved = overlay.leave(ProxyId::new(0));
+        assert_eq!(moved, Some(ProxyId::new(0)));
+        assert_eq!(overlay.len(), 11);
+        // The former last proxy now answers at id 0.
+        assert_eq!(overlay.delays().coordinates(ProxyId::new(0)), &last_coords);
+        // Leaving the actual last slot moves nobody.
+        let moved = overlay.leave(ProxyId::new(10));
+        assert_eq!(moved, None);
+    }
+
+    #[test]
+    fn churn_degrades_quality_and_restructure_recovers() {
+        let mut overlay = DynamicOverlay::new(grid_coords(), ZahnConfig::default());
+        let before = overlay.quality().expect("multi-cluster quality");
+        // A wave of newcomers lands between the original groups — with
+        // join-nearest they get absorbed into ill-fitting clusters.
+        for i in 0..8 {
+            overlay.join(Coordinates::new(vec![230.0 + (i as f64) * 10.0, 0.0]));
+        }
+        let degraded = overlay.quality().expect("still multi-cluster");
+        assert!(
+            degraded > before,
+            "churn should hurt quality: {degraded} vs {before}"
+        );
+        overlay.restructure();
+        let recovered = overlay.quality().expect("still multi-cluster");
+        assert!(
+            recovered <= degraded,
+            "restructure should not worsen quality: {recovered} vs {degraded}"
+        );
+    }
+
+    #[test]
+    fn threshold_triggered_restructure() {
+        let mut overlay = DynamicOverlay::new(grid_coords(), ZahnConfig::default());
+        // Pristine clustering: no restructure needed at a lax threshold.
+        assert!(!overlay.restructure_if_needed(0.5));
+        for i in 0..8 {
+            overlay.join(Coordinates::new(vec![230.0 + (i as f64) * 10.0, 0.0]));
+        }
+        let degraded = overlay.quality().unwrap();
+        if degraded > 0.05 {
+            assert!(overlay.restructure_if_needed(0.05));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "last proxy")]
+    fn last_proxy_cannot_leave() {
+        let mut overlay = DynamicOverlay::new(
+            vec![Coordinates::new(vec![0.0, 0.0])],
+            ZahnConfig::default(),
+        );
+        let _ = overlay.leave(ProxyId::new(0));
+    }
+}

@@ -1,0 +1,787 @@
+//! A third hierarchy level — superclusters of clusters.
+//!
+//! The paper's HFC topology is bi-level ("in a bi-level HFC hierarchy,
+//! two nodes are at most two nodes away") and its scalability argument
+//! is the state reduction of Figure 9. This module extends the *state
+//! aggregation* story one level up: level-1 clusters are themselves
+//! clustered (same Zahn method, single-linkage distances between
+//! clusters), and a proxy then keeps
+//!
+//! * coordinates: its own cluster's members, the border proxies of the
+//!   clusters **within its own supercluster**, and the border proxies
+//!   **between superclusters** — instead of every border in the system;
+//! * capabilities: its own cluster's table, one aggregate per sibling
+//!   cluster in its supercluster, and one super-aggregate per other
+//!   supercluster.
+//!
+//! Routing over three levels is not implemented (the paper's routing is
+//! bi-level); this module quantifies how much further the Figure 9
+//! curves drop when a deployment outgrows two levels.
+
+use son_clustering::{mst_complete, ZahnClusterer, ZahnConfig};
+use son_overlay::{ClusterId, DelayModel, HfcTopology, ProxyId};
+
+/// Identifier of a supercluster (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SuperClusterId(u32);
+
+impl SuperClusterId {
+    /// Creates a supercluster id from a raw index.
+    pub fn new(index: usize) -> Self {
+        SuperClusterId(index as u32)
+    }
+
+    /// Dense index of this supercluster.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A three-level hierarchy: proxies → clusters → superclusters.
+#[derive(Debug, Clone)]
+pub struct MultiLevelHfc {
+    super_of: Vec<SuperClusterId>,
+    super_members: Vec<Vec<ClusterId>>,
+    /// `super_borders[i][j]`: the proxy inside supercluster `i` that
+    /// borders supercluster `j`.
+    super_borders: Vec<Vec<Option<ProxyId>>>,
+}
+
+impl MultiLevelHfc {
+    /// Groups the level-1 clusters of `hfc` into superclusters with the
+    /// same Zahn method, using single-linkage (closest proxy pair)
+    /// distances between clusters, and selects closest-pair border
+    /// proxies between superclusters.
+    pub fn build<D: DelayModel>(hfc: &HfcTopology, delays: &D, zahn: &ZahnConfig) -> Self {
+        let c = hfc.cluster_count();
+        // Single-linkage distance between two clusters.
+        let cluster_dist = |a: usize, b: usize| -> f64 {
+            let mut best = f64::INFINITY;
+            for &x in hfc.members(ClusterId::new(a)) {
+                for &y in hfc.members(ClusterId::new(b)) {
+                    best = best.min(delays.delay(x, y));
+                }
+            }
+            best
+        };
+        let mst = mst_complete(c, cluster_dist);
+        let clustering = ZahnClusterer::new(zahn.clone()).cluster(&mst);
+
+        let super_of: Vec<SuperClusterId> = (0..c)
+            .map(|cl| SuperClusterId::new(clustering.cluster_of(cl)))
+            .collect();
+        let super_members: Vec<Vec<ClusterId>> = (0..clustering.len())
+            .map(|s| {
+                clustering
+                    .members(s)
+                    .iter()
+                    .map(|&cl| ClusterId::new(cl))
+                    .collect()
+            })
+            .collect();
+
+        // Closest-pair borders between superclusters, over raw proxies.
+        let k = super_members.len();
+        let mut super_borders = vec![vec![None; k]; k];
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let mut best: Option<(ProxyId, ProxyId, f64)> = None;
+                for &ca in &super_members[i] {
+                    for &cb in &super_members[j] {
+                        for &x in hfc.members(ca) {
+                            for &y in hfc.members(cb) {
+                                let d = delays.delay(x, y);
+                                if best.is_none_or(|(_, _, bd)| d < bd) {
+                                    best = Some((x, y, d));
+                                }
+                            }
+                        }
+                    }
+                }
+                let (bx, by, _) = best.expect("superclusters are non-empty");
+                super_borders[i][j] = Some(bx);
+                super_borders[j][i] = Some(by);
+            }
+        }
+
+        MultiLevelHfc {
+            super_of,
+            super_members,
+            super_borders,
+        }
+    }
+
+    /// Number of superclusters.
+    pub fn supercluster_count(&self) -> usize {
+        self.super_members.len()
+    }
+
+    /// The supercluster containing `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn super_of(&self, cluster: ClusterId) -> SuperClusterId {
+        self.super_of[cluster.index()]
+    }
+
+    /// The clusters of `supercluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `supercluster` is out of range.
+    pub fn members(&self, supercluster: SuperClusterId) -> &[ClusterId] {
+        &self.super_members[supercluster.index()]
+    }
+
+    /// Distinct border proxies between superclusters.
+    pub fn all_super_border_proxies(&self) -> Vec<ProxyId> {
+        let mut out: Vec<ProxyId> = self
+            .super_borders
+            .iter()
+            .flatten()
+            .flatten()
+            .copied()
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Coordinates-related node-states of `proxy` under three levels:
+    /// own cluster members + borders of the clusters within the own
+    /// supercluster + supercluster borders system-wide.
+    pub fn coordinate_overhead_of(&self, hfc: &HfcTopology, proxy: ProxyId) -> usize {
+        let own_cluster = hfc.cluster_of(proxy);
+        let own_super = self.super_of(own_cluster);
+        let mut visible: Vec<ProxyId> = hfc.members(own_cluster).to_vec();
+        // Borders between clusters inside the own supercluster only.
+        for &ca in self.members(own_super) {
+            for &cb in self.members(own_super) {
+                if ca < cb {
+                    let pair = hfc.border(ca, cb);
+                    visible.push(pair.local);
+                    visible.push(pair.remote);
+                }
+            }
+        }
+        visible.extend(self.all_super_border_proxies());
+        visible.sort();
+        visible.dedup();
+        visible.len()
+    }
+
+    /// Service-capability node-states of `proxy` under three levels:
+    /// own cluster members + one aggregate per sibling cluster + one
+    /// super-aggregate per other supercluster.
+    pub fn service_overhead_of(&self, hfc: &HfcTopology, proxy: ProxyId) -> usize {
+        let own_cluster = hfc.cluster_of(proxy);
+        let own_super = self.super_of(own_cluster);
+        hfc.members(own_cluster).len()
+            + self.members(own_super).len()
+            + self.supercluster_count().saturating_sub(1)
+    }
+
+    /// Mean per-proxy overheads `(coordinates, services)` across the
+    /// overlay.
+    pub fn mean_overheads(&self, hfc: &HfcTopology) -> (f64, f64) {
+        let n = hfc.proxy_count();
+        let mut coords = 0usize;
+        let mut services = 0usize;
+        for p in 0..n {
+            coords += self.coordinate_overhead_of(hfc, ProxyId::new(p));
+            services += self.service_overhead_of(hfc, ProxyId::new(p));
+        }
+        (coords as f64 / n as f64, services as f64 / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use son_clustering::Clustering;
+    use son_overlay::DelayMatrix;
+
+    /// 4 groups of groups: superclusters at x = 0 and x = 100_000, each
+    /// containing two clusters 1_000 apart, each cluster 3 proxies.
+    fn nested_world() -> (HfcTopology, DelayMatrix) {
+        let mut pos = Vec::new();
+        let mut labels = Vec::new();
+        let mut label = 0;
+        for super_x in [0.0, 100_000.0] {
+            for cluster_dx in [0.0, 1_000.0] {
+                for i in 0..3 {
+                    pos.push(super_x + cluster_dx + i as f64);
+                    labels.push(label);
+                }
+                label += 1;
+            }
+        }
+        let n = pos.len();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = (pos[i] - pos[j]).abs();
+            }
+        }
+        let delays = DelayMatrix::from_values(n, values);
+        let hfc = HfcTopology::build(&Clustering::from_labels(&labels), &delays);
+        (hfc, delays)
+    }
+
+    #[test]
+    fn superclusters_follow_geometry() {
+        let (hfc, delays) = nested_world();
+        let ml = MultiLevelHfc::build(&hfc, &delays, &ZahnConfig::default());
+        assert_eq!(ml.supercluster_count(), 2);
+        // Clusters 0, 1 (around x=0) share a supercluster; 2, 3 share
+        // the other.
+        assert_eq!(
+            ml.super_of(ClusterId::new(0)),
+            ml.super_of(ClusterId::new(1))
+        );
+        assert_eq!(
+            ml.super_of(ClusterId::new(2)),
+            ml.super_of(ClusterId::new(3))
+        );
+        assert_ne!(
+            ml.super_of(ClusterId::new(0)),
+            ml.super_of(ClusterId::new(2))
+        );
+    }
+
+    #[test]
+    fn super_borders_are_symmetric_and_cross() {
+        let (hfc, delays) = nested_world();
+        let ml = MultiLevelHfc::build(&hfc, &delays, &ZahnConfig::default());
+        let borders = ml.all_super_border_proxies();
+        assert_eq!(borders.len(), 2, "one pair between two superclusters");
+        let sides: Vec<SuperClusterId> = borders
+            .iter()
+            .map(|&p| ml.super_of(hfc.cluster_of(p)))
+            .collect();
+        assert_ne!(sides[0], sides[1]);
+    }
+
+    #[test]
+    fn three_levels_reduce_coordinate_state() {
+        let (hfc, delays) = nested_world();
+        let ml = MultiLevelHfc::build(&hfc, &delays, &ZahnConfig::default());
+        let (ml_coords, ml_services) = ml.mean_overheads(&hfc);
+        let bi_coords = son_state::hfc_overhead(&hfc, son_state::OverheadKind::Coordinates).mean;
+        let bi_services =
+            son_state::hfc_overhead(&hfc, son_state::OverheadKind::ServiceCapability).mean;
+        // In this tiny world the reduction is modest but must not be an
+        // increase.
+        assert!(
+            ml_coords <= bi_coords,
+            "3-level coords {ml_coords} > 2-level {bi_coords}"
+        );
+        assert!(
+            ml_services <= bi_services,
+            "3-level services {ml_services} > 2-level {bi_services}"
+        );
+    }
+
+    #[test]
+    fn overheads_count_the_right_pieces() {
+        let (hfc, delays) = nested_world();
+        let ml = MultiLevelHfc::build(&hfc, &delays, &ZahnConfig::default());
+        // A proxy sees: 3 own members + its supercluster's internal
+        // border pair (2) + 2 super-borders (one may coincide with an
+        // internal border or own member, so allow dedup).
+        let count = ml.coordinate_overhead_of(&hfc, ProxyId::new(0));
+        assert!(count <= 3 + 2 + 2, "count {count}");
+        assert!(count >= 3);
+        // Services: 3 members + 2 clusters in own super + 1 other super.
+        assert_eq!(ml.service_overhead_of(&hfc, ProxyId::new(0)), 6);
+    }
+}
+
+/// Divide-and-conquer routing over **three** levels: the paper's
+/// Section 5 algorithm applied recursively.
+///
+/// The destination proxy first computes a *supercluster-level* service
+/// path from super-aggregates (one service set per supercluster), using
+/// supercluster border pairs as the links; each per-supercluster child
+/// request is then resolved by the ordinary bi-level
+/// [`HierarchicalRouter`] restricted to that supercluster's clusters;
+/// finally the child paths are composed with the super-border glue
+/// hops.
+///
+/// Knowledge model: the top level sees super-aggregates and
+/// super-border coordinates; each supercluster child sees its member
+/// clusters' aggregates; each cluster child sees its members — the
+/// natural extension of the paper's visibility rules.
+#[derive(Debug)]
+pub struct MultiLevelRouter<'a, D> {
+    hfc: &'a son_overlay::HfcTopology,
+    ml: &'a MultiLevelHfc,
+    delays: &'a D,
+    sub_routers: Vec<son_routing::HierarchicalRouter<'a, D>>,
+    super_aggregates: Vec<son_overlay::ServiceSet>,
+}
+
+impl<'a, D> MultiLevelRouter<'a, D>
+where
+    D: son_overlay::DelayModel,
+{
+    /// Builds the three-level router from installed services.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `services.len()` differs from the proxy count.
+    pub fn from_services(
+        hfc: &'a son_overlay::HfcTopology,
+        ml: &'a MultiLevelHfc,
+        services: &'a [son_overlay::ServiceSet],
+        delays: &'a D,
+        config: son_routing::HierConfig,
+    ) -> Self {
+        use son_state::{SctC, SctP};
+        assert_eq!(
+            services.len(),
+            hfc.proxy_count(),
+            "one service set per proxy required"
+        );
+        // Cluster tables (shared by every sub-router).
+        let mut cluster_tables = Vec::with_capacity(hfc.cluster_count());
+        for c in hfc.clusters() {
+            let mut table = SctP::new();
+            for &m in hfc.members(c) {
+                table.update(m, services[m.index()].clone());
+            }
+            cluster_tables.push(table);
+        }
+        // One bi-level router per supercluster, whose aggregate view is
+        // restricted to its member clusters.
+        let mut sub_routers = Vec::with_capacity(ml.supercluster_count());
+        let mut super_aggregates = Vec::with_capacity(ml.supercluster_count());
+        for s in 0..ml.supercluster_count() {
+            let mut sctc = SctC::new();
+            let mut aggregate = son_overlay::ServiceSet::new();
+            for &c in ml.members(SuperClusterId::new(s)) {
+                let cluster_aggregate = cluster_tables[c.index()].aggregate();
+                aggregate.merge(&cluster_aggregate);
+                sctc.update(c, cluster_aggregate);
+            }
+            sub_routers.push(son_routing::HierarchicalRouter::from_tables(
+                hfc,
+                sctc,
+                &cluster_tables,
+                delays,
+                config,
+            ));
+            super_aggregates.push(aggregate);
+        }
+        MultiLevelRouter {
+            hfc,
+            ml,
+            delays,
+            sub_routers,
+            super_aggregates,
+        }
+    }
+
+    /// The aggregate service set of each supercluster.
+    pub fn super_aggregates(&self) -> &[son_overlay::ServiceSet] {
+        &self.super_aggregates
+    }
+
+    /// Routes `request` through the three-level hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// [`son_routing::RouteError::NoProvider`] when some demanded
+    /// service appears in no super-aggregate;
+    /// [`son_routing::RouteError::Infeasible`] when no configuration
+    /// can be mapped.
+    pub fn route(
+        &self,
+        request: &son_overlay::ServiceRequest,
+    ) -> Result<son_routing::ServicePath, son_routing::RouteError> {
+        use son_overlay::{ProxyId, ServiceGraph, ServiceRequest};
+        use son_routing::{PathHop, RouteError, ServicePath};
+        use std::collections::BTreeMap;
+
+        let super_of_proxy =
+            |p: ProxyId| -> SuperClusterId { self.ml.super_of(self.hfc.cluster_of(p)) };
+        let src_super = super_of_proxy(request.source);
+        let dst_super = super_of_proxy(request.destination);
+        let graph = &request.graph;
+
+        // ---- Top-level map + shortest path over superclusters ----
+        // State: (stage, supercluster, entry proxy).
+        let mut candidates: Vec<Vec<SuperClusterId>> = Vec::with_capacity(graph.len());
+        for stage in graph.stage_ids() {
+            let service = graph.service(stage);
+            let supers: Vec<SuperClusterId> = (0..self.ml.supercluster_count())
+                .filter(|&s| self.super_aggregates[s].contains(service))
+                .map(SuperClusterId::new)
+                .collect();
+            if supers.is_empty() {
+                return Err(RouteError::NoProvider(service));
+            }
+            candidates.push(supers);
+        }
+        let super_border = |a: SuperClusterId, b: SuperClusterId| -> (ProxyId, ProxyId) {
+            let local = self.ml.super_borders[a.index()][b.index()]
+                .expect("off-diagonal super borders exist");
+            let remote = self.ml.super_borders[b.index()][a.index()]
+                .expect("off-diagonal super borders exist");
+            (local, remote)
+        };
+        let step = |entry: ProxyId, from: SuperClusterId, to: SuperClusterId| -> (f64, ProxyId) {
+            if from == to {
+                return (0.0, entry);
+            }
+            let (local, remote) = super_border(from, to);
+            (
+                self.delays.delay(entry, local) + self.delays.delay(local, remote),
+                remote,
+            )
+        };
+
+        type Key = (u32, u32); // (super, entry)
+        let order = graph
+            .topological_order()
+            .expect("service graphs are validated acyclic");
+        let mut states: Vec<BTreeMap<Key, (f64, Option<(usize, Key)>)>> =
+            vec![BTreeMap::new(); graph.len()];
+        for &stage in &order {
+            let si = stage.index();
+            for &sup in &candidates[si] {
+                if graph.predecessors(stage).is_empty() {
+                    let (cost, entry) = step(request.source, src_super, sup);
+                    let key = (sup.index() as u32, entry.index() as u32);
+                    match states[si].get(&key) {
+                        Some(&(c, _)) if c <= cost => {}
+                        _ => {
+                            states[si].insert(key, (cost, None));
+                        }
+                    }
+                } else {
+                    for &pred in graph.predecessors(stage) {
+                        let pi = pred.index();
+                        let prev: Vec<(Key, f64)> =
+                            states[pi].iter().map(|(&k, &(c, _))| (k, c)).collect();
+                        for (pkey, pcost) in prev {
+                            let pentry = ProxyId::new(pkey.1 as usize);
+                            let psuper = SuperClusterId::new(pkey.0 as usize);
+                            let (cost, entry) = step(pentry, psuper, sup);
+                            let key = (sup.index() as u32, entry.index() as u32);
+                            let total = pcost + cost;
+                            match states[si].get(&key) {
+                                Some(&(c, _)) if c <= total => {}
+                                _ => {
+                                    states[si].insert(key, (total, Some((pi, pkey))));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Intra-super relay expansion: a hop between two proxies of the
+        // same supercluster must still respect cluster-border
+        // connectivity — delegate to that supercluster's bi-level
+        // router with an empty service graph.
+        let splice_relay = |hops: &mut Vec<PathHop>,
+                            sup: SuperClusterId,
+                            to: ProxyId|
+         -> Result<(), RouteError> {
+            let from = hops.last().expect("non-empty").proxy;
+            if from == to {
+                return Ok(());
+            }
+            let child = ServiceRequest::new(from, ServiceGraph::linear(vec![]), to);
+            let sub = self.sub_routers[sup.index()].route(&child)?;
+            for hop in &sub.path.hops()[1..] {
+                push(hops, hop.proxy);
+            }
+            Ok(())
+        };
+
+        // Close at the destination and pick the best sink state (or the
+        // pure relay path for an empty graph).
+        if graph.is_empty() {
+            let mut hops = vec![PathHop::relay(request.source)];
+            if src_super != dst_super {
+                let (local, remote) = super_border(src_super, dst_super);
+                splice_relay(&mut hops, src_super, local)?;
+                push(&mut hops, remote);
+            }
+            splice_relay(&mut hops, dst_super, request.destination)?;
+            return Ok(ServicePath::new(hops));
+        }
+        let mut best: Option<(f64, usize, Key)> = None;
+        for sink in graph.sinks() {
+            let si = sink.index();
+            for (&key, &(cost, _)) in &states[si] {
+                let entry = ProxyId::new(key.1 as usize);
+                let sup = SuperClusterId::new(key.0 as usize);
+                let (close, _) = step(entry, sup, dst_super);
+                let total = cost + close;
+                if best.is_none_or(|(b, _, _)| total < b) {
+                    best = Some((total, si, key));
+                }
+            }
+        }
+        let (_, mut si, mut key) = best.ok_or(RouteError::Infeasible)?;
+        let mut chain: Vec<(usize, SuperClusterId)> = Vec::new();
+        loop {
+            chain.push((si, SuperClusterId::new(key.0 as usize)));
+            match states[si].get(&key).and_then(|&(_, p)| p) {
+                Some((psi, pkey)) => {
+                    si = psi;
+                    key = pkey;
+                }
+                None => break,
+            }
+        }
+        chain.reverse();
+
+        // ---- Dissect into per-supercluster groups ----
+        let mut groups: Vec<(SuperClusterId, Vec<usize>)> = Vec::new();
+        for &(stage_index, sup) in &chain {
+            match groups.last_mut() {
+                Some((s, stages)) if *s == sup => stages.push(stage_index),
+                _ => groups.push((sup, vec![stage_index])),
+            }
+        }
+
+        // ---- Solve each group with its bi-level sub-router ----
+        let mut hops: Vec<PathHop> = vec![PathHop::relay(request.source)];
+        let mut prev_super = src_super;
+        for (gi, (sup, stage_indices)) in groups.iter().enumerate() {
+            if *sup != prev_super {
+                let (local, remote) = super_border(prev_super, *sup);
+                splice_relay(&mut hops, prev_super, local)?;
+                push(&mut hops, remote);
+            }
+            let child_source = hops.last().expect("non-empty").proxy;
+            let child_dest = if gi + 1 < groups.len() {
+                super_border(*sup, groups[gi + 1].0).0
+            } else if *sup == dst_super {
+                request.destination
+            } else {
+                super_border(*sup, dst_super).0
+            };
+            let child_graph = ServiceGraph::linear(
+                stage_indices
+                    .iter()
+                    .map(|&i| graph.service(son_overlay::StageId::new(i)))
+                    .collect(),
+            );
+            let child = ServiceRequest::new(child_source, child_graph, child_dest);
+            let sub = self.sub_routers[sup.index()].route(&child)?;
+            // Splice the child's hops, skipping its duplicated source.
+            for hop in &sub.path.hops()[1..] {
+                if hop.service.is_none() {
+                    push(&mut hops, hop.proxy);
+                } else {
+                    hops.push(*hop);
+                }
+            }
+            prev_super = *sup;
+        }
+        if prev_super != dst_super {
+            let (local, remote) = super_border(prev_super, dst_super);
+            splice_relay(&mut hops, prev_super, local)?;
+            push(&mut hops, remote);
+        }
+        splice_relay(&mut hops, dst_super, request.destination)?;
+        return Ok(ServicePath::new(hops));
+
+        fn push(hops: &mut Vec<PathHop>, proxy: ProxyId) {
+            if hops.last().map(|h| h.proxy) != Some(proxy) {
+                hops.push(PathHop::relay(proxy));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod router_tests {
+    use super::*;
+    use son_clustering::Clustering;
+    use son_overlay::{
+        DelayMatrix, ProxyId, ServiceGraph, ServiceId, ServiceRequest, ServiceSet,
+    };
+    use son_routing::HierConfig;
+
+    fn sid(i: usize) -> ServiceId {
+        ServiceId::new(i)
+    }
+
+    /// Two superclusters far apart, two clusters each, three proxies
+    /// per cluster; service `i % 4` on proxy `i`, plus service 9 only
+    /// in the remote supercluster.
+    fn routed_world() -> (HfcTopology, DelayMatrix, Vec<ServiceSet>) {
+        let mut pos = Vec::new();
+        let mut labels = Vec::new();
+        let mut label = 0;
+        for super_x in [0.0, 100_000.0] {
+            for cluster_dx in [0.0, 1_000.0] {
+                for i in 0..3 {
+                    pos.push(super_x + cluster_dx + i as f64 * 2.0);
+                    labels.push(label);
+                }
+                label += 1;
+            }
+        }
+        let n = pos.len();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = (pos[i] - pos[j]).abs();
+            }
+        }
+        let delays = DelayMatrix::from_values(n, values);
+        let hfc = HfcTopology::build(&Clustering::from_labels(&labels), &delays);
+        let services: Vec<ServiceSet> = (0..n)
+            .map(|i| {
+                let mut set = ServiceSet::from_iter([sid(i % 4)]);
+                if i >= 6 {
+                    set.insert(sid(9));
+                }
+                set
+            })
+            .collect();
+        (hfc, delays, services)
+    }
+
+    #[test]
+    fn three_level_route_is_feasible_and_crosses_super_borders() {
+        let (hfc, delays, services) = routed_world();
+        let ml = MultiLevelHfc::build(&hfc, &delays, &ZahnConfig::default());
+        assert_eq!(ml.supercluster_count(), 2);
+        let router =
+            MultiLevelRouter::from_services(&hfc, &ml, &services, &delays, HierConfig::default());
+        // Service 9 exists only in the far supercluster: the path must
+        // cross exactly one super-border pair each way or terminate
+        // there.
+        let request = ServiceRequest::new(
+            ProxyId::new(0),
+            ServiceGraph::linear(vec![sid(9)]),
+            ProxyId::new(1),
+        );
+        let path = router.route(&request).unwrap();
+        path.validate(&request, |p, s| services[p.index()].contains(s))
+            .unwrap();
+        let supers: Vec<usize> = path
+            .hops()
+            .iter()
+            .map(|h| ml.super_of(hfc.cluster_of(h.proxy)).index())
+            .collect();
+        assert!(supers.contains(&1), "path never reached the far super");
+        // Transitions between superclusters happen only at super-border
+        // proxies.
+        let borders = ml.all_super_border_proxies();
+        for w in path.hops().windows(2) {
+            let (a, b) = (w[0].proxy, w[1].proxy);
+            let sa = ml.super_of(hfc.cluster_of(a));
+            let sb = ml.super_of(hfc.cluster_of(b));
+            if sa != sb {
+                assert!(
+                    borders.contains(&a) && borders.contains(&b),
+                    "{a} -> {b} crossed superclusters off the border"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intra_super_requests_match_the_bilevel_router() {
+        let (hfc, delays, services) = routed_world();
+        let ml = MultiLevelHfc::build(&hfc, &delays, &ZahnConfig::default());
+        let three =
+            MultiLevelRouter::from_services(&hfc, &ml, &services, &delays, HierConfig::default());
+        let two = son_routing::HierarchicalRouter::from_services(
+            &hfc,
+            &services,
+            &delays,
+            HierConfig::default(),
+        );
+        // Entirely inside supercluster 0 (proxies 0..6, services 0..4).
+        let request = ServiceRequest::new(
+            ProxyId::new(0),
+            ServiceGraph::linear(vec![sid(1), sid(2)]),
+            ProxyId::new(5),
+        );
+        let p3 = three.route(&request).unwrap();
+        let p2 = two.route(&request).unwrap();
+        assert_eq!(p3, p2.path, "intra-super routing must reduce to bi-level");
+    }
+
+    #[test]
+    fn relay_only_crosses_via_super_border() {
+        let (hfc, delays, services) = routed_world();
+        let ml = MultiLevelHfc::build(&hfc, &delays, &ZahnConfig::default());
+        let router =
+            MultiLevelRouter::from_services(&hfc, &ml, &services, &delays, HierConfig::default());
+        let request = ServiceRequest::new(
+            ProxyId::new(0),
+            ServiceGraph::linear(vec![]),
+            ProxyId::new(11),
+        );
+        let path = router.route(&request).unwrap();
+        assert_eq!(path.source(), ProxyId::new(0));
+        assert_eq!(path.destination(), ProxyId::new(11));
+        // Every hop respects the hierarchy's connectivity: same
+        // cluster, a cluster-border pair, or a super-border pair.
+        let super_borders = ml.all_super_border_proxies();
+        for w in path.hops().windows(2) {
+            let (a, b) = (w[0].proxy, w[1].proxy);
+            let (ca, cb) = (hfc.cluster_of(a), hfc.cluster_of(b));
+            if ca == cb {
+                continue;
+            }
+            let (sa, sb) = (ml.super_of(ca), ml.super_of(cb));
+            if sa == sb {
+                let pair = hfc.border(ca, cb);
+                assert_eq!((pair.local, pair.remote), (a, b), "not a cluster border hop");
+            } else {
+                assert!(
+                    super_borders.contains(&a) && super_borders.contains(&b),
+                    "not a super border hop"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn missing_service_is_reported_at_the_top_level() {
+        let (hfc, delays, services) = routed_world();
+        let ml = MultiLevelHfc::build(&hfc, &delays, &ZahnConfig::default());
+        let router =
+            MultiLevelRouter::from_services(&hfc, &ml, &services, &delays, HierConfig::default());
+        let request = ServiceRequest::new(
+            ProxyId::new(0),
+            ServiceGraph::linear(vec![sid(42)]),
+            ProxyId::new(11),
+        );
+        assert_eq!(
+            router.route(&request),
+            Err(son_routing::RouteError::NoProvider(sid(42)))
+        );
+    }
+
+    #[test]
+    fn multi_stage_requests_spanning_supers_validate() {
+        let (hfc, delays, services) = routed_world();
+        let ml = MultiLevelHfc::build(&hfc, &delays, &ZahnConfig::default());
+        let router =
+            MultiLevelRouter::from_services(&hfc, &ml, &services, &delays, HierConfig::default());
+        // s0 (everywhere) → s9 (far super only) → s3 (everywhere).
+        let request = ServiceRequest::new(
+            ProxyId::new(2),
+            ServiceGraph::linear(vec![sid(0), sid(9), sid(3)]),
+            ProxyId::new(4),
+        );
+        let path = router.route(&request).unwrap();
+        path.validate(&request, |p, s| services[p.index()].contains(s))
+            .unwrap();
+    }
+}

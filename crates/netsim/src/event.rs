@@ -1,0 +1,242 @@
+//! Simulation time and a deterministic event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time.
+///
+/// Time is kept as an integer number of microseconds so that event
+/// ordering is exact and runs are bit-for-bit reproducible; the public
+/// constructors and accessors speak milliseconds, the unit used for link
+/// delays throughout the workspace.
+///
+/// # Example
+///
+/// ```
+/// use son_netsim::SimTime;
+///
+/// let t = SimTime::from_ms(1.5) + SimTime::from_ms(0.25);
+/// assert_eq!(t.as_ms(), 1.75);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero instant (simulation start).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from milliseconds, rounding to the nearest
+    /// microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or not finite.
+    pub fn from_ms(ms: f64) -> Self {
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "time must be finite and >= 0, got {ms}"
+        );
+        SimTime((ms * 1000.0).round() as u64)
+    }
+
+    /// Creates a time from an exact number of microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// This time in milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// This time in microseconds.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms())
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+/// A deterministic priority queue of timestamped events.
+///
+/// Events that share a timestamp are delivered in insertion order
+/// (FIFO), which makes simulation runs reproducible regardless of heap
+/// internals.
+///
+/// # Example
+///
+/// ```
+/// use son_netsim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_ms(2.0), "later");
+/// q.push(SimTime::from_ms(1.0), "sooner");
+/// assert_eq!(q.pop(), Some((SimTime::from_ms(1.0), "sooner")));
+/// assert_eq!(q.pop(), Some((SimTime::from_ms(2.0), "later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<QueuedEvent<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedEvent { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|q| (q.at, q.event))
+    }
+
+    /// Timestamp of the earliest event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|q| q.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[derive(Debug)]
+struct QueuedEvent<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for QueuedEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for QueuedEvent<E> {}
+
+impl<E> Ord for QueuedEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour; FIFO within a timestamp.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for QueuedEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_time_round_trips_ms() {
+        let t = SimTime::from_ms(12.345);
+        assert!((t.as_ms() - 12.345).abs() < 1e-9);
+        assert_eq!(t.as_micros(), 12_345);
+    }
+
+    #[test]
+    fn sim_time_arithmetic() {
+        let a = SimTime::from_ms(1.0);
+        let b = SimTime::from_ms(2.5);
+        assert_eq!((a + b).as_ms(), 3.5);
+        assert_eq!((b - a).as_ms(), 1.5);
+        // Subtraction saturates at zero rather than wrapping.
+        assert_eq!((a - b), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_ms(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_time_panics() {
+        let _ = SimTime::from_ms(-1.0);
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ms(3.0), 3);
+        q.push(SimTime::from_ms(1.0), 1);
+        q.push(SimTime::from_ms(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(1.0);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::from_ms(5.0), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(5.0)));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! Delay models: where routing gets its notion of distance.
+//!
+//! The evaluation uses several distance semantics over the same proxy
+//! set:
+//!
+//! * [`DelayMatrix`] — true end-to-end (shortest-path) delays on the
+//!   physical network; used to *evaluate* final paths.
+//! * [`CoordDelays`] — delays predicted from network coordinates; what
+//!   HFC nodes actually know and route on.
+//! * [`HfcDelays`] — a wrapper constraining communication to the HFC
+//!   topology: intra-cluster pairs talk directly, inter-cluster pairs
+//!   talk through their clusters' border pair.
+
+use crate::hfc::HfcTopology;
+use crate::proxy::ProxyId;
+use son_coords::Coordinates;
+use son_netsim::graph::{Graph, NodeId};
+
+/// Something that knows the delay between two proxies.
+pub trait DelayModel {
+    /// One-way delay between proxies `a` and `b` in milliseconds.
+    fn delay(&self, a: ProxyId, b: ProxyId) -> f64;
+}
+
+impl<T: DelayModel + ?Sized> DelayModel for &T {
+    fn delay(&self, a: ProxyId, b: ProxyId) -> f64 {
+        (**self).delay(a, b)
+    }
+}
+
+/// A dense symmetric matrix of true end-to-end delays between proxies,
+/// computed from shortest paths on the physical network.
+///
+/// # Example
+///
+/// ```
+/// use son_netsim::graph::{Graph, NodeId};
+/// use son_overlay::{DelayMatrix, DelayModel, ProxyId};
+///
+/// let mut g = Graph::with_nodes(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1), 2.0);
+/// g.add_edge(NodeId::new(1), NodeId::new(2), 3.0);
+/// // Proxies attach to physical nodes 0 and 2.
+/// let delays = DelayMatrix::from_graph(&g, &[NodeId::new(0), NodeId::new(2)]);
+/// assert_eq!(delays.delay(ProxyId::new(0), ProxyId::new(1)), 5.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayMatrix {
+    n: usize,
+    // Row-major n×n.
+    values: Vec<f64>,
+}
+
+impl DelayMatrix {
+    /// Computes proxy-to-proxy delays by running Dijkstra from each
+    /// attachment point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pair of attachments is disconnected.
+    pub fn from_graph(graph: &Graph, attachments: &[NodeId]) -> Self {
+        let n = attachments.len();
+        let mut values = vec![0.0; n * n];
+        for (i, &a) in attachments.iter().enumerate() {
+            let dist = graph.dijkstra(a);
+            for (j, &b) in attachments.iter().enumerate() {
+                let d = dist[b.index()];
+                assert!(
+                    d.is_finite(),
+                    "attachments {a} and {b} are disconnected in the physical network"
+                );
+                values[i * n + j] = d;
+            }
+        }
+        DelayMatrix { n, values }
+    }
+
+    /// Builds a matrix from explicit row-major values (for tests and
+    /// hand-crafted topologies like the paper's Figure 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is not `n × n`, asymmetric, has a non-zero
+    /// diagonal, or contains negative/non-finite entries.
+    pub fn from_values(n: usize, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), n * n, "expected {n}×{n} values");
+        for i in 0..n {
+            assert_eq!(values[i * n + i], 0.0, "diagonal must be zero");
+            for j in 0..n {
+                let v = values[i * n + j];
+                assert!(v.is_finite() && v >= 0.0, "delay [{i}][{j}] = {v} invalid");
+                assert_eq!(v, values[j * n + i], "matrix must be symmetric");
+            }
+        }
+        DelayMatrix { n, values }
+    }
+
+    /// Number of proxies.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the matrix covers no proxies.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+impl DelayModel for DelayMatrix {
+    fn delay(&self, a: ProxyId, b: ProxyId) -> f64 {
+        self.values[a.index() * self.n + b.index()]
+    }
+}
+
+/// Delays predicted from per-proxy network coordinates — the distance
+/// map every HFC node derives from the information in Figure 4.
+#[derive(Debug, Clone)]
+pub struct CoordDelays {
+    coords: Vec<Coordinates>,
+}
+
+impl CoordDelays {
+    /// Wraps per-proxy coordinates (indexed by [`ProxyId::index`]).
+    pub fn new(coords: Vec<Coordinates>) -> Self {
+        CoordDelays { coords }
+    }
+
+    /// The coordinates of `proxy`.
+    pub fn coordinates(&self, proxy: ProxyId) -> &Coordinates {
+        &self.coords[proxy.index()]
+    }
+
+    /// Number of proxies.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Returns `true` if no proxies are present.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+}
+
+impl DelayModel for CoordDelays {
+    fn delay(&self, a: ProxyId, b: ProxyId) -> f64 {
+        self.coords[a.index()].distance(&self.coords[b.index()])
+    }
+}
+
+/// Delay under HFC connectivity: intra-cluster pairs communicate
+/// directly, inter-cluster pairs through the border pair of their two
+/// clusters (at most two overlay hops between any services — the HFC
+/// property the paper credits for its short paths).
+#[derive(Debug, Clone, Copy)]
+pub struct HfcDelays<'a, D> {
+    topology: &'a HfcTopology,
+    inner: &'a D,
+}
+
+impl<'a, D: DelayModel> HfcDelays<'a, D> {
+    /// Wraps `inner` delays with HFC connectivity from `topology`.
+    pub fn new(topology: &'a HfcTopology, inner: &'a D) -> Self {
+        HfcDelays { topology, inner }
+    }
+
+    /// The overlay hops actually traversed between `a` and `b`:
+    /// `[a, b]` inside a cluster, `[a, b_ij, b_ji, b]` across clusters
+    /// (with duplicate consecutive hops collapsed).
+    pub fn hops(&self, a: ProxyId, b: ProxyId) -> Vec<ProxyId> {
+        let ca = self.topology.cluster_of(a);
+        let cb = self.topology.cluster_of(b);
+        let mut hops = vec![a];
+        if ca != cb {
+            let pair = self.topology.border(ca, cb);
+            if *hops.last().expect("non-empty") != pair.local {
+                hops.push(pair.local);
+            }
+            if *hops.last().expect("non-empty") != pair.remote {
+                hops.push(pair.remote);
+            }
+        }
+        if *hops.last().expect("non-empty") != b {
+            hops.push(b);
+        }
+        hops
+    }
+}
+
+impl<D: DelayModel> DelayModel for HfcDelays<'_, D> {
+    fn delay(&self, a: ProxyId, b: ProxyId) -> f64 {
+        self.hops(a, b)
+            .windows(2)
+            .map(|w| self.inner.delay(w[0], w[1]))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_from_graph_is_symmetric() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1.0);
+        g.add_edge(NodeId::new(1), NodeId::new(2), 2.0);
+        g.add_edge(NodeId::new(2), NodeId::new(3), 4.0);
+        let attachments: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        let m = DelayMatrix::from_graph(&g, &attachments);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(
+                    m.delay(ProxyId::new(i), ProxyId::new(j)),
+                    m.delay(ProxyId::new(j), ProxyId::new(i))
+                );
+            }
+            assert_eq!(m.delay(ProxyId::new(i), ProxyId::new(i)), 0.0);
+        }
+        assert_eq!(m.delay(ProxyId::new(0), ProxyId::new(3)), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_attachments_panic() {
+        let g = Graph::with_nodes(2);
+        let _ = DelayMatrix::from_graph(&g, &[NodeId::new(0), NodeId::new(1)]);
+    }
+
+    #[test]
+    fn from_values_validates() {
+        let m = DelayMatrix::from_values(2, vec![0.0, 3.0, 3.0, 0.0]);
+        assert_eq!(m.delay(ProxyId::new(0), ProxyId::new(1)), 3.0);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_values_panic() {
+        let _ = DelayMatrix::from_values(2, vec![0.0, 3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn coord_delays_are_euclidean() {
+        let delays = CoordDelays::new(vec![
+            Coordinates::new(vec![0.0, 0.0]),
+            Coordinates::new(vec![3.0, 4.0]),
+        ]);
+        assert_eq!(delays.delay(ProxyId::new(0), ProxyId::new(1)), 5.0);
+        assert_eq!(delays.len(), 2);
+        assert_eq!(delays.coordinates(ProxyId::new(1)).as_slice(), &[3.0, 4.0]);
+    }
+}

@@ -1,0 +1,528 @@
+//! The Hierarchically Fully-Connected (HFC) topology.
+//!
+//! Built from a distance-based clustering of the proxies (paper
+//! Section 3): all proxies inside a cluster are considered fully
+//! connected, and every pair of clusters is connected through one
+//! *border pair* — the two closest proxies belonging to the two
+//! clusters. Each cluster is visible from outside through its border
+//! proxies, giving routing better precision than single-logical-node
+//! aggregation.
+
+use crate::delays::DelayModel;
+use crate::proxy::ProxyId;
+use son_clustering::Clustering;
+use std::fmt;
+
+/// Identifier of a cluster (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ClusterId(u32);
+
+impl ClusterId {
+    /// Creates a cluster id from a raw index.
+    pub fn new(index: usize) -> Self {
+        ClusterId(index as u32)
+    }
+
+    /// Dense index of this cluster.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClusterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// The border proxies connecting two clusters, oriented from the
+/// perspective of the first cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BorderPair {
+    /// The border proxy inside the first cluster.
+    pub local: ProxyId,
+    /// The border proxy inside the second cluster.
+    pub remote: ProxyId,
+}
+
+/// The HFC topology: cluster membership plus the border-pair map.
+///
+/// # Example
+///
+/// ```
+/// use son_clustering::Clustering;
+/// use son_overlay::{DelayMatrix, HfcTopology, ClusterId, ProxyId};
+///
+/// // Four proxies in two clusters; 0↔2 is the closest cross pair.
+/// let clustering = Clustering::from_labels(&[0, 0, 1, 1]);
+/// let delays = DelayMatrix::from_values(4, vec![
+///     0.0, 1.0, 4.0, 9.0,
+///     1.0, 0.0, 6.0, 9.0,
+///     4.0, 6.0, 0.0, 1.0,
+///     9.0, 9.0, 1.0, 0.0,
+/// ]);
+/// let hfc = HfcTopology::build(&clustering, &delays);
+/// let pair = hfc.border(ClusterId::new(0), ClusterId::new(1));
+/// assert_eq!(pair.local, ProxyId::new(0));
+/// assert_eq!(pair.remote, ProxyId::new(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HfcTopology {
+    cluster_of: Vec<ClusterId>,
+    members: Vec<Vec<ProxyId>>,
+    /// `borders[i][j]`: the proxy inside cluster `i` that borders
+    /// cluster `j` (`None` on the diagonal).
+    borders: Vec<Vec<Option<ProxyId>>>,
+}
+
+/// How the border pair between two clusters is chosen.
+///
+/// The paper's rule (Section 3.3) is [`BorderSelection::ClosestPair`];
+/// [`BorderSelection::FirstPair`] is an ablation baseline that ignores
+/// distance entirely, quantifying how much the closest-pair rule buys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BorderSelection {
+    /// The two closest proxies of the two clusters (paper rule).
+    #[default]
+    ClosestPair,
+    /// The lowest-indexed proxy of each cluster, regardless of
+    /// distance (ablation).
+    FirstPair,
+}
+
+impl HfcTopology {
+    /// Builds the topology from a clustering, selecting as border pair
+    /// of every two clusters their closest proxies under `delays`
+    /// (the paper's border-selection rule, Section 3.3).
+    ///
+    /// Ties are broken toward the lowest proxy indices, so
+    /// construction is deterministic.
+    pub fn build<D: DelayModel>(clustering: &Clustering, delays: &D) -> Self {
+        Self::build_with_selection(clustering, delays, BorderSelection::ClosestPair)
+    }
+
+    /// Like [`HfcTopology::build`], but with an explicit border
+    /// selection rule (see [`BorderSelection`]).
+    pub fn build_with_selection<D: DelayModel>(
+        clustering: &Clustering,
+        delays: &D,
+        selection: BorderSelection,
+    ) -> Self {
+        let c = clustering.len();
+        let cluster_of: Vec<ClusterId> = (0..clustering.point_count())
+            .map(|p| ClusterId::new(clustering.cluster_of(p)))
+            .collect();
+        let members: Vec<Vec<ProxyId>> = (0..c)
+            .map(|i| {
+                clustering
+                    .members(i)
+                    .iter()
+                    .map(|&p| ProxyId::new(p))
+                    .collect()
+            })
+            .collect();
+        let mut borders = vec![vec![None; c]; c];
+        for i in 0..c {
+            for j in (i + 1)..c {
+                let (bx, by) = match selection {
+                    BorderSelection::ClosestPair => {
+                        let mut best: Option<(ProxyId, ProxyId, f64)> = None;
+                        for &x in &members[i] {
+                            for &y in &members[j] {
+                                let d = delays.delay(x, y);
+                                if best.is_none_or(|(_, _, bd)| d < bd) {
+                                    best = Some((x, y, d));
+                                }
+                            }
+                        }
+                        let (bx, by, _) = best.expect("clusters are non-empty");
+                        (bx, by)
+                    }
+                    BorderSelection::FirstPair => (members[i][0], members[j][0]),
+                };
+                borders[i][j] = Some(bx);
+                borders[j][i] = Some(by);
+            }
+        }
+        HfcTopology {
+            cluster_of,
+            members,
+            borders,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of proxies.
+    pub fn proxy_count(&self) -> usize {
+        self.cluster_of.len()
+    }
+
+    /// Iterates over all cluster ids.
+    pub fn clusters(&self) -> impl Iterator<Item = ClusterId> + '_ {
+        (0..self.members.len()).map(ClusterId::new)
+    }
+
+    /// The cluster containing `proxy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proxy` is out of range.
+    pub fn cluster_of(&self, proxy: ProxyId) -> ClusterId {
+        self.cluster_of[proxy.index()]
+    }
+
+    /// Members of `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn members(&self, cluster: ClusterId) -> &[ProxyId] {
+        &self.members[cluster.index()]
+    }
+
+    /// The border pair connecting `from` to `to`, oriented so that
+    /// `local` lies in `from` and `remote` in `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` or either id is out of range.
+    pub fn border(&self, from: ClusterId, to: ClusterId) -> BorderPair {
+        assert_ne!(from, to, "no border within a single cluster");
+        let local = self.borders[from.index()][to.index()]
+            .expect("off-diagonal borders are always present");
+        let remote = self.borders[to.index()][from.index()]
+            .expect("off-diagonal borders are always present");
+        BorderPair { local, remote }
+    }
+
+    /// The distinct border proxies of `cluster` (its representatives to
+    /// the outside — the cluster's *visibility*, Section 3 property 4).
+    pub fn border_proxies(&self, cluster: ClusterId) -> Vec<ProxyId> {
+        let mut out: Vec<ProxyId> = self.borders[cluster.index()]
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// All distinct border proxies in the system.
+    pub fn all_border_proxies(&self) -> Vec<ProxyId> {
+        let mut out: Vec<ProxyId> = self
+            .clusters()
+            .flat_map(|c| self.border_proxies(c))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Returns `true` if `proxy` is a border proxy of its cluster.
+    pub fn is_border(&self, proxy: ProxyId) -> bool {
+        let c = self.cluster_of(proxy);
+        self.borders[c.index()]
+            .iter()
+            .flatten()
+            .any(|&b| b == proxy)
+    }
+
+    /// For each proxy, how many cluster pairs it serves as a border
+    /// for. The paper's closest-pair rule spreads these duties ("it's
+    /// very unlikely that a single node will be selected to be border
+    /// nodes to all other clusters, which improves load balancing");
+    /// the `FirstPair` ablation concentrates them.
+    pub fn border_duty_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.cluster_of.len()];
+        for row in &self.borders {
+            for b in row.iter().flatten() {
+                counts[b.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// The proxies whose coordinates `proxy` keeps (paper Figure 4):
+    /// every member of its own cluster plus every border proxy in the
+    /// system. Sorted and deduplicated.
+    pub fn visible_proxies(&self, proxy: ProxyId) -> Vec<ProxyId> {
+        let own = self.cluster_of(proxy);
+        let mut out: Vec<ProxyId> = self.members(own).to_vec();
+        out.extend(self.all_border_proxies());
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delays::DelayMatrix;
+
+    /// Three clusters of proxies on a line:
+    /// {0,1} at 0/1, {2,3} at 10/11, {4,5} at 30/31.
+    fn line_topology() -> (Clustering, DelayMatrix) {
+        let xs: [f64; 6] = [0.0, 1.0, 10.0, 11.0, 30.0, 31.0];
+        let n = xs.len();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = (xs[i] - xs[j]).abs();
+            }
+        }
+        let clustering = Clustering::from_labels(&[0, 0, 1, 1, 2, 2]);
+        (clustering, DelayMatrix::from_values(n, values))
+    }
+
+    #[test]
+    fn border_pairs_are_the_closest_pairs() {
+        let (clustering, delays) = line_topology();
+        let hfc = HfcTopology::build(&clustering, &delays);
+        // C0–C1: closest pair is proxies 1 (at 1.0) and 2 (at 10.0).
+        let pair = hfc.border(ClusterId::new(0), ClusterId::new(1));
+        assert_eq!(pair.local, ProxyId::new(1));
+        assert_eq!(pair.remote, ProxyId::new(2));
+        // C1–C2: closest pair is 3 (at 11) and 4 (at 30).
+        let pair = hfc.border(ClusterId::new(1), ClusterId::new(2));
+        assert_eq!(pair.local, ProxyId::new(3));
+        assert_eq!(pair.remote, ProxyId::new(4));
+    }
+
+    #[test]
+    fn border_is_orientation_consistent() {
+        let (clustering, delays) = line_topology();
+        let hfc = HfcTopology::build(&clustering, &delays);
+        for i in hfc.clusters() {
+            for j in hfc.clusters() {
+                if i == j {
+                    continue;
+                }
+                let ij = hfc.border(i, j);
+                let ji = hfc.border(j, i);
+                assert_eq!(ij.local, ji.remote);
+                assert_eq!(ij.remote, ji.local);
+                assert_eq!(hfc.cluster_of(ij.local), i);
+                assert_eq!(hfc.cluster_of(ij.remote), j);
+            }
+        }
+    }
+
+    #[test]
+    fn membership_round_trips() {
+        let (clustering, delays) = line_topology();
+        let hfc = HfcTopology::build(&clustering, &delays);
+        assert_eq!(hfc.cluster_count(), 3);
+        assert_eq!(hfc.proxy_count(), 6);
+        for c in hfc.clusters() {
+            for &p in hfc.members(c) {
+                assert_eq!(hfc.cluster_of(p), c);
+            }
+        }
+    }
+
+    #[test]
+    fn border_proxies_and_visibility() {
+        let (clustering, delays) = line_topology();
+        let hfc = HfcTopology::build(&clustering, &delays);
+        // C1 borders both neighbors through 2 (to C0) and 3 (to C2).
+        let borders = hfc.border_proxies(ClusterId::new(1));
+        assert_eq!(borders, vec![ProxyId::new(2), ProxyId::new(3)]);
+        assert!(hfc.is_border(ProxyId::new(2)));
+        assert!(!hfc.is_border(ProxyId::new(0)));
+        // Proxy 0 sees its own cluster {0,1} plus all borders.
+        let visible = hfc.visible_proxies(ProxyId::new(0));
+        let all_borders = hfc.all_border_proxies();
+        for b in &all_borders {
+            assert!(visible.contains(b));
+        }
+        assert!(visible.contains(&ProxyId::new(0)));
+        assert!(visible.contains(&ProxyId::new(1)));
+        // Proxy 5 (non-border member of C2) is invisible to proxy 0.
+        assert!(!visible.contains(&ProxyId::new(5)));
+    }
+
+    #[test]
+    fn single_cluster_has_no_borders() {
+        let clustering = Clustering::from_labels(&[0, 0, 0]);
+        let delays = DelayMatrix::from_values(3, vec![0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0, 1.0, 0.0]);
+        let hfc = HfcTopology::build(&clustering, &delays);
+        assert_eq!(hfc.cluster_count(), 1);
+        assert!(hfc.all_border_proxies().is_empty());
+        assert!(!hfc.is_border(ProxyId::new(0)));
+        assert_eq!(hfc.visible_proxies(ProxyId::new(1)).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "single cluster")]
+    fn border_within_cluster_panics() {
+        let (clustering, delays) = line_topology();
+        let hfc = HfcTopology::build(&clustering, &delays);
+        let _ = hfc.border(ClusterId::new(0), ClusterId::new(0));
+    }
+
+    #[test]
+    fn hfc_delays_route_through_borders() {
+        use crate::delays::{DelayModel, HfcDelays};
+        let (clustering, delays) = line_topology();
+        let hfc = HfcTopology::build(&clustering, &delays);
+        let constrained = HfcDelays::new(&hfc, &delays);
+        // Intra-cluster: direct.
+        assert_eq!(
+            constrained.delay(ProxyId::new(0), ProxyId::new(1)),
+            delays.delay(ProxyId::new(0), ProxyId::new(1))
+        );
+        // Inter-cluster 0 → 3: 0→1 (border) →2 (border) →3.
+        let expected = delays.delay(ProxyId::new(0), ProxyId::new(1))
+            + delays.delay(ProxyId::new(1), ProxyId::new(2))
+            + delays.delay(ProxyId::new(2), ProxyId::new(3));
+        assert_eq!(
+            constrained.delay(ProxyId::new(0), ProxyId::new(3)),
+            expected
+        );
+        assert_eq!(
+            constrained.hops(ProxyId::new(0), ProxyId::new(3)),
+            vec![
+                ProxyId::new(0),
+                ProxyId::new(1),
+                ProxyId::new(2),
+                ProxyId::new(3)
+            ]
+        );
+        // Border node itself: hop list collapses duplicates.
+        assert_eq!(
+            constrained.hops(ProxyId::new(1), ProxyId::new(2)),
+            vec![ProxyId::new(1), ProxyId::new(2)]
+        );
+    }
+}
+
+#[cfg(test)]
+mod selection_tests {
+    use super::*;
+    use crate::delays::{DelayMatrix, DelayModel, HfcDelays};
+
+    fn world() -> (Clustering, DelayMatrix) {
+        let xs: [f64; 6] = [0.0, 1.0, 10.0, 11.0, 30.0, 31.0];
+        let n = xs.len();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = (xs[i] - xs[j]).abs();
+            }
+        }
+        (
+            Clustering::from_labels(&[0, 0, 1, 1, 2, 2]),
+            DelayMatrix::from_values(n, values),
+        )
+    }
+
+    #[test]
+    fn first_pair_picks_lowest_indices() {
+        let (clustering, delays) = world();
+        let hfc =
+            HfcTopology::build_with_selection(&clustering, &delays, BorderSelection::FirstPair);
+        let pair = hfc.border(ClusterId::new(0), ClusterId::new(1));
+        assert_eq!(pair.local, ProxyId::new(0));
+        assert_eq!(pair.remote, ProxyId::new(2));
+        // Symmetry invariants still hold under the ablation rule.
+        let back = hfc.border(ClusterId::new(1), ClusterId::new(0));
+        assert_eq!(back.local, pair.remote);
+        assert_eq!(back.remote, pair.local);
+    }
+
+    #[test]
+    fn closest_pair_never_yields_longer_crossings() {
+        let (clustering, delays) = world();
+        let closest = HfcTopology::build(&clustering, &delays);
+        let first =
+            HfcTopology::build_with_selection(&clustering, &delays, BorderSelection::FirstPair);
+        let d_closest = HfcDelays::new(&closest, &delays);
+        let d_first = HfcDelays::new(&first, &delays);
+        for i in closest.clusters() {
+            for j in closest.clusters() {
+                if i == j {
+                    continue;
+                }
+                let pc = closest.border(i, j);
+                let pf = first.border(i, j);
+                assert!(
+                    delays.delay(pc.local, pc.remote) <= delays.delay(pf.local, pf.remote),
+                    "closest-pair must minimize the external link"
+                );
+            }
+        }
+        // And the external links sum over all pairs is no worse.
+        let sum = |d: &HfcDelays<'_, DelayMatrix>, hfc: &HfcTopology| -> f64 {
+            let mut total = 0.0;
+            for a in 0..hfc.proxy_count() {
+                for b in 0..hfc.proxy_count() {
+                    total += d.delay(ProxyId::new(a), ProxyId::new(b));
+                }
+            }
+            total
+        };
+        assert!(sum(&d_closest, &closest) <= sum(&d_first, &first));
+    }
+}
+
+#[cfg(test)]
+mod duty_tests {
+    use super::*;
+    use crate::delays::DelayMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn closest_pair_spreads_border_duties() {
+        // Several clusters of scattered points: under the closest-pair
+        // rule, different cluster pairs usually pick different border
+        // proxies; FirstPair funnels everything through proxy 0 of each
+        // cluster.
+        let mut rng = StdRng::seed_from_u64(5);
+        let clusters = 6;
+        let per = 8;
+        let n = clusters * per;
+        let mut pos = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..clusters {
+            let angle = c as f64 / clusters as f64 * std::f64::consts::TAU;
+            for _ in 0..per {
+                pos.push((
+                    1000.0 * angle.cos() + rng.gen::<f64>() * 100.0,
+                    1000.0 * angle.sin() + rng.gen::<f64>() * 100.0,
+                ));
+                labels.push(c);
+            }
+        }
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] =
+                    ((pos[i].0 - pos[j].0).powi(2) + (pos[i].1 - pos[j].1).powi(2)).sqrt();
+            }
+        }
+        let delays = DelayMatrix::from_values(n, values);
+        let clustering = Clustering::from_labels(&labels);
+
+        let closest = HfcTopology::build(&clustering, &delays);
+        let first =
+            HfcTopology::build_with_selection(&clustering, &delays, BorderSelection::FirstPair);
+        let max_duty = |hfc: &HfcTopology| hfc.border_duty_counts().into_iter().max().unwrap_or(0);
+        // FirstPair: one proxy per cluster shoulders all 5 duties.
+        assert_eq!(max_duty(&first), clusters - 1);
+        // Closest-pair spreads the load.
+        assert!(
+            max_duty(&closest) < clusters - 1,
+            "closest-pair should not concentrate all duties on one node"
+        );
+        // Duty totals are identical (2 per cluster pair).
+        let total: usize = closest.border_duty_counts().iter().sum();
+        assert_eq!(total, clusters * (clusters - 1));
+    }
+}

@@ -1,0 +1,80 @@
+//! Overlay proxies.
+
+use crate::service::ServiceSet;
+use son_netsim::graph::NodeId;
+use std::fmt;
+
+/// Identifier of a proxy in the overlay (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProxyId(u32);
+
+impl ProxyId {
+    /// Creates a proxy id from a raw index.
+    pub fn new(index: usize) -> Self {
+        ProxyId(index as u32)
+    }
+
+    /// Dense index of this proxy.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProxyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProxyId {
+    fn from(index: usize) -> Self {
+        ProxyId::new(index)
+    }
+}
+
+/// An overlay proxy: a node in the physical network carrying a static
+/// set of installed services (the paper's no-active-services
+/// assumption means this set never changes at runtime).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Proxy {
+    /// Overlay id of this proxy.
+    pub id: ProxyId,
+    /// Physical node the proxy is attached to.
+    pub attachment: NodeId,
+    /// Services installed on this proxy.
+    pub services: ServiceSet,
+}
+
+impl Proxy {
+    /// Creates a proxy.
+    pub fn new(id: ProxyId, attachment: NodeId, services: ServiceSet) -> Self {
+        Proxy {
+            id,
+            attachment,
+            services,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceId;
+
+    #[test]
+    fn ids_round_trip() {
+        let p = ProxyId::new(42);
+        assert_eq!(p.index(), 42);
+        assert_eq!(p.to_string(), "p42");
+        assert_eq!(ProxyId::from(7).index(), 7);
+    }
+
+    #[test]
+    fn proxy_carries_services() {
+        let services = ServiceSet::from_iter([ServiceId::new(1)]);
+        let p = Proxy::new(ProxyId::new(0), NodeId::new(3), services.clone());
+        assert!(p.services.contains(ServiceId::new(1)));
+        assert_eq!(p.attachment, NodeId::new(3));
+        assert_eq!(p.services, services);
+    }
+}

@@ -1,0 +1,46 @@
+//! Service requests.
+
+use crate::proxy::ProxyId;
+use crate::sgraph::ServiceGraph;
+
+/// A service request: *source proxy + service graph + destination
+/// proxy* (paper Section 2.1).
+///
+/// The answer to a request is a concrete service path
+/// `⟨−/p₀, s₁/p₁, …, sₙ/pₙ, −/pₙ₊₁⟩` mapping each stage of one feasible
+/// configuration onto a proxy that carries the demanded service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceRequest {
+    /// Where the data originates.
+    pub source: ProxyId,
+    /// The dependency graph of requested services.
+    pub graph: ServiceGraph,
+    /// Where the result must be delivered.
+    pub destination: ProxyId,
+}
+
+impl ServiceRequest {
+    /// Creates a request.
+    pub fn new(source: ProxyId, graph: ServiceGraph, destination: ProxyId) -> Self {
+        ServiceRequest {
+            source,
+            graph,
+            destination,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceId;
+
+    #[test]
+    fn request_holds_parts() {
+        let graph = ServiceGraph::linear(vec![ServiceId::new(0)]);
+        let r = ServiceRequest::new(ProxyId::new(1), graph.clone(), ProxyId::new(2));
+        assert_eq!(r.source, ProxyId::new(1));
+        assert_eq!(r.destination, ProxyId::new(2));
+        assert_eq!(r.graph, graph);
+    }
+}

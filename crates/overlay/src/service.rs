@@ -1,0 +1,240 @@
+//! Services: interned names and capability sets.
+//!
+//! The paper assumes "each service can be uniquely named" and that a
+//! proxy's service capability information (SCI) "is represented as a
+//! set of service names" (Section 1). [`ServiceRegistry`] interns names
+//! into dense [`ServiceId`]s; [`ServiceSet`] is an SCI set with the
+//! union operation used for aggregation.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A uniquely named service, interned by a [`ServiceRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ServiceId(u32);
+
+impl ServiceId {
+    /// Creates an id from a raw index (ids are normally obtained via
+    /// [`ServiceRegistry::intern`]).
+    pub fn new(index: usize) -> Self {
+        ServiceId(index as u32)
+    }
+
+    /// Dense index of this service.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Interns service names to dense [`ServiceId`]s and back.
+///
+/// # Example
+///
+/// ```
+/// use son_overlay::ServiceRegistry;
+///
+/// let mut reg = ServiceRegistry::new();
+/// let a = reg.intern("watermark");
+/// let b = reg.intern("watermark");
+/// assert_eq!(a, b);
+/// assert_eq!(reg.name(a), "watermark");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ServiceRegistry {
+    names: Vec<String>,
+}
+
+impl ServiceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> ServiceId {
+        if let Some(pos) = self.names.iter().position(|n| n == name) {
+            return ServiceId::new(pos);
+        }
+        self.names.push(name.to_string());
+        ServiceId::new(self.names.len() - 1)
+    }
+
+    /// Looks up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<ServiceId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(ServiceId::new)
+    }
+
+    /// The name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not interned by this registry.
+    pub fn name(&self, id: ServiceId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned services.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no service has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all interned ids.
+    pub fn ids(&self) -> impl Iterator<Item = ServiceId> + '_ {
+        (0..self.names.len()).map(ServiceId::new)
+    }
+}
+
+/// A set of services — a proxy's or a cluster's service capability
+/// information.
+///
+/// Aggregation (Section 4, footnote 5) is set union:
+/// `S = S₁ ∪ S₂ ∪ … ∪ Sₘ`.
+///
+/// # Example
+///
+/// ```
+/// use son_overlay::{ServiceId, ServiceSet};
+///
+/// let a = ServiceSet::from_iter([ServiceId::new(0), ServiceId::new(1)]);
+/// let b = ServiceSet::from_iter([ServiceId::new(1), ServiceId::new(2)]);
+/// let union = a.union(&b);
+/// assert_eq!(union.len(), 3);
+/// assert!(union.contains(ServiceId::new(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceSet(BTreeSet<ServiceId>);
+
+impl ServiceSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a service; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, id: ServiceId) -> bool {
+        self.0.insert(id)
+    }
+
+    /// Returns `true` if `id` is in the set.
+    pub fn contains(&self, id: ServiceId) -> bool {
+        self.0.contains(&id)
+    }
+
+    /// Number of services.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The union of this set and `other` (SCI aggregation).
+    pub fn union(&self, other: &ServiceSet) -> ServiceSet {
+        ServiceSet(self.0.union(&other.0).copied().collect())
+    }
+
+    /// In-place union.
+    pub fn merge(&mut self, other: &ServiceSet) {
+        self.0.extend(other.0.iter().copied());
+    }
+
+    /// Iterates over the services in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = ServiceId> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+impl FromIterator<ServiceId> for ServiceSet {
+    fn from_iter<I: IntoIterator<Item = ServiceId>>(iter: I) -> Self {
+        ServiceSet(iter.into_iter().collect())
+    }
+}
+
+impl Extend<ServiceId> for ServiceSet {
+    fn extend<I: IntoIterator<Item = ServiceId>>(&mut self, iter: I) {
+        self.0.extend(iter);
+    }
+}
+
+impl fmt::Display for ServiceSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut reg = ServiceRegistry::new();
+        let a = reg.intern("transcode");
+        let b = reg.intern("compress");
+        let a2 = reg.intern("transcode");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.name(b), "compress");
+        assert_eq!(reg.get("compress"), Some(b));
+        assert_eq!(reg.get("missing"), None);
+    }
+
+    #[test]
+    fn ids_enumerates_in_order() {
+        let mut reg = ServiceRegistry::new();
+        let ids: Vec<ServiceId> = ["a", "b", "c"].iter().map(|n| reg.intern(n)).collect();
+        assert_eq!(reg.ids().collect::<Vec<_>>(), ids);
+    }
+
+    #[test]
+    fn union_is_commutative_and_idempotent() {
+        let a = ServiceSet::from_iter([ServiceId::new(0), ServiceId::new(2)]);
+        let b = ServiceSet::from_iter([ServiceId::new(1), ServiceId::new(2)]);
+        assert_eq!(a.union(&b), b.union(&a));
+        assert_eq!(a.union(&a), a);
+        let mut c = a.clone();
+        c.merge(&b);
+        assert_eq!(c, a.union(&b));
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        let e = ServiceSet::new();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert!(!e.contains(ServiceId::new(0)));
+        let a = ServiceSet::from_iter([ServiceId::new(5)]);
+        assert_eq!(e.union(&a), a);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = ServiceSet::from_iter([ServiceId::new(1), ServiceId::new(0)]);
+        assert_eq!(s.to_string(), "{s0, s1}");
+        assert_eq!(ServiceSet::new().to_string(), "{}");
+    }
+}

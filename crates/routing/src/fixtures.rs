@@ -1,0 +1,111 @@
+//! Reusable test/demo fixtures, including the paper's worked example.
+
+use son_clustering::Clustering;
+use son_overlay::{DelayMatrix, HfcTopology, ServiceId, ServiceSet};
+
+/// The paper's Section 5 worked example (Figures 6–8): four clusters,
+/// thirteen proxies, services S1–S5.
+///
+/// Proxy indices: 0–3 = C0.0–C0.3, 4–7 = C1.0–C1.3, 8–10 = C2.0–C2.2,
+/// 11–12 = C3.0–C3.1. Services are `ServiceId::new(1..=5)`.
+///
+/// Border pairs reproduce Figure 4: (C0,C1)=(C0.1,C1.0) at distance 20,
+/// (C0,C2)=(C0.0,C2.2) at 40, (C0,C3)=(C0.0,C3.0) at 30,
+/// (C1,C2)=(C1.2,C2.0) at 25, (C1,C3)=(C1.1,C3.0) at 50,
+/// (C2,C3)=(C2.2,C3.0) at 15. Cross-cluster distances are the metric
+/// closure through the border pairs, so closest-pair border selection
+/// recovers exactly these borders.
+///
+/// # Example
+///
+/// ```
+/// use son_routing::fixtures::paper_example;
+///
+/// let (hfc, _delays, services) = paper_example();
+/// assert_eq!(hfc.cluster_count(), 4);
+/// assert_eq!(services.len(), 13);
+/// ```
+pub fn paper_example() -> (HfcTopology, DelayMatrix, Vec<ServiceSet>) {
+    let n = 13;
+    let labels = [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 3, 3];
+    let mut d = vec![vec![0.0f64; n]; n];
+    let mut set = |a: usize, b: usize, v: f64| {
+        d[a][b] = v;
+        d[b][a] = v;
+    };
+    // C0: 0=C0.0, 1=C0.1, 2=C0.2, 3=C0.3
+    set(0, 1, 4.0);
+    set(0, 2, 1.0);
+    set(0, 3, 3.0);
+    set(1, 2, 5.0);
+    set(1, 3, 5.0);
+    set(2, 3, 2.0);
+    // C1: 4=C1.0, 5=C1.1, 6=C1.2, 7=C1.3
+    set(4, 5, 2.0);
+    set(4, 6, 5.0);
+    set(4, 7, 4.0);
+    set(5, 6, 3.0);
+    set(5, 7, 3.0);
+    set(6, 7, 5.0);
+    // C2: 8=C2.0, 9=C2.1, 10=C2.2
+    set(8, 9, 2.0);
+    set(8, 10, 3.0);
+    set(9, 10, 1.0);
+    // C3: 11=C3.0, 12=C3.1
+    set(11, 12, 2.0);
+    // External border links.
+    let ext = [
+        ((1usize, 4usize), 20.0f64), // C0.1 - C1.0
+        ((0, 10), 40.0),             // C0.0 - C2.2
+        ((0, 11), 30.0),             // C0.0 - C3.0
+        ((6, 8), 25.0),              // C1.2 - C2.0
+        ((5, 11), 50.0),             // C1.1 - C3.0
+        ((10, 11), 15.0),            // C2.2 - C3.0
+    ];
+    for i in 0..n {
+        for j in 0..n {
+            if labels[i] == labels[j] || i == j {
+                continue;
+            }
+            let mut best = f64::INFINITY;
+            for &((ba, bb), w) in &ext {
+                let (ba_c, bb_c) = (labels[ba], labels[bb]);
+                if labels[i] == ba_c && labels[j] == bb_c {
+                    best = best.min(d[i][ba] + w + d[bb][j]);
+                }
+                if labels[i] == bb_c && labels[j] == ba_c {
+                    best = best.min(d[i][bb] + w + d[ba][j]);
+                }
+            }
+            if best < d[i][j] || d[i][j] == 0.0 {
+                d[i][j] = best;
+            }
+        }
+    }
+    let flat: Vec<f64> = d.iter().flat_map(|row| row.iter().copied()).collect();
+    let delays = DelayMatrix::from_values(n, flat);
+    let clustering = Clustering::from_labels(&labels);
+    let hfc = HfcTopology::build(&clustering, &delays);
+
+    // Installed services (Figure 6): S1..S5 → ServiceId 1..=5.
+    let service_map: [&[usize]; 13] = [
+        &[1],    // C0.0
+        &[4],    // C0.1
+        &[4],    // C0.2
+        &[1],    // C0.3
+        &[2],    // C1.0
+        &[3, 4], // C1.1
+        &[3],    // C1.2
+        &[2, 4], // C1.3
+        &[5],    // C2.0
+        &[2],    // C2.1
+        &[5],    // C2.2
+        &[4],    // C3.0
+        &[1, 4], // C3.1
+    ];
+    let services: Vec<ServiceSet> = service_map
+        .iter()
+        .map(|ids| ids.iter().map(|&i| ServiceId::new(i)).collect())
+        .collect();
+    (hfc, delays, services)
+}

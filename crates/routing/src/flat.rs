@@ -1,0 +1,308 @@
+//! Single-level (global-view) service routing.
+//!
+//! In a flat topology every node maintains global state, so any node
+//! can compute an optimal service path on its own by the service-DAG
+//! method ([`crate::sdag`]). This router backs the two baselines of the
+//! paper's Section 6.2:
+//!
+//! * **mesh** — solve over mesh shortest-path delays, then expand every
+//!   logical hop into the mesh relay hops actually traversed;
+//! * **HFC without aggregation** — solve over HFC-constrained delays
+//!   with full state, expanding hops through border pairs.
+
+use crate::path::{PathHop, ServicePath};
+use crate::providers::ProviderLookup;
+use crate::sdag::solve_service_dag;
+use son_overlay::{DelayModel, ProxyId, ServiceId, ServiceRequest};
+use std::fmt;
+
+/// Why a request could not be routed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// This service is demanded but has no provider anywhere visible.
+    NoProvider(ServiceId),
+    /// Every configuration of the service graph has at least one stage
+    /// without providers.
+    Infeasible,
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::NoProvider(s) => write!(f, "no provider for service {s}"),
+            RouteError::Infeasible => write!(f, "no feasible configuration can be mapped"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A global-view router over a provider index and a delay model.
+///
+/// See the crate-level example for usage.
+#[derive(Debug, Clone)]
+pub struct FlatRouter<'a, P, D: ?Sized> {
+    providers: P,
+    delays: &'a D,
+}
+
+impl<'a, P, D> FlatRouter<'a, P, D>
+where
+    P: ProviderLookup,
+    D: DelayModel + ?Sized,
+{
+    /// Creates a router.
+    pub fn new(providers: P, delays: &'a D) -> Self {
+        FlatRouter { providers, delays }
+    }
+
+    /// The provider index.
+    pub fn providers(&self) -> &P {
+        &self.providers
+    }
+
+    /// Computes the optimal service path for `request` under this
+    /// router's delay model. Consecutive logical hops are adjacent in
+    /// the result (no relays inserted).
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::NoProvider`] if a demanded service has no
+    /// provider; [`RouteError::Infeasible`] if no configuration can be
+    /// fully mapped.
+    pub fn route(&self, request: &ServiceRequest) -> Result<ServicePath, RouteError> {
+        self.route_expanded(request, |a, b| vec![a, b])
+    }
+
+    /// Like [`FlatRouter::route`], but expands every logical hop
+    /// `a → b` through `expand(a, b)` (an inclusive hop list) so the
+    /// returned path shows the relays actually traversed — mesh relays,
+    /// HFC border proxies, etc.
+    pub fn route_expanded<F>(
+        &self,
+        request: &ServiceRequest,
+        expand: F,
+    ) -> Result<ServicePath, RouteError>
+    where
+        F: Fn(ProxyId, ProxyId) -> Vec<ProxyId>,
+    {
+        let (_, assignments) = solve_service_dag(
+            &request.graph,
+            request.source,
+            request.destination,
+            &self.providers,
+            self.delays,
+        )
+        .ok_or_else(|| self.diagnose(request))?;
+
+        let mut hops: Vec<PathHop> = vec![PathHop::relay(request.source)];
+        for a in &assignments {
+            let from = hops.last().expect("path starts non-empty").proxy;
+            push_expanded(&mut hops, expand(from, a.proxy));
+            // The provider hop itself carries the service.
+            let len = hops.len();
+            let last = hops.last_mut().expect("expand returns endpoints");
+            if last.proxy == a.proxy && last.service.is_none() && len > 1 {
+                last.service = Some(request.graph.service(a.stage));
+            } else {
+                hops.push(PathHop::serving(a.proxy, request.graph.service(a.stage)));
+            }
+        }
+        let from = hops.last().expect("non-empty").proxy;
+        push_expanded(&mut hops, expand(from, request.destination));
+        if hops.last().map(|h| h.proxy) != Some(request.destination)
+            || hops.last().and_then(|h| h.service).is_some()
+        {
+            hops.push(PathHop::relay(request.destination));
+        }
+        Ok(ServicePath::new(hops))
+    }
+
+    /// Distinguishes "service missing everywhere" from "no viable
+    /// combination".
+    fn diagnose(&self, request: &ServiceRequest) -> RouteError {
+        for service in request.graph.demanded_services() {
+            if self.providers.providers(service).is_empty() {
+                return RouteError::NoProvider(service);
+            }
+        }
+        RouteError::Infeasible
+    }
+}
+
+/// Appends `segment` (inclusive hop list) to `hops` as relays, skipping
+/// the shared first element.
+fn push_expanded(hops: &mut Vec<PathHop>, segment: Vec<ProxyId>) {
+    debug_assert_eq!(
+        segment.first().map(|&p| p),
+        hops.last().map(|h| h.proxy),
+        "expansion must start at the current hop"
+    );
+    for &p in segment.iter().skip(1) {
+        hops.push(PathHop::relay(p));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::providers::ProviderIndex;
+    use son_overlay::{DelayMatrix, MeshConfig, MeshTopology, ServiceGraph, ServiceSet};
+
+    fn sid(i: usize) -> ServiceId {
+        ServiceId::new(i)
+    }
+
+    fn line_delays(n: usize) -> DelayMatrix {
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = (i as f64 - j as f64).abs();
+            }
+        }
+        DelayMatrix::from_values(n, values)
+    }
+
+    #[test]
+    fn routes_and_validates() {
+        let delays = line_delays(5);
+        let sets = vec![
+            ServiceSet::new(),
+            ServiceSet::from_iter([sid(0)]),
+            ServiceSet::new(),
+            ServiceSet::from_iter([sid(1)]),
+            ServiceSet::new(),
+        ];
+        let providers = ProviderIndex::from_service_sets(&sets);
+        let router = FlatRouter::new(&providers, &delays);
+        let request = ServiceRequest::new(
+            ProxyId::new(0),
+            ServiceGraph::linear(vec![sid(0), sid(1)]),
+            ProxyId::new(4),
+        );
+        let path = router.route(&request).unwrap();
+        assert_eq!(path.length(&delays), 4.0);
+        path.validate(&request, |p, s| sets[p.index()].contains(s))
+            .unwrap();
+        assert_eq!(path.service_chain(), vec![sid(0), sid(1)]);
+    }
+
+    #[test]
+    fn source_provider_collapses_into_one_hop() {
+        // The provider *is* the source proxy.
+        let delays = line_delays(3);
+        let sets = vec![
+            ServiceSet::from_iter([sid(0)]),
+            ServiceSet::new(),
+            ServiceSet::new(),
+        ];
+        let providers = ProviderIndex::from_service_sets(&sets);
+        let router = FlatRouter::new(&providers, &delays);
+        let request = ServiceRequest::new(
+            ProxyId::new(0),
+            ServiceGraph::linear(vec![sid(0)]),
+            ProxyId::new(2),
+        );
+        let path = router.route(&request).unwrap();
+        assert_eq!(path.length(&delays), 2.0);
+        // Hops: -/p0, s0/p0, -/p2 — the zero-cost self-hop is explicit.
+        assert_eq!(path.source(), ProxyId::new(0));
+        assert_eq!(path.service_chain(), vec![sid(0)]);
+    }
+
+    #[test]
+    fn error_distinguishes_missing_provider() {
+        let delays = line_delays(2);
+        let providers =
+            ProviderIndex::from_service_sets(&[ServiceSet::new(), ServiceSet::from_iter([sid(0)])]);
+        let router = FlatRouter::new(&providers, &delays);
+        let request = ServiceRequest::new(
+            ProxyId::new(0),
+            ServiceGraph::linear(vec![sid(7)]),
+            ProxyId::new(1),
+        );
+        assert_eq!(router.route(&request), Err(RouteError::NoProvider(sid(7))));
+        assert!(RouteError::NoProvider(sid(7)).to_string().contains("s7"));
+    }
+
+    #[test]
+    fn mesh_expansion_inserts_relays() {
+        let n = 12;
+        let true_delays = line_delays(n);
+        let mesh = MeshTopology::build(
+            n,
+            &true_delays,
+            &MeshConfig {
+                min_nearest: 1,
+                max_nearest: 2,
+                min_random: 0,
+                max_random: 0,
+                seed: 3,
+            },
+        );
+        // One service in the middle.
+        let mut sets = vec![ServiceSet::new(); n];
+        sets[6] = ServiceSet::from_iter([sid(0)]);
+        let providers = ProviderIndex::from_service_sets(&sets);
+        let router = FlatRouter::new(&providers, &mesh);
+        let request = ServiceRequest::new(
+            ProxyId::new(0),
+            ServiceGraph::linear(vec![sid(0)]),
+            ProxyId::new(11),
+        );
+        let path = router
+            .route_expanded(&request, |a, b| mesh.hops(a, b))
+            .unwrap();
+        // Every consecutive hop pair is a mesh link (or a self-hop).
+        for w in path.hops().windows(2) {
+            assert!(
+                w[0].proxy == w[1].proxy || mesh.has_link(w[0].proxy, w[1].proxy),
+                "{} -> {} is not a mesh link",
+                w[0].proxy,
+                w[1].proxy
+            );
+        }
+        // Path length under true delays equals the mesh metric length.
+        let logical = mesh.delay(ProxyId::new(0), ProxyId::new(6))
+            + mesh.delay(ProxyId::new(6), ProxyId::new(11));
+        assert!((path.length(&true_delays) - logical).abs() < 1e-9);
+        path.validate(&request, |p, s| sets[p.index()].contains(s))
+            .unwrap();
+    }
+
+    #[test]
+    fn relay_only_request_works() {
+        let delays = line_delays(4);
+        let providers = ProviderIndex::default();
+        let router = FlatRouter::new(&providers, &delays);
+        let request = ServiceRequest::new(
+            ProxyId::new(3),
+            ServiceGraph::linear(vec![]),
+            ProxyId::new(0),
+        );
+        let path = router.route(&request).unwrap();
+        assert_eq!(path.length(&delays), 3.0);
+        assert_eq!(path.hops().len(), 2);
+    }
+
+    #[test]
+    fn same_source_and_destination() {
+        let delays = line_delays(3);
+        let sets = vec![
+            ServiceSet::new(),
+            ServiceSet::from_iter([sid(0)]),
+            ServiceSet::new(),
+        ];
+        let providers = ProviderIndex::from_service_sets(&sets);
+        let router = FlatRouter::new(&providers, &delays);
+        let request = ServiceRequest::new(
+            ProxyId::new(0),
+            ServiceGraph::linear(vec![sid(0)]),
+            ProxyId::new(0),
+        );
+        let path = router.route(&request).unwrap();
+        // Out to proxy 1 and back.
+        assert_eq!(path.length(&delays), 2.0);
+        assert_eq!(path.source(), path.destination());
+    }
+}

@@ -1,0 +1,1047 @@
+//! Hierarchical (divide-and-conquer) service path finding — the
+//! paper's Section 5.
+//!
+//! The destination proxy `pd` holds aggregate state only (`SCT_C` plus
+//! coordinates of its own cluster and of every border proxy), so
+//! routing proceeds top-down:
+//!
+//! 1. **map** — find, per stage, the clusters whose aggregate set
+//!    offers the demanded service, forming a cluster-level service DAG;
+//! 2. **shortest path with back-tracking** — run a shortest-path pass
+//!    whose edge weights include not only the external border links but
+//!    also the *internal* border-to-border distances `pd` can estimate
+//!    from the coordinates it knows (the paper's back-tracking
+//!    refinement; disable via [`HierConfig::backtracking`] to measure
+//!    its benefit);
+//! 3. **divide** — dissect the cluster-level service path (CSP) into
+//!    child requests, one per maximal run of stages in the same
+//!    cluster, with entry/exit border proxies as child endpoints;
+//! 4. **conquer** — solve each child optimally inside its cluster with
+//!    the flat service-DAG method over `SCT_P`, then compose the child
+//!    paths and the border glue hops into the final service path.
+
+use crate::flat::RouteError;
+use crate::path::{PathHop, ServicePath};
+use crate::providers::ProviderIndex;
+use crate::sdag::{solve_service_dag, Assignment};
+use son_overlay::{
+    ClusterId, DelayModel, HfcDelays, HfcTopology, ProxyId, ServiceGraph, ServiceId,
+    ServiceRequest, ServiceSet, StageId,
+};
+use son_state::{SctC, SctP};
+use std::collections::BTreeMap;
+
+/// Tuning knobs of the hierarchical router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierConfig {
+    /// Include intra-cluster border-to-border lower bounds in the
+    /// cluster-level edge weights (Section 5.1 step 2). Disabling
+    /// reverts to judging cluster paths by external links only.
+    pub backtracking: bool,
+}
+
+impl Default for HierConfig {
+    fn default() -> Self {
+        HierConfig { backtracking: true }
+    }
+}
+
+/// The result of a hierarchical route: the composed concrete path plus
+/// the cluster-level decisions that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierRoute {
+    /// The final composed service path.
+    pub path: ServicePath,
+    /// Cluster assigned to each stage of the chosen configuration, in
+    /// path order.
+    pub csp: Vec<(StageId, ClusterId)>,
+    /// Number of child requests the CSP was dissected into.
+    pub child_count: usize,
+    /// The cluster-level cost estimate that selected this CSP (external
+    /// links plus known internal lower bounds).
+    pub estimate: f64,
+}
+
+/// One child request of a dissected CSP: a linear chain of services to
+/// be resolved inside one cluster, between an entry and an exit proxy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChildSpec {
+    /// The cluster that must resolve this child.
+    pub cluster: ClusterId,
+    /// The proxy responsible for solving it (the cluster's exit border,
+    /// or the destination proxy for the final child).
+    pub solver: ProxyId,
+    /// The services demanded, in order.
+    pub services: Vec<ServiceId>,
+    /// Entry proxy (child source).
+    pub source: ProxyId,
+    /// Exit proxy (child destination).
+    pub dest: ProxyId,
+}
+
+/// The outcome of the destination proxy's local planning (Section 5
+/// steps 1–3): the cluster-level service path and the child requests it
+/// dissects into.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutePlan {
+    /// Cluster assigned to each stage of the chosen configuration.
+    pub csp: Vec<(StageId, ClusterId)>,
+    /// The cluster-level cost estimate that selected this CSP.
+    pub estimate: f64,
+    /// Child requests, in path order.
+    pub children: Vec<ChildSpec>,
+}
+
+/// The hierarchical router.
+///
+/// Holds the converged distributed state (aggregates per cluster,
+/// capability tables per cluster) and answers requests the way the
+/// deployed system would: cluster-level decisions use only
+/// aggregate-visible information, intra-cluster decisions use only the
+/// local cluster's tables.
+#[derive(Debug)]
+pub struct HierarchicalRouter<'a, D> {
+    hfc: &'a HfcTopology,
+    delays: &'a D,
+    sctc: SctC,
+    cluster_providers: Vec<ProviderIndex>,
+    global_providers: ProviderIndex,
+    config: HierConfig,
+}
+
+impl<'a, D> HierarchicalRouter<'a, D>
+where
+    D: DelayModel,
+{
+    /// Builds the router directly from per-proxy installed services
+    /// (producing the same tables the state protocol converges to).
+    ///
+    /// `delays` is the *known* distance map — coordinate-predicted
+    /// distances in a deployment, exact distances in unit tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `services.len()` differs from the proxy count.
+    pub fn from_services(
+        hfc: &'a HfcTopology,
+        services: &[ServiceSet],
+        delays: &'a D,
+        config: HierConfig,
+    ) -> Self {
+        assert_eq!(
+            services.len(),
+            hfc.proxy_count(),
+            "one service set per proxy required"
+        );
+        let mut sctc = SctC::new();
+        let mut cluster_tables = Vec::with_capacity(hfc.cluster_count());
+        for c in hfc.clusters() {
+            let mut table = SctP::new();
+            for &m in hfc.members(c) {
+                table.update(m, services[m.index()].clone());
+            }
+            sctc.update(c, table.aggregate());
+            cluster_tables.push(table);
+        }
+        Self::from_tables(hfc, sctc, &cluster_tables, delays, config)
+    }
+
+    /// Builds the router from converged protocol tables: the
+    /// system-wide aggregate table and one `SCT_P` per cluster
+    /// (indexed by cluster).
+    pub fn from_tables(
+        hfc: &'a HfcTopology,
+        sctc: SctC,
+        cluster_tables: &[SctP],
+        delays: &'a D,
+        config: HierConfig,
+    ) -> Self {
+        assert_eq!(
+            cluster_tables.len(),
+            hfc.cluster_count(),
+            "one SCT_P per cluster required"
+        );
+        let cluster_providers: Vec<ProviderIndex> = cluster_tables
+            .iter()
+            .map(ProviderIndex::from_sctp)
+            .collect();
+        let global_providers = ProviderIndex::from_entries(
+            cluster_tables
+                .iter()
+                .flat_map(|t| t.iter().collect::<Vec<_>>()),
+        );
+        HierarchicalRouter {
+            hfc,
+            delays,
+            sctc,
+            cluster_providers,
+            global_providers,
+            config,
+        }
+    }
+
+    /// The aggregate table the router decides from.
+    pub fn sctc(&self) -> &SctC {
+        &self.sctc
+    }
+
+    /// The HFC topology this router operates on.
+    pub fn hfc(&self) -> &HfcTopology {
+        self.hfc
+    }
+
+    /// Number of proxies in the overlay.
+    pub fn proxy_count(&self) -> usize {
+        self.hfc.proxy_count()
+    }
+
+    /// Routes `request` hierarchically.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::NoProvider`] when some demanded service exists in
+    /// no cluster's aggregate; [`RouteError::Infeasible`] when no
+    /// configuration admits a full cluster-level mapping.
+    pub fn route(&self, request: &ServiceRequest) -> Result<HierRoute, RouteError> {
+        let plan = self.plan(request)?;
+        // Solve every child locally (the distributed variant lives in
+        // [`crate::session`]).
+        let mut answers = Vec::with_capacity(plan.children.len());
+        for child in &plan.children {
+            answers.push(self.solve_child(child).ok_or(RouteError::Infeasible)?);
+        }
+        Ok(self.compose(request, plan, &answers))
+    }
+
+    /// Routes with crankback recovery: when a child request turns out
+    /// unsolvable inside its assigned cluster (stale aggregate state —
+    /// the cluster advertised a service its table can no longer back),
+    /// the offending `(stage, cluster)` assignments are excluded and
+    /// the cluster-level path is recomputed, up to `max_attempts`
+    /// times.
+    ///
+    /// With converged state this behaves exactly like
+    /// [`HierarchicalRouter::route`]; under churn it trades extra
+    /// planning rounds for robustness.
+    ///
+    /// # Errors
+    ///
+    /// The usual routing errors, or [`RouteError::Infeasible`] when the
+    /// attempt budget is exhausted.
+    pub fn route_with_recovery(
+        &self,
+        request: &ServiceRequest,
+        max_attempts: usize,
+    ) -> Result<HierRoute, RouteError> {
+        let mut excluded: Vec<(StageId, ClusterId)> = Vec::new();
+        for _ in 0..max_attempts.max(1) {
+            let plan = self.plan_excluding(request, &excluded)?;
+            let mut answers = Vec::with_capacity(plan.children.len());
+            let mut failed = None;
+            // Reconstruct which stages each child covers: children are
+            // consecutive runs of the CSP.
+            let mut stage_cursor = 0usize;
+            for child in &plan.children {
+                let stages: Vec<StageId> = plan.csp
+                    [stage_cursor..stage_cursor + child.services.len()]
+                    .iter()
+                    .map(|&(stage, _)| stage)
+                    .collect();
+                stage_cursor += child.services.len();
+                match self.solve_child(child) {
+                    Some(assignments) => answers.push(assignments),
+                    None => {
+                        failed = Some((child.cluster, stages));
+                        break;
+                    }
+                }
+            }
+            match failed {
+                None => return Ok(self.compose(request, plan, &answers)),
+                Some((cluster, stages)) => {
+                    for stage in stages {
+                        excluded.push((stage, cluster));
+                    }
+                }
+            }
+        }
+        Err(RouteError::Infeasible)
+    }
+
+    /// Steps 1–3 of Section 5 as performed *by the destination proxy
+    /// alone*: compute the cluster-level service path from aggregate
+    /// state and dissect it into child requests. The returned plan
+    /// names, per child, the proxy responsible for solving it (the
+    /// cluster's exit border; the last child belongs to the
+    /// destination proxy itself).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HierarchicalRouter::route`].
+    pub fn plan(&self, request: &ServiceRequest) -> Result<RoutePlan, RouteError> {
+        self.plan_excluding(request, &[])
+    }
+
+    /// Like [`HierarchicalRouter::plan`], but never maps an excluded
+    /// `(stage, cluster)` pair — the knob behind crankback recovery.
+    pub fn plan_excluding(
+        &self,
+        request: &ServiceRequest,
+        excluded: &[(StageId, ClusterId)],
+    ) -> Result<RoutePlan, RouteError> {
+        let source_cluster = self.hfc.cluster_of(request.source);
+        let dest_cluster = self.hfc.cluster_of(request.destination);
+        let (estimate, chain) =
+            self.cluster_level_path(request, source_cluster, dest_cluster, excluded)?;
+        let groups = dissect(&chain);
+
+        let mut children = Vec::with_capacity(groups.len());
+        let mut prev_cluster = source_cluster;
+        for (gi, group) in groups.iter().enumerate() {
+            let cluster = group.cluster;
+            let source = if cluster == prev_cluster && gi == 0 {
+                request.source
+            } else {
+                self.hfc.border(cluster, prev_cluster).local
+            };
+            let is_last = gi + 1 == groups.len();
+            let dest = if !is_last {
+                self.hfc.border(cluster, groups[gi + 1].cluster).local
+            } else if cluster == dest_cluster {
+                request.destination
+            } else {
+                self.hfc.border(cluster, dest_cluster).local
+            };
+            // The paper ships each child request to the cluster's exit
+            // border; the final child is handled by pd itself.
+            let solver = if is_last && cluster == dest_cluster {
+                request.destination
+            } else {
+                dest
+            };
+            children.push(ChildSpec {
+                cluster,
+                solver,
+                services: group
+                    .stages
+                    .iter()
+                    .map(|&s| request.graph.service(s))
+                    .collect(),
+                source,
+                dest,
+            });
+            prev_cluster = cluster;
+        }
+        Ok(RoutePlan {
+            csp: chain,
+            estimate,
+            children,
+        })
+    }
+
+    /// Solves one child request optimally within its cluster (what the
+    /// child's solver proxy does upon receipt, Section 5.2). Returns
+    /// `None` if the cluster cannot satisfy the chain — impossible for
+    /// plans derived from converged state, kept for robustness.
+    pub fn solve_child(&self, child: &ChildSpec) -> Option<Vec<Assignment>> {
+        let graph = ServiceGraph::linear(child.services.clone());
+        let (_, assignments) = solve_service_dag(
+            &graph,
+            child.source,
+            child.dest,
+            &self.cluster_providers[child.cluster.index()],
+            self.delays,
+        )?;
+        Some(assignments)
+    }
+
+    /// Step 4 of Section 5: composes child answers and border glue hops
+    /// into the final service path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `answers` does not match the plan's children.
+    pub fn compose(
+        &self,
+        request: &ServiceRequest,
+        plan: RoutePlan,
+        answers: &[Vec<Assignment>],
+    ) -> HierRoute {
+        assert_eq!(
+            answers.len(),
+            plan.children.len(),
+            "one answer per child request required"
+        );
+        let source_cluster = self.hfc.cluster_of(request.source);
+        let dest_cluster = self.hfc.cluster_of(request.destination);
+        let mut hops: Vec<PathHop> = vec![PathHop::relay(request.source)];
+        let mut prev_cluster = source_cluster;
+        for (child, assignments) in plan.children.iter().zip(answers) {
+            let cluster = child.cluster;
+            if cluster != prev_cluster {
+                let pair = self.hfc.border(prev_cluster, cluster);
+                push_relay(&mut hops, pair.local);
+                push_relay(&mut hops, pair.remote);
+            }
+            for a in assignments {
+                let service = child.services[a.stage.index()];
+                // Collapse a trailing relay on the same proxy.
+                let len = hops.len();
+                match hops.last_mut() {
+                    Some(last) if last.proxy == a.proxy && last.service.is_none() && len > 1 => {
+                        last.service = Some(service);
+                    }
+                    _ => hops.push(PathHop::serving(a.proxy, service)),
+                }
+            }
+            push_relay(&mut hops, child.dest);
+            prev_cluster = cluster;
+        }
+        if prev_cluster != dest_cluster {
+            let pair = self.hfc.border(prev_cluster, dest_cluster);
+            push_relay(&mut hops, pair.local);
+            push_relay(&mut hops, pair.remote);
+        }
+        push_relay(&mut hops, request.destination);
+
+        HierRoute {
+            path: ServicePath::new(hops),
+            child_count: plan.children.len(),
+            csp: plan.csp,
+            estimate: plan.estimate,
+        }
+    }
+
+    /// The "HFC without topology abstraction" comparison of
+    /// Section 6.2: every proxy has full state, but connectivity is
+    /// still constrained to the HFC topology (inter-cluster traffic
+    /// passes through border pairs). Optimal under that metric.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HierarchicalRouter::route`].
+    pub fn route_without_aggregation(
+        &self,
+        request: &ServiceRequest,
+    ) -> Result<ServicePath, RouteError> {
+        let constrained = HfcDelays::new(self.hfc, self.delays);
+        let router = crate::flat::FlatRouter::new(&self.global_providers, &constrained);
+        router.route_expanded(request, |a, b| constrained.hops(a, b))
+    }
+
+    /// Computes the cluster-level shortest service path.
+    ///
+    /// States are `(stage, cluster, entry proxy)`: the entry proxy — the
+    /// border through which the path entered the stage's cluster (or
+    /// the source proxy while still in the source's cluster) — is what
+    /// lets the pass account for internal border-to-border distances
+    /// (the back-tracking refinement).
+    fn cluster_level_path(
+        &self,
+        request: &ServiceRequest,
+        source_cluster: ClusterId,
+        dest_cluster: ClusterId,
+        excluded: &[(StageId, ClusterId)],
+    ) -> Result<(f64, Vec<(StageId, ClusterId)>), RouteError> {
+        type StateKey = (u32, u32); // (cluster, entry proxy)
+        type PrevRef = (usize, StateKey); // (stage index, state)
+
+        let graph = &request.graph;
+        if graph.is_empty() {
+            return Ok((
+                self.inter_cluster_cost(request.source, source_cluster, dest_cluster)
+                    .0,
+                Vec::new(),
+            ));
+        }
+
+        // Candidate clusters per stage, from aggregate state.
+        let mut candidates: Vec<Vec<ClusterId>> = Vec::with_capacity(graph.len());
+        for stage in graph.stage_ids() {
+            let service = graph.service(stage);
+            let clusters: Vec<ClusterId> = self
+                .sctc
+                .clusters_with(service)
+                .into_iter()
+                .filter(|c| !excluded.contains(&(stage, *c)))
+                .collect();
+            if clusters.is_empty() {
+                return Err(RouteError::NoProvider(service));
+            }
+            candidates.push(clusters);
+        }
+
+        let order = graph
+            .topological_order()
+            .expect("service graphs are validated acyclic at construction");
+        let mut states: Vec<BTreeMap<StateKey, (f64, Option<PrevRef>)>> =
+            vec![BTreeMap::new(); graph.len()];
+
+        for &stage in &order {
+            let si = stage.index();
+            for &cluster in &candidates[si] {
+                if graph.predecessors(stage).is_empty() {
+                    // Transition from the source proxy's cluster.
+                    let (cost, entry) = self.inter_cluster_step(
+                        request.source,
+                        source_cluster,
+                        cluster,
+                        dest_cluster,
+                    );
+                    upsert(&mut states[si], key(cluster, entry), cost, None);
+                } else {
+                    for &pred in graph.predecessors(stage) {
+                        let pi = pred.index();
+                        let prev_states: Vec<(StateKey, f64)> =
+                            states[pi].iter().map(|(&k, &(c, _))| (k, c)).collect();
+                        for (pkey, pcost) in prev_states {
+                            let (pcluster, pentry) = unkey(pkey);
+                            let (step, entry) =
+                                self.inter_cluster_step(pentry, pcluster, cluster, dest_cluster);
+                            upsert(
+                                &mut states[si],
+                                key(cluster, entry),
+                                pcost + step,
+                                Some((pi, pkey)),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Close at the destination.
+        let mut best: Option<(f64, usize, StateKey)> = None;
+        for sink in graph.sinks() {
+            let si = sink.index();
+            for (&k, &(cost, _)) in &states[si] {
+                let (cluster, entry) = unkey(k);
+                let (close, _) = self.close_at_destination(entry, cluster, dest_cluster, request);
+                let total = cost + close;
+                if best.is_none_or(|(b, _, _)| total < b) {
+                    best = Some((total, si, k));
+                }
+            }
+        }
+        let (total, mut si, mut k) = best.ok_or(RouteError::Infeasible)?;
+
+        // Backtrack the chain.
+        let mut chain = Vec::new();
+        loop {
+            let (cluster, _) = unkey(k);
+            chain.push((StageId::new(si), cluster));
+            match states[si].get(&k).and_then(|&(_, prev)| prev) {
+                Some((psi, pk)) => {
+                    si = psi;
+                    k = pk;
+                }
+                None => break,
+            }
+        }
+        chain.reverse();
+        Ok((total, chain))
+    }
+
+    /// Cost of stepping from (proxy `entry` inside `from`) into cluster
+    /// `to`, and the resulting entry proxy.
+    fn inter_cluster_step(
+        &self,
+        entry: ProxyId,
+        from: ClusterId,
+        to: ClusterId,
+        dest_cluster: ClusterId,
+    ) -> (f64, ProxyId) {
+        if from == to {
+            return (0.0, entry);
+        }
+        let pair = self.hfc.border(from, to);
+        let internal = self.known_internal(entry, pair.local, dest_cluster);
+        (
+            internal + self.delays.delay(pair.local, pair.remote),
+            pair.remote,
+        )
+    }
+
+    /// Cost of the final leg from (entry inside `from`) to the
+    /// destination proxy.
+    fn close_at_destination(
+        &self,
+        entry: ProxyId,
+        from: ClusterId,
+        dest_cluster: ClusterId,
+        request: &ServiceRequest,
+    ) -> (f64, ProxyId) {
+        if from == dest_cluster {
+            (
+                self.known_internal(entry, request.destination, dest_cluster),
+                request.destination,
+            )
+        } else {
+            let pair = self.hfc.border(from, dest_cluster);
+            let internal = self.known_internal(entry, pair.local, dest_cluster);
+            let external = self.delays.delay(pair.local, pair.remote);
+            let last = self.known_internal(pair.remote, request.destination, dest_cluster);
+            (internal + external + last, request.destination)
+        }
+    }
+
+    /// Cost of a relay-only inter-cluster hop sequence (empty service
+    /// graphs).
+    fn inter_cluster_cost(
+        &self,
+        source: ProxyId,
+        source_cluster: ClusterId,
+        dest_cluster: ClusterId,
+    ) -> (f64, ProxyId) {
+        if source_cluster == dest_cluster {
+            (0.0, source)
+        } else {
+            let pair = self.hfc.border(source_cluster, dest_cluster);
+            (
+                self.known_internal(source, pair.local, dest_cluster)
+                    + self.delays.delay(pair.local, pair.remote),
+                pair.remote,
+            )
+        }
+    }
+
+    /// The internal distance between two proxies of the same cluster,
+    /// *as far as the destination proxy can estimate it*: it knows the
+    /// coordinates of its own cluster's members and of every border
+    /// proxy; other proxies contribute a lower bound of zero. Disabled
+    /// entirely when back-tracking is off.
+    fn known_internal(&self, a: ProxyId, b: ProxyId, dest_cluster: ClusterId) -> f64 {
+        if !self.config.backtracking || a == b {
+            return 0.0;
+        }
+        let knows = |p: ProxyId| self.hfc.is_border(p) || self.hfc.cluster_of(p) == dest_cluster;
+        if knows(a) && knows(b) {
+            self.delays.delay(a, b)
+        } else {
+            0.0
+        }
+    }
+}
+
+fn key(cluster: ClusterId, entry: ProxyId) -> (u32, u32) {
+    (cluster.index() as u32, entry.index() as u32)
+}
+
+fn unkey(k: (u32, u32)) -> (ClusterId, ProxyId) {
+    (ClusterId::new(k.0 as usize), ProxyId::new(k.1 as usize))
+}
+
+fn upsert(
+    map: &mut BTreeMap<(u32, u32), (f64, Option<(usize, (u32, u32))>)>,
+    k: (u32, u32),
+    cost: f64,
+    prev: Option<(usize, (u32, u32))>,
+) {
+    match map.get(&k) {
+        Some(&(existing, _)) if existing <= cost => {}
+        _ => {
+            map.insert(k, (cost, prev));
+        }
+    }
+}
+
+fn push_relay(hops: &mut Vec<PathHop>, proxy: ProxyId) {
+    if hops.last().map(|h| h.proxy) != Some(proxy) {
+        hops.push(PathHop::relay(proxy));
+    }
+}
+
+/// A maximal run of consecutive stages mapped to the same cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Group {
+    cluster: ClusterId,
+    stages: Vec<StageId>,
+}
+
+fn dissect(chain: &[(StageId, ClusterId)]) -> Vec<Group> {
+    let mut groups: Vec<Group> = Vec::new();
+    for &(stage, cluster) in chain {
+        match groups.last_mut() {
+            Some(g) if g.cluster == cluster => g.stages.push(stage),
+            _ => groups.push(Group {
+                cluster,
+                stages: vec![stage],
+            }),
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use son_overlay::ServiceId;
+
+    fn sid(i: usize) -> ServiceId {
+        ServiceId::new(i)
+    }
+
+    use crate::fixtures::paper_example;
+
+    #[test]
+    fn fixture_reproduces_paper_borders() {
+        let (hfc, _, _) = paper_example();
+        assert_eq!(hfc.cluster_count(), 4);
+        let check = |a: usize, b: usize, la: usize, lb: usize| {
+            let pair = hfc.border(ClusterId::new(a), ClusterId::new(b));
+            assert_eq!(pair.local, ProxyId::new(la), "border C{a}->C{b}");
+            assert_eq!(pair.remote, ProxyId::new(lb), "border C{a}->C{b}");
+        };
+        check(0, 1, 1, 4); // (C0.1, C1.0)
+        check(0, 2, 0, 10); // (C0.0, C2.2)
+        check(0, 3, 0, 11); // (C0.0, C3.0)
+        check(1, 2, 6, 8); // (C1.2, C2.0)
+        check(1, 3, 5, 11); // (C1.1, C3.0)
+        check(2, 3, 10, 11); // (C2.2, C3.0)
+    }
+
+    /// The full Section 5 walk-through: request
+    /// `C0.2 → S1→S2→S3→S4→S5 → C2.1`.
+    #[test]
+    fn paper_example_end_to_end() {
+        let (hfc, delays, services) = paper_example();
+        let router =
+            HierarchicalRouter::from_services(&hfc, &services, &delays, HierConfig::default());
+        let request = ServiceRequest::new(
+            ProxyId::new(2), // C0.2
+            ServiceGraph::linear(vec![sid(1), sid(2), sid(3), sid(4), sid(5)]),
+            ProxyId::new(9), // C2.1
+        );
+        let route = router.route(&request).unwrap();
+
+        // CSP: S1/C0, S2/C1, S3/C1, S4/C1, S5/C2 (Figure 7(c) bold).
+        let csp_clusters: Vec<usize> = route.csp.iter().map(|&(_, c)| c.index()).collect();
+        assert_eq!(csp_clusters, vec![0, 1, 1, 1, 2]);
+        // Three child requests (Figure 7(d)).
+        assert_eq!(route.child_count, 3);
+
+        // Final service path (Figure 7(e)):
+        // C0.2 → S1/C0.0 → -/C0.1 → S2/C1.0 → S3/C1.1 → S4/C1.1
+        //      → -/C1.2 → S5/C2.0 → C2.1
+        let rendered: Vec<String> = route.path.hops().iter().map(|h| h.to_string()).collect();
+        assert_eq!(
+            rendered,
+            vec!["-/p2", "s1/p0", "-/p1", "s2/p4", "s3/p5", "s4/p5", "-/p6", "s5/p8", "-/p9"],
+            "got {}",
+            route.path
+        );
+
+        // True length: 1+4+20+2+0+3+25+0+2 = 57.
+        assert!((route.path.length(&delays) - 57.0).abs() < 1e-9);
+
+        // And it validates against the request.
+        route
+            .path
+            .validate(&request, |p, s| services[p.index()].contains(s))
+            .unwrap();
+    }
+
+    /// The text's path-1 vs path-2 comparison: with back-tracking the
+    /// router must weigh internal border distances; without it, the two
+    /// candidate cluster paths tie on external links (45 each).
+    #[test]
+    fn backtracking_prefers_cheaper_internal_paths() {
+        let (hfc, delays, services) = paper_example();
+        // Request S1 → S5 from C0.2 to C2.1: S1 ∈ {C0, C3},
+        // S5 ∈ {C2}. Candidate CSPs: C0→C2 direct (ext 40) or
+        // C3→C2 (ext 30 + 15 = 45)... with internals the comparison
+        // shifts.
+        let router =
+            HierarchicalRouter::from_services(&hfc, &services, &delays, HierConfig::default());
+        let request = ServiceRequest::new(
+            ProxyId::new(2),
+            ServiceGraph::linear(vec![sid(1), sid(5)]),
+            ProxyId::new(9),
+        );
+        let route = router.route(&request).unwrap();
+        route
+            .path
+            .validate(&request, |p, s| services[p.index()].contains(s))
+            .unwrap();
+        // Whatever CSP wins, the composed path must be at least as good
+        // as the no-backtracking one under true delays *on average*;
+        // here specifically, check both produce valid paths and the
+        // backtracking estimate includes internal terms (strictly
+        // larger than pure external sums).
+        let naive = HierarchicalRouter::from_services(
+            &hfc,
+            &services,
+            &delays,
+            HierConfig {
+                backtracking: false,
+            },
+        );
+        let naive_route = naive.route(&request).unwrap();
+        naive_route
+            .path
+            .validate(&request, |p, s| services[p.index()].contains(s))
+            .unwrap();
+        assert!(route.estimate >= naive_route.estimate);
+    }
+
+    #[test]
+    fn intra_cluster_request_never_leaves_the_cluster() {
+        let (hfc, delays, services) = paper_example();
+        let router =
+            HierarchicalRouter::from_services(&hfc, &services, &delays, HierConfig::default());
+        // S2 → S3 fully inside C1: C1.3 → C1.2.
+        let request = ServiceRequest::new(
+            ProxyId::new(7),
+            ServiceGraph::linear(vec![sid(2), sid(3)]),
+            ProxyId::new(6),
+        );
+        let route = router.route(&request).unwrap();
+        assert_eq!(route.child_count, 1);
+        for hop in route.path.hops() {
+            assert_eq!(
+                hfc.cluster_of(hop.proxy),
+                ClusterId::new(1),
+                "hop {hop} left the cluster"
+            );
+        }
+        route
+            .path
+            .validate(&request, |p, s| services[p.index()].contains(s))
+            .unwrap();
+    }
+
+    #[test]
+    fn relay_only_request_crosses_borders() {
+        let (hfc, delays, services) = paper_example();
+        let router =
+            HierarchicalRouter::from_services(&hfc, &services, &delays, HierConfig::default());
+        let request = ServiceRequest::new(
+            ProxyId::new(2), // C0.2
+            ServiceGraph::linear(vec![]),
+            ProxyId::new(12), // C3.1
+        );
+        let route = router.route(&request).unwrap();
+        // C0.2 → C0.0 (border) → C3.0 (border) → C3.1.
+        let proxies: Vec<usize> = route.path.hops().iter().map(|h| h.proxy.index()).collect();
+        assert_eq!(proxies, vec![2, 0, 11, 12]);
+        // d(C0.2, C0.0) + ext(C0, C3) + d(C3.0, C3.1) = 1 + 30 + 2.
+        assert_eq!(route.path.length(&delays), 33.0);
+    }
+
+    #[test]
+    fn missing_service_is_reported() {
+        let (hfc, delays, services) = paper_example();
+        let router =
+            HierarchicalRouter::from_services(&hfc, &services, &delays, HierConfig::default());
+        let request = ServiceRequest::new(
+            ProxyId::new(2),
+            ServiceGraph::linear(vec![sid(77)]),
+            ProxyId::new(9),
+        );
+        assert_eq!(router.route(&request), Err(RouteError::NoProvider(sid(77))));
+    }
+
+    #[test]
+    fn without_aggregation_is_at_least_as_short() {
+        let (hfc, delays, services) = paper_example();
+        let router =
+            HierarchicalRouter::from_services(&hfc, &services, &delays, HierConfig::default());
+        // Compare on several requests: full state under the same HFC
+        // connectivity can never be worse than the aggregated route
+        // (both evaluated on true delays, which here equal the HFC
+        // metric because cross-cluster entries are the border closure).
+        let cases = [
+            (2usize, vec![1usize, 2, 3, 4, 5], 9usize),
+            (3, vec![4, 5], 10),
+            (12, vec![1, 2], 9),
+            (8, vec![5, 2], 1),
+        ];
+        for (src, svc, dst) in cases {
+            let request = ServiceRequest::new(
+                ProxyId::new(src),
+                ServiceGraph::linear(svc.iter().map(|&i| sid(i)).collect()),
+                ProxyId::new(dst),
+            );
+            let hier = router.route(&request).unwrap();
+            let full = router.route_without_aggregation(&request).unwrap();
+            full.validate(&request, |p, s| services[p.index()].contains(s))
+                .unwrap();
+            let lh = hier.path.length(&delays);
+            let lf = full.length(&delays);
+            assert!(
+                lf <= lh + 1e-9,
+                "full-state route ({lf}) must not exceed aggregated route ({lh}) \
+                 for {src}→{dst} via {svc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nonlinear_request_routes_hierarchically() {
+        let (hfc, delays, services) = paper_example();
+        let router =
+            HierarchicalRouter::from_services(&hfc, &services, &delays, HierConfig::default());
+        // Two configurations: [S1, S5] or [S4, S5].
+        let graph = ServiceGraph::builder()
+            .stage(sid(1))
+            .stage(sid(4))
+            .stage(sid(5))
+            .edge(0, 2)
+            .edge(1, 2)
+            .build()
+            .unwrap();
+        let request = ServiceRequest::new(ProxyId::new(2), graph, ProxyId::new(9));
+        let route = router.route(&request).unwrap();
+        route
+            .path
+            .validate(&request, |p, s| services[p.index()].contains(s))
+            .unwrap();
+        let chain = route.path.service_chain();
+        assert_eq!(chain.len(), 2);
+        assert_eq!(*chain.last().unwrap(), sid(5));
+    }
+}
+
+#[cfg(test)]
+mod crankback_tests {
+    use super::*;
+    use crate::fixtures::paper_example;
+    use son_overlay::ServiceId;
+
+    fn sid(i: usize) -> ServiceId {
+        ServiceId::new(i)
+    }
+
+    /// Builds a router whose aggregate state *lies*: cluster C0 still
+    /// advertises S1, but its SCT_P no longer backs it (both providers
+    /// left). C3 genuinely has S1 (via C3.1).
+    fn router_with_stale_aggregate<'a>(
+        hfc: &'a HfcTopology,
+        services: &[son_overlay::ServiceSet],
+        delays: &'a son_overlay::DelayMatrix,
+    ) -> HierarchicalRouter<'a, son_overlay::DelayMatrix> {
+        let mut sctc = SctC::new();
+        let mut tables = Vec::new();
+        for c in hfc.clusters() {
+            let mut table = SctP::new();
+            for &m in hfc.members(c) {
+                let mut set = services[m.index()].clone();
+                if c == ClusterId::new(0) {
+                    // S1 vanished from C0's proxies...
+                    let without: son_overlay::ServiceSet =
+                        set.iter().filter(|s| *s != sid(1)).collect();
+                    set = without;
+                }
+                table.update(m, set);
+            }
+            // ...but the aggregate still advertises the old contents.
+            let mut advertised = table.aggregate();
+            if c == ClusterId::new(0) {
+                advertised.insert(sid(1));
+            }
+            sctc.update(c, advertised);
+            tables.push(table);
+        }
+        HierarchicalRouter::from_tables(hfc, sctc, &tables, delays, HierConfig::default())
+    }
+
+    #[test]
+    fn plain_route_fails_on_stale_aggregates() {
+        let (hfc, delays, services) = paper_example();
+        let router = router_with_stale_aggregate(&hfc, &services, &delays);
+        // S1 then S5: the CSP maps S1 to C0 (closest advertiser), whose
+        // table cannot actually solve it.
+        let request = ServiceRequest::new(
+            ProxyId::new(2),
+            ServiceGraph::linear(vec![sid(1), sid(5)]),
+            ProxyId::new(9),
+        );
+        assert_eq!(router.route(&request), Err(RouteError::Infeasible));
+    }
+
+    #[test]
+    fn crankback_recovers_via_another_cluster() {
+        let (hfc, delays, services) = paper_example();
+        let router = router_with_stale_aggregate(&hfc, &services, &delays);
+        let request = ServiceRequest::new(
+            ProxyId::new(2),
+            ServiceGraph::linear(vec![sid(1), sid(5)]),
+            ProxyId::new(9),
+        );
+        let route = router
+            .route_with_recovery(&request, 4)
+            .expect("C3 can still provide S1");
+        // S1 must now be served by C3.1 (proxy 12), the only remaining
+        // provider.
+        let s1_hop = route
+            .path
+            .hops()
+            .iter()
+            .find(|h| h.service == Some(sid(1)))
+            .expect("S1 is on the path");
+        assert_eq!(s1_hop.proxy, ProxyId::new(12));
+        // And the path is feasible against the *actual* service state.
+        route
+            .path
+            .validate(&request, |p, s| {
+                if s == sid(1) && hfc.cluster_of(p) == ClusterId::new(0) {
+                    false // S1 really is gone from C0
+                } else {
+                    services[p.index()].contains(s)
+                }
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn recovery_matches_plain_route_on_consistent_state() {
+        let (hfc, delays, services) = paper_example();
+        let router =
+            HierarchicalRouter::from_services(&hfc, &services, &delays, HierConfig::default());
+        let request = ServiceRequest::new(
+            ProxyId::new(2),
+            ServiceGraph::linear((1..=5).map(sid).collect()),
+            ProxyId::new(9),
+        );
+        let plain = router.route(&request).unwrap();
+        let recovered = router.route_with_recovery(&request, 3).unwrap();
+        assert_eq!(plain.path, recovered.path);
+    }
+
+    #[test]
+    fn attempt_budget_is_respected() {
+        let (hfc, delays, services) = paper_example();
+        // Every cluster's aggregate advertises a phantom service 77
+        // nobody has: recovery must exhaust its budget and fail.
+        let mut sctc = SctC::new();
+        let mut tables = Vec::new();
+        for c in hfc.clusters() {
+            let mut table = SctP::new();
+            for &m in hfc.members(c) {
+                table.update(m, services[m.index()].clone());
+            }
+            let mut advertised = table.aggregate();
+            advertised.insert(sid(77));
+            sctc.update(c, advertised);
+            tables.push(table);
+        }
+        let router =
+            HierarchicalRouter::from_tables(&hfc, sctc, &tables, &delays, HierConfig::default());
+        let request = ServiceRequest::new(
+            ProxyId::new(2),
+            ServiceGraph::linear(vec![sid(77)]),
+            ProxyId::new(9),
+        );
+        // 4 clusters advertise it; with only 2 attempts we fail with
+        // Infeasible (budget), with 5 we fail with NoProvider (all
+        // advertisers excluded).
+        assert_eq!(
+            router.route_with_recovery(&request, 2),
+            Err(RouteError::Infeasible)
+        );
+        assert_eq!(
+            router.route_with_recovery(&request, 5),
+            Err(RouteError::NoProvider(sid(77)))
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! Crate-wide property tests: random worlds, structural invariants.
+
+#![cfg(test)]
+
+use crate::flat::{FlatRouter, RouteError};
+use crate::hier::{HierConfig, HierarchicalRouter};
+use crate::providers::ProviderIndex;
+use crate::sdag::solve_service_dag;
+use proptest::prelude::*;
+use son_clustering::Clustering;
+use son_overlay::{
+    DelayMatrix, HfcDelays, HfcTopology, ProxyId, ServiceGraph, ServiceId, ServiceRequest,
+    ServiceSet,
+};
+
+/// A random "world": planted cluster centers on a line, proxies around
+/// them, metric distances, random services.
+#[derive(Debug, Clone)]
+struct World {
+    delays: DelayMatrix,
+    services: Vec<ServiceSet>,
+    hfc: HfcTopology,
+}
+
+fn world_strategy() -> impl Strategy<Value = World> {
+    (2usize..5, 2usize..5, 1usize..5, any::<u64>()).prop_map(
+        |(clusters, per_cluster, universe, seed)| {
+            // Positions: cluster c at 1000*c, members jittered by a
+            // deterministic pseudo-random offset.
+            let n = clusters * per_cluster;
+            let mut pos = Vec::with_capacity(n);
+            let mut labels = Vec::with_capacity(n);
+            let mut state = seed | 1;
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as f64 / (1u64 << 31) as f64
+            };
+            for c in 0..clusters {
+                for _ in 0..per_cluster {
+                    pos.push(c as f64 * 1000.0 + next() * 50.0);
+                    labels.push(c);
+                }
+            }
+            let mut values = vec![0.0; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    values[i * n + j] = (pos[i] - pos[j]).abs();
+                }
+            }
+            let delays = DelayMatrix::from_values(n, values);
+            let clustering = Clustering::from_labels(&labels);
+            let hfc = HfcTopology::build(&clustering, &delays);
+            let services: Vec<ServiceSet> = (0..n)
+                .map(|i| {
+                    (0..universe)
+                        .filter(|&s| (i + s) % 2 == 0 || next() > 0.5)
+                        .map(ServiceId::new)
+                        .collect()
+                })
+                .collect();
+            World {
+                delays,
+                services,
+                hfc,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every path the hierarchical router emits is feasible and starts/
+    /// ends correctly; and the full-state route never exceeds it under
+    /// the HFC metric.
+    #[test]
+    fn hierarchical_routes_are_always_valid(world in world_strategy(), req_seed in 0usize..1000) {
+        let n = world.services.len();
+        let universe = 5;
+        let src = ProxyId::new(req_seed % n);
+        let dst = ProxyId::new((req_seed / 7) % n);
+        let chain: Vec<ServiceId> = (0..(req_seed % 4))
+            .map(|i| ServiceId::new((req_seed + i) % universe))
+            .collect();
+        let request = ServiceRequest::new(src, ServiceGraph::linear(chain), dst);
+        let router = HierarchicalRouter::from_services(
+            &world.hfc,
+            &world.services,
+            &world.delays,
+            HierConfig::default(),
+        );
+        match router.route(&request) {
+            Ok(route) => {
+                prop_assert_eq!(route.path.source(), src);
+                prop_assert_eq!(route.path.destination(), dst);
+                route
+                    .path
+                    .validate(&request, |p, s| world.services[p.index()].contains(s))
+                    .map_err(|e| TestCaseError::fail(format!("invalid path: {e}")))?;
+                // Full-state route is optimal under the HFC metric.
+                let constrained = HfcDelays::new(&world.hfc, &world.delays);
+                let full = router
+                    .route_without_aggregation(&request)
+                    .expect("full state can route whatever aggregated state can");
+                prop_assert!(
+                    full.length(&constrained) <= route.path.length(&constrained) + 1e-6
+                );
+            }
+            Err(RouteError::NoProvider(s)) => {
+                prop_assert!(
+                    !world.services.iter().any(|set| set.contains(s)),
+                    "router claimed {} unavailable but a proxy has it", s
+                );
+            }
+            Err(RouteError::Infeasible) => {
+                // Only possible when some stage has no provider in any
+                // cluster combination — with linear chains this means
+                // some service is missing entirely, which NoProvider
+                // should have caught first.
+                prop_assert!(false, "linear chains must yield NoProvider, not Infeasible");
+            }
+        }
+    }
+
+    /// The flat router (full topology, exact distances) is never worse
+    /// than the hierarchical one on the same unconstrained metric.
+    #[test]
+    fn flat_routing_lower_bounds_hierarchical(world in world_strategy(), req_seed in 0usize..1000) {
+        let n = world.services.len();
+        let src = ProxyId::new(req_seed % n);
+        let dst = ProxyId::new((req_seed / 3) % n);
+        let chain: Vec<ServiceId> = (0..(1 + req_seed % 3))
+            .map(|i| ServiceId::new((req_seed + 2 * i) % 5))
+            .collect();
+        let request = ServiceRequest::new(src, ServiceGraph::linear(chain), dst);
+        let providers = ProviderIndex::from_service_sets(&world.services);
+        let flat = FlatRouter::new(&providers, &world.delays);
+        let hier = HierarchicalRouter::from_services(
+            &world.hfc,
+            &world.services,
+            &world.delays,
+            HierConfig::default(),
+        );
+        if let (Ok(f), Ok(h)) = (flat.route(&request), hier.route(&request)) {
+            prop_assert!(
+                f.length(&world.delays) <= h.path.length(&world.delays) + 1e-6,
+                "flat {} > hier {}",
+                f.length(&world.delays),
+                h.path.length(&world.delays)
+            );
+        }
+    }
+
+    /// solve_service_dag is monotone: adding a provider can only keep
+    /// or lower the optimum.
+    #[test]
+    fn more_providers_never_hurt(
+        positions in proptest::collection::vec(0.0f64..1000.0, 3..12),
+        chain in proptest::collection::vec(0usize..3, 1..4),
+        extra in 0usize..12,
+    ) {
+        let n = positions.len();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = (positions[i] - positions[j]).abs();
+            }
+        }
+        let delays = DelayMatrix::from_values(n, values);
+        let graph = ServiceGraph::linear(chain.iter().map(|&s| ServiceId::new(s)).collect());
+        let mut sets: Vec<ServiceSet> = (0..n)
+            .map(|i| {
+                (0..3usize)
+                    .filter(|&s| (i * 7 + s) % 3 == 0)
+                    .map(ServiceId::new)
+                    .collect()
+            })
+            .collect();
+        let before = {
+            let p = ProviderIndex::from_service_sets(&sets);
+            solve_service_dag(&graph, ProxyId::new(0), ProxyId::new(n - 1), &p, &delays)
+                .map(|(c, _)| c)
+        };
+        // Grant one more proxy one more service.
+        sets[extra % n].insert(ServiceId::new(extra % 3));
+        let after = {
+            let p = ProviderIndex::from_service_sets(&sets);
+            solve_service_dag(&graph, ProxyId::new(0), ProxyId::new(n - 1), &p, &delays)
+                .map(|(c, _)| c)
+        };
+        match (before, after) {
+            (Some(b), Some(a)) => prop_assert!(a <= b + 1e-9, "adding a provider raised cost"),
+            (Some(_), None) => prop_assert!(false, "adding a provider broke feasibility"),
+            _ => {}
+        }
+    }
+
+    /// Request dissection produces child requests whose stage count
+    /// sums to the configuration length (CSP bookkeeping is lossless).
+    #[test]
+    fn csp_covers_all_stages(world in world_strategy(), req_seed in 0usize..1000) {
+        let n = world.services.len();
+        let request = ServiceRequest::new(
+            ProxyId::new(req_seed % n),
+            ServiceGraph::linear(
+                (0..(1 + req_seed % 3)).map(|i| ServiceId::new((req_seed + i) % 5)).collect(),
+            ),
+            ProxyId::new((req_seed / 11) % n),
+        );
+        let router = HierarchicalRouter::from_services(
+            &world.hfc,
+            &world.services,
+            &world.delays,
+            HierConfig::default(),
+        );
+        if let Ok(route) = router.route(&request) {
+            prop_assert_eq!(route.csp.len(), request.graph.len());
+            prop_assert_eq!(
+                route.path.service_chain().len(),
+                request.graph.len(),
+                "every stage must appear exactly once in the final path"
+            );
+        }
+    }
+}

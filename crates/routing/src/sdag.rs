@@ -1,0 +1,410 @@
+//! The service-DAG construction and shortest-path solve of \[11\].
+//!
+//! Given a service graph, a source proxy, a destination proxy, a
+//! provider lookup and a distance model, build (implicitly) the DAG
+//! whose nodes are `(stage, provider)` pairs plus a source and a sink,
+//! and whose edges follow the service dependencies weighted by
+//! proxy-to-proxy distance. Every source→sink path of that DAG is a
+//! viable service path; a DAG-shortest-paths pass (dynamic programming
+//! in topological stage order) returns the optimal one.
+
+use crate::providers::ProviderLookup;
+use son_overlay::{DelayModel, ProxyId, ServiceGraph, StageId};
+
+/// The mapping of one stage onto its chosen provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// The stage of the service graph.
+    pub stage: StageId,
+    /// The proxy chosen to execute it.
+    pub proxy: ProxyId,
+}
+
+/// Solves the service-DAG shortest-path problem.
+///
+/// Returns `(total_distance, assignments)` where `assignments` walks
+/// one feasible configuration of `graph` in order, or `None` when no
+/// configuration can be fully mapped onto providers.
+///
+/// The empty service graph yields the direct relay path
+/// `(dist(source, destination), [])`.
+///
+/// # Example
+///
+/// ```
+/// use son_overlay::{DelayMatrix, ProxyId, ServiceGraph, ServiceId, ServiceSet};
+/// use son_routing::{solve_service_dag, ProviderIndex};
+///
+/// let delays = DelayMatrix::from_values(3, vec![
+///     0.0, 1.0, 5.0,
+///     1.0, 0.0, 1.0,
+///     5.0, 1.0, 0.0,
+/// ]);
+/// let s = ServiceId::new(0);
+/// let providers = ProviderIndex::from_service_sets(&[
+///     ServiceSet::new(),
+///     ServiceSet::from_iter([s]),
+///     ServiceSet::from_iter([s]),
+/// ]);
+/// let graph = ServiceGraph::linear(vec![s]);
+/// let (cost, chosen) =
+///     solve_service_dag(&graph, ProxyId::new(0), ProxyId::new(2), &providers, &delays)
+///         .unwrap();
+/// assert_eq!(cost, 2.0); // via proxy 1: 1 + 1 beats via proxy 2: 5 + 0
+/// assert_eq!(chosen[0].proxy, ProxyId::new(1));
+/// ```
+pub fn solve_service_dag<P, D>(
+    graph: &ServiceGraph,
+    source: ProxyId,
+    destination: ProxyId,
+    providers: &P,
+    delays: &D,
+) -> Option<(f64, Vec<Assignment>)>
+where
+    P: ProviderLookup + ?Sized,
+    D: DelayModel + ?Sized,
+{
+    if graph.is_empty() {
+        return Some((delays.delay(source, destination), Vec::new()));
+    }
+    let order = graph
+        .topological_order()
+        .expect("service graphs are validated acyclic at construction");
+
+    // Candidate providers per stage.
+    let candidates: Vec<&[ProxyId]> = graph
+        .stage_ids()
+        .map(|s| providers.providers(graph.service(s)))
+        .collect();
+
+    // dist[stage][candidate]: best distance from the DAG source to
+    // `(stage, candidate)`; parent tracks (pred stage, pred candidate).
+    let mut dist: Vec<Vec<f64>> = candidates
+        .iter()
+        .map(|c| vec![f64::INFINITY; c.len()])
+        .collect();
+    let mut parent: Vec<Vec<Option<(usize, usize)>>> =
+        candidates.iter().map(|c| vec![None; c.len()]).collect();
+
+    for &stage in &order {
+        let si = stage.index();
+        let is_sg_source = graph.predecessors(stage).is_empty();
+        for (ci, &cand) in candidates[si].iter().enumerate() {
+            let mut best = if is_sg_source {
+                delays.delay(source, cand)
+            } else {
+                f64::INFINITY
+            };
+            let mut best_parent = None;
+            for &pred in graph.predecessors(stage) {
+                let pi = pred.index();
+                for (pci, &pcand) in candidates[pi].iter().enumerate() {
+                    let base = dist[pi][pci];
+                    if !base.is_finite() {
+                        continue;
+                    }
+                    let via = base + delays.delay(pcand, cand);
+                    if via < best {
+                        best = via;
+                        best_parent = Some((pi, pci));
+                    }
+                }
+            }
+            dist[si][ci] = best;
+            parent[si][ci] = best_parent;
+        }
+    }
+
+    // Sink: best over sink stages' candidates plus the final leg.
+    let mut best_total = f64::INFINITY;
+    let mut best_end: Option<(usize, usize)> = None;
+    for sink in graph.sinks() {
+        let si = sink.index();
+        for (ci, &cand) in candidates[si].iter().enumerate() {
+            let base = dist[si][ci];
+            if !base.is_finite() {
+                continue;
+            }
+            let total = base + delays.delay(cand, destination);
+            if total < best_total {
+                best_total = total;
+                best_end = Some((si, ci));
+            }
+        }
+    }
+
+    let (mut si, mut ci) = best_end?;
+    let mut assignments = Vec::new();
+    loop {
+        assignments.push(Assignment {
+            stage: StageId::new(si),
+            proxy: candidates[si][ci],
+        });
+        match parent[si][ci] {
+            Some((psi, pci)) => {
+                si = psi;
+                ci = pci;
+            }
+            None => break,
+        }
+    }
+    assignments.reverse();
+    Some((best_total, assignments))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::providers::ProviderIndex;
+    use son_overlay::{DelayMatrix, ServiceId, ServiceSet};
+
+    fn line_delays(n: usize) -> DelayMatrix {
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = (i as f64 - j as f64).abs();
+            }
+        }
+        DelayMatrix::from_values(n, values)
+    }
+
+    fn sid(i: usize) -> ServiceId {
+        ServiceId::new(i)
+    }
+
+    #[test]
+    fn empty_graph_is_direct_relay() {
+        let delays = line_delays(4);
+        let providers = ProviderIndex::default();
+        let graph = ServiceGraph::linear(vec![]);
+        let (cost, chosen) = solve_service_dag(
+            &graph,
+            ProxyId::new(0),
+            ProxyId::new(3),
+            &providers,
+            &delays,
+        )
+        .unwrap();
+        assert_eq!(cost, 3.0);
+        assert!(chosen.is_empty());
+    }
+
+    #[test]
+    fn no_provider_means_infeasible() {
+        let delays = line_delays(3);
+        let providers = ProviderIndex::from_service_sets(&[
+            ServiceSet::new(),
+            ServiceSet::from_iter([sid(0)]),
+            ServiceSet::new(),
+        ]);
+        let graph = ServiceGraph::linear(vec![sid(0), sid(1)]);
+        assert!(solve_service_dag(
+            &graph,
+            ProxyId::new(0),
+            ProxyId::new(2),
+            &providers,
+            &delays
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn picks_on_the_way_providers() {
+        // Providers of s0 at proxies 1 (on the way) and 3 (past the
+        // destination): proxy 1 wins.
+        let delays = line_delays(4);
+        let providers = ProviderIndex::from_service_sets(&[
+            ServiceSet::new(),
+            ServiceSet::from_iter([sid(0)]),
+            ServiceSet::new(),
+            ServiceSet::from_iter([sid(0)]),
+        ]);
+        let graph = ServiceGraph::linear(vec![sid(0)]);
+        let (cost, chosen) = solve_service_dag(
+            &graph,
+            ProxyId::new(0),
+            ProxyId::new(2),
+            &providers,
+            &delays,
+        )
+        .unwrap();
+        assert_eq!(cost, 2.0);
+        assert_eq!(
+            chosen,
+            vec![Assignment {
+                stage: StageId::new(0),
+                proxy: ProxyId::new(1)
+            }]
+        );
+    }
+
+    #[test]
+    fn respects_dependency_order_even_when_detouring() {
+        // s0 only at proxy 3, s1 only at proxy 1; source 0, dest 4:
+        // forced path 0 → 3 → 1 → 4 despite going backwards.
+        let delays = line_delays(5);
+        let providers = ProviderIndex::from_service_sets(&[
+            ServiceSet::new(),
+            ServiceSet::from_iter([sid(1)]),
+            ServiceSet::new(),
+            ServiceSet::from_iter([sid(0)]),
+            ServiceSet::new(),
+        ]);
+        let graph = ServiceGraph::linear(vec![sid(0), sid(1)]);
+        let (cost, chosen) = solve_service_dag(
+            &graph,
+            ProxyId::new(0),
+            ProxyId::new(4),
+            &providers,
+            &delays,
+        )
+        .unwrap();
+        assert_eq!(cost, 3.0 + 2.0 + 3.0);
+        let proxies: Vec<ProxyId> = chosen.iter().map(|a| a.proxy).collect();
+        assert_eq!(proxies, vec![ProxyId::new(3), ProxyId::new(1)]);
+    }
+
+    #[test]
+    fn nonlinear_graph_picks_cheapest_configuration() {
+        // SG: s0 → s2 and s1 → s2 (two sources): configurations
+        // [s0, s2] and [s1, s2]. s0 is far (proxy 4), s1 near (proxy 1),
+        // s2 at proxy 2. Expect the s1 branch.
+        let delays = line_delays(5);
+        let providers = ProviderIndex::from_service_sets(&[
+            ServiceSet::new(),
+            ServiceSet::from_iter([sid(1)]),
+            ServiceSet::from_iter([sid(2)]),
+            ServiceSet::new(),
+            ServiceSet::from_iter([sid(0)]),
+        ]);
+        let graph = ServiceGraph::builder()
+            .stage(sid(0))
+            .stage(sid(1))
+            .stage(sid(2))
+            .edge(0, 2)
+            .edge(1, 2)
+            .build()
+            .unwrap();
+        let (cost, chosen) = solve_service_dag(
+            &graph,
+            ProxyId::new(0),
+            ProxyId::new(3),
+            &providers,
+            &delays,
+        )
+        .unwrap();
+        assert_eq!(cost, 1.0 + 1.0 + 1.0);
+        assert_eq!(chosen.len(), 2);
+        assert_eq!(chosen[0].stage, StageId::new(1));
+        assert_eq!(chosen[0].proxy, ProxyId::new(1));
+        assert_eq!(chosen[1].proxy, ProxyId::new(2));
+    }
+
+    #[test]
+    fn nonlinear_infeasible_branch_falls_back() {
+        // Same SG but s1 has no provider: only [s0, s2] is viable.
+        let delays = line_delays(5);
+        let providers = ProviderIndex::from_service_sets(&[
+            ServiceSet::new(),
+            ServiceSet::new(),
+            ServiceSet::from_iter([sid(2)]),
+            ServiceSet::new(),
+            ServiceSet::from_iter([sid(0)]),
+        ]);
+        let graph = ServiceGraph::builder()
+            .stage(sid(0))
+            .stage(sid(1))
+            .stage(sid(2))
+            .edge(0, 2)
+            .edge(1, 2)
+            .build()
+            .unwrap();
+        let (_, chosen) = solve_service_dag(
+            &graph,
+            ProxyId::new(0),
+            ProxyId::new(3),
+            &providers,
+            &delays,
+        )
+        .unwrap();
+        assert_eq!(chosen[0].stage, StageId::new(0));
+        assert_eq!(chosen[0].proxy, ProxyId::new(4));
+    }
+
+    /// Brute force over every provider combination for a linear chain.
+    fn brute_force_linear(
+        services: &[ServiceId],
+        source: ProxyId,
+        destination: ProxyId,
+        providers: &ProviderIndex,
+        delays: &DelayMatrix,
+    ) -> Option<f64> {
+        fn recurse(
+            services: &[ServiceId],
+            at: ProxyId,
+            destination: ProxyId,
+            providers: &ProviderIndex,
+            delays: &DelayMatrix,
+        ) -> Option<f64> {
+            match services.split_first() {
+                None => Some(delays.delay(at, destination)),
+                Some((&first, rest)) => providers
+                    .providers(first)
+                    .iter()
+                    .filter_map(|&p| {
+                        recurse(rest, p, destination, providers, delays)
+                            .map(|tail| delays.delay(at, p) + tail)
+                    })
+                    .min_by(|a, b| a.partial_cmp(b).unwrap()),
+            }
+        }
+        recurse(services, source, destination, providers, delays)
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for case in 0..50 {
+            let n = rng.gen_range(4..10);
+            // Random symmetric delays.
+            let mut values = vec![0.0; n * n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let d = rng.gen_range(1.0..20.0);
+                    values[i * n + j] = d;
+                    values[j * n + i] = d;
+                }
+            }
+            let delays = DelayMatrix::from_values(n, values);
+            let service_universe = 4;
+            let sets: Vec<ServiceSet> = (0..n)
+                .map(|_| {
+                    (0..service_universe)
+                        .filter(|_| rng.gen_bool(0.5))
+                        .map(sid)
+                        .collect()
+                })
+                .collect();
+            let providers = ProviderIndex::from_service_sets(&sets);
+            let chain_len = rng.gen_range(1..4);
+            let services: Vec<ServiceId> = (0..chain_len)
+                .map(|_| sid(rng.gen_range(0..service_universe)))
+                .collect();
+            let graph = ServiceGraph::linear(services.clone());
+            let source = ProxyId::new(rng.gen_range(0..n));
+            let destination = ProxyId::new(rng.gen_range(0..n));
+            let solved =
+                solve_service_dag(&graph, source, destination, &providers, &delays).map(|(c, _)| c);
+            let brute = brute_force_linear(&services, source, destination, &providers, &delays);
+            match (solved, brute) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() < 1e-9, "case {case}: dag {a} vs brute {b}")
+                }
+                (a, b) => panic!("case {case}: feasibility mismatch {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

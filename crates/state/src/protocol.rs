@@ -1,0 +1,618 @@
+//! The hierarchical state distribution protocol (paper Section 4),
+//! executed on the deterministic discrete-event simulator.
+//!
+//! 1. **Local state**: every proxy periodically sends a local state
+//!    message (its installed service names) to every proxy of its own
+//!    cluster; receivers update their `SCT_P`.
+//! 2. **Aggregate state**: every border proxy periodically aggregates
+//!    its cluster's capabilities (union over its `SCT_P`) and sends an
+//!    aggregate state message to the neighbor border proxies of other
+//!    clusters. A border proxy receiving such a message updates its
+//!    `SCT_C` and forwards it to the other proxies of its own cluster.
+
+use crate::tables::{SctC, SctP};
+use son_netsim::graph::NodeId;
+use son_netsim::sim::{Actor, Ctx, Simulator};
+use son_netsim::SimTime;
+use son_overlay::{ClusterId, DelayModel, HfcTopology, ProxyId, ServiceSet};
+
+/// Timing parameters of the protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolConfig {
+    /// Period between local state broadcasts, in milliseconds.
+    pub local_period_ms: f64,
+    /// Period between aggregate state broadcasts, in milliseconds.
+    pub aggregate_period_ms: f64,
+    /// How many periods each proxy runs before going quiet. With
+    /// static services two rounds reach convergence; the default keeps
+    /// one round of slack.
+    pub rounds: usize,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            local_period_ms: 10.0,
+            aggregate_period_ms: 15.0,
+            rounds: 3,
+        }
+    }
+}
+
+/// Messages exchanged by the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateMsg {
+    /// A proxy's own service names, flooded within its cluster.
+    Local {
+        /// Installed services of the sender.
+        services: ServiceSet,
+    },
+    /// A cluster's aggregate service set, exchanged between border
+    /// proxies and forwarded within clusters.
+    Aggregate {
+        /// The cluster being described.
+        cluster: ClusterId,
+        /// Union of the cluster's service sets.
+        services: ServiceSet,
+    },
+}
+
+const LOCAL_TIMER: u64 = 1;
+const AGGREGATE_TIMER: u64 = 2;
+
+/// One proxy's protocol state machine.
+#[derive(Debug)]
+pub struct ProxyActor {
+    id: ProxyId,
+    cluster: ClusterId,
+    services: ServiceSet,
+    /// Other members of the local cluster.
+    peers: Vec<ProxyId>,
+    /// Remote border proxies this proxy (as a border) must advertise
+    /// to: one per neighboring cluster where this proxy is the border.
+    border_duties: Vec<ProxyId>,
+    config: ProtocolConfig,
+    local_rounds_left: usize,
+    aggregate_rounds_left: usize,
+    /// Full state of the local cluster.
+    pub sctp: SctP,
+    /// Aggregate state of every cluster.
+    pub sctc: SctC,
+    /// Local state messages sent.
+    pub sent_local: u64,
+    /// Aggregate state messages sent (including intra-cluster
+    /// forwards).
+    pub sent_aggregate: u64,
+}
+
+impl ProxyActor {
+    fn broadcast_local(&mut self, ctx: &mut Ctx<'_, StateMsg>) {
+        for &peer in &self.peers {
+            ctx.send(
+                NodeId::new(peer.index()),
+                StateMsg::Local {
+                    services: self.services.clone(),
+                },
+            );
+            self.sent_local += 1;
+        }
+    }
+
+    fn broadcast_aggregate(&mut self, ctx: &mut Ctx<'_, StateMsg>) {
+        let aggregate = self.sctp.aggregate();
+        self.sctc.update(self.cluster, aggregate.clone());
+        for &remote in &self.border_duties {
+            ctx.send(
+                NodeId::new(remote.index()),
+                StateMsg::Aggregate {
+                    cluster: self.cluster,
+                    services: aggregate.clone(),
+                },
+            );
+            self.sent_aggregate += 1;
+        }
+    }
+
+    /// Re-forwards every known remote aggregate to the local cluster —
+    /// the periodic leg of Section 4 rule 2. Without this, the final
+    /// update of a table could ride a single (droppable) message once
+    /// the advertisement rounds run out.
+    fn reforward_known_aggregates(&mut self, ctx: &mut Ctx<'_, StateMsg>) {
+        let entries: Vec<(ClusterId, ServiceSet)> = self
+            .sctc
+            .iter()
+            .filter(|(c, _)| *c != self.cluster)
+            .map(|(c, s)| (c, s.clone()))
+            .collect();
+        for (cluster, services) in entries {
+            for &peer in &self.peers {
+                ctx.send(
+                    NodeId::new(peer.index()),
+                    StateMsg::Aggregate {
+                        cluster,
+                        services: services.clone(),
+                    },
+                );
+                self.sent_aggregate += 1;
+            }
+        }
+    }
+}
+
+impl Actor for ProxyActor {
+    type Msg = StateMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, StateMsg>) {
+        // A proxy always knows itself.
+        self.sctp.update(self.id, self.services.clone());
+        self.sctc.update(self.cluster, self.services.clone());
+        if self.local_rounds_left > 0 {
+            self.local_rounds_left -= 1;
+            self.broadcast_local(ctx);
+            ctx.set_timer(SimTime::from_ms(self.config.local_period_ms), LOCAL_TIMER);
+        }
+        if !self.border_duties.is_empty() && self.aggregate_rounds_left > 0 {
+            self.aggregate_rounds_left -= 1;
+            self.broadcast_aggregate(ctx);
+            ctx.set_timer(
+                SimTime::from_ms(self.config.aggregate_period_ms),
+                AGGREGATE_TIMER,
+            );
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, StateMsg>, from: NodeId, msg: StateMsg) {
+        match msg {
+            StateMsg::Local { services } => {
+                let changed = self.sctp.update(ProxyId::new(from.index()), services);
+                // The local cluster's aggregate is derivable from SCT_P
+                // without any extra messages — keep it fresh.
+                let aggregate_changed = self.sctc.update(self.cluster, self.sctp.aggregate());
+                // A border whose cluster aggregate just changed
+                // re-advertises immediately rather than waiting for the
+                // next period; otherwise slow local-state deliveries
+                // could outlive the advertising rounds.
+                if changed && aggregate_changed && !self.border_duties.is_empty() {
+                    self.broadcast_aggregate(ctx);
+                }
+            }
+            StateMsg::Aggregate { cluster, services } => {
+                // Merge (set union): services are static, so aggregates
+                // are monotone and merging makes delivery order and
+                // duplicate retransmissions harmless.
+                self.sctc.merge_update(cluster, &services);
+                // A border proxy that received the message from outside
+                // its own cluster forwards it inward, unconditionally
+                // (Section 4 rule 2) — the repetition is what lets the
+                // protocol ride out message loss.
+                let from_outside = !self.peers.contains(&ProxyId::new(from.index()))
+                    && ProxyId::new(from.index()) != self.id;
+                if from_outside {
+                    for &peer in &self.peers {
+                        ctx.send(
+                            NodeId::new(peer.index()),
+                            StateMsg::Aggregate {
+                                cluster,
+                                services: services.clone(),
+                            },
+                        );
+                        self.sent_aggregate += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, StateMsg>, token: u64) {
+        match token {
+            LOCAL_TIMER if self.local_rounds_left > 0 => {
+                self.local_rounds_left -= 1;
+                self.broadcast_local(ctx);
+                ctx.set_timer(SimTime::from_ms(self.config.local_period_ms), LOCAL_TIMER);
+            }
+            AGGREGATE_TIMER if self.aggregate_rounds_left > 0 => {
+                self.aggregate_rounds_left -= 1;
+                self.broadcast_aggregate(ctx);
+                self.reforward_known_aggregates(ctx);
+                ctx.set_timer(
+                    SimTime::from_ms(self.config.aggregate_period_ms),
+                    AGGREGATE_TIMER,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Outcome of a protocol run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateReport {
+    /// `true` when every proxy reached full local state and correct
+    /// aggregates for all clusters.
+    pub converged: bool,
+    /// Simulated time when the run went quiescent (or hit the
+    /// deadline).
+    pub ended_at: SimTime,
+    /// Total messages delivered.
+    pub messages_delivered: u64,
+    /// Local state messages sent.
+    pub local_messages: u64,
+    /// Aggregate state messages sent (border exchange + forwards).
+    pub aggregate_messages: u64,
+}
+
+/// Drives the protocol for a whole overlay.
+///
+/// # Example
+///
+/// ```
+/// use son_clustering::Clustering;
+/// use son_overlay::{DelayMatrix, HfcTopology, ServiceId, ServiceSet};
+/// use son_state::{ProtocolConfig, StateProtocol};
+///
+/// let clustering = Clustering::from_labels(&[0, 0, 1, 1]);
+/// let delays = DelayMatrix::from_values(4, vec![
+///     0.0, 1.0, 4.0, 9.0,
+///     1.0, 0.0, 6.0, 9.0,
+///     4.0, 6.0, 0.0, 1.0,
+///     9.0, 9.0, 1.0, 0.0,
+/// ]);
+/// let hfc = HfcTopology::build(&clustering, &delays);
+/// let services: Vec<ServiceSet> = (0..4)
+///     .map(|i| ServiceSet::from_iter([ServiceId::new(i)]))
+///     .collect();
+/// let mut protocol = StateProtocol::new(&hfc, services, &delays, ProtocolConfig::default());
+/// let report = protocol.run_to_quiescence();
+/// assert!(report.converged);
+/// ```
+pub struct StateProtocol {
+    simulator: Simulator<ProxyActor, Box<dyn FnMut(NodeId, NodeId) -> SimTime>>,
+    expected_sctp: Vec<SctP>,
+    expected_sctc: SctC,
+}
+
+impl std::fmt::Debug for StateProtocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateProtocol")
+            .field("proxies", &self.expected_sctp.len())
+            .field("clusters", &self.expected_sctc.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl StateProtocol {
+    /// Builds actors for every proxy in `hfc` with the given installed
+    /// `services` (indexed by proxy), delivering messages with delays
+    /// from `delays`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `services.len()` differs from the proxy count.
+    pub fn new<D>(
+        hfc: &HfcTopology,
+        services: Vec<ServiceSet>,
+        delays: &D,
+        config: ProtocolConfig,
+    ) -> Self
+    where
+        D: DelayModel + Clone + 'static,
+    {
+        assert_eq!(
+            services.len(),
+            hfc.proxy_count(),
+            "one service set per proxy required"
+        );
+        let n = hfc.proxy_count();
+        let mut actors = Vec::with_capacity(n);
+        for p in 0..n {
+            let id = ProxyId::new(p);
+            let cluster = hfc.cluster_of(id);
+            let peers: Vec<ProxyId> = hfc
+                .members(cluster)
+                .iter()
+                .copied()
+                .filter(|&m| m != id)
+                .collect();
+            let mut border_duties = Vec::new();
+            for other in hfc.clusters() {
+                if other == cluster {
+                    continue;
+                }
+                let pair = hfc.border(cluster, other);
+                if pair.local == id {
+                    border_duties.push(pair.remote);
+                }
+            }
+            actors.push(ProxyActor {
+                id,
+                cluster,
+                services: services[p].clone(),
+                peers,
+                border_duties,
+                config: config.clone(),
+                local_rounds_left: config.rounds,
+                aggregate_rounds_left: config.rounds,
+                sctp: SctP::new(),
+                sctc: SctC::new(),
+                sent_local: 0,
+                sent_aggregate: 0,
+            });
+        }
+
+        // Expected converged state, for the convergence check.
+        let mut expected_sctp = vec![SctP::new(); n];
+        let mut expected_sctc = SctC::new();
+        for c in hfc.clusters() {
+            let mut cluster_table = SctP::new();
+            for &m in hfc.members(c) {
+                cluster_table.update(m, services[m.index()].clone());
+            }
+            expected_sctc.update(c, cluster_table.aggregate());
+            for &m in hfc.members(c) {
+                expected_sctp[m.index()] = cluster_table.clone();
+            }
+        }
+
+        let delays = delays.clone();
+        let delay_fn: Box<dyn FnMut(NodeId, NodeId) -> SimTime> = Box::new(move |a, b| {
+            SimTime::from_ms(delays.delay(ProxyId::new(a.index()), ProxyId::new(b.index())))
+        });
+
+        StateProtocol {
+            simulator: Simulator::new(actors, delay_fn),
+            expected_sctp,
+            expected_sctc,
+        }
+    }
+
+    /// Injects reproducible random message loss: every protocol
+    /// message is dropped independently with probability `probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= probability <= 1.0`.
+    pub fn inject_loss(&mut self, probability: f64, seed: u64) {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "loss probability must be in [0, 1], got {probability}"
+        );
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.simulator
+            .set_loss(move |_, _| rng.gen_bool(probability));
+    }
+
+    /// Runs until all scheduled protocol rounds complete and the event
+    /// queue drains.
+    pub fn run_to_quiescence(&mut self) -> StateReport {
+        self.run_until(SimTime::from_ms(f64::MAX / 1e6))
+    }
+
+    /// Runs until `deadline` (or quiescence, whichever comes first).
+    pub fn run_until(&mut self, deadline: SimTime) -> StateReport {
+        let stats = self.simulator.run_until_quiescent(deadline);
+        let actors = self.simulator.actors();
+        StateReport {
+            converged: self.converged(),
+            ended_at: stats.ended_at,
+            messages_delivered: stats.messages_delivered,
+            local_messages: actors.iter().map(|a| a.sent_local).sum(),
+            aggregate_messages: actors.iter().map(|a| a.sent_aggregate).sum(),
+        }
+    }
+
+    /// Returns `true` if every proxy's tables match the expected
+    /// converged state.
+    pub fn converged(&self) -> bool {
+        self.simulator.actors().iter().enumerate().all(|(p, a)| {
+            a.sctp == self.expected_sctp[p]
+                && self
+                    .expected_sctc
+                    .iter()
+                    .all(|(c, s)| a.sctc.services_of(c) == Some(s))
+        })
+    }
+
+    /// Read access to the converged actors (their tables feed the
+    /// routing layer).
+    pub fn actors(&self) -> &[ProxyActor] {
+        self.simulator.actors()
+    }
+
+    /// The tables of one proxy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proxy` is out of range.
+    pub fn tables_of(&self, proxy: ProxyId) -> (&SctP, &SctC) {
+        let a = &self.simulator.actors()[proxy.index()];
+        (&a.sctp, &a.sctc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use son_clustering::Clustering;
+    use son_overlay::{DelayMatrix, ServiceId};
+
+    /// 6 proxies, 3 clusters on a line (same fixture as the overlay
+    /// crate's HFC tests).
+    fn three_cluster_world() -> (HfcTopology, DelayMatrix, Vec<ServiceSet>) {
+        let xs: [f64; 6] = [0.0, 1.0, 10.0, 11.0, 30.0, 31.0];
+        let n = xs.len();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = (xs[i] - xs[j]).abs();
+            }
+        }
+        let delays = DelayMatrix::from_values(n, values);
+        let clustering = Clustering::from_labels(&[0, 0, 1, 1, 2, 2]);
+        let hfc = HfcTopology::build(&clustering, &delays);
+        // Proxy i carries service i, plus proxy 0 and 5 share service 9.
+        let services: Vec<ServiceSet> = (0..n)
+            .map(|i| {
+                let mut s = ServiceSet::from_iter([ServiceId::new(i)]);
+                if i == 0 || i == 5 {
+                    s.insert(ServiceId::new(9));
+                }
+                s
+            })
+            .collect();
+        (hfc, delays, services)
+    }
+
+    #[test]
+    fn protocol_converges() {
+        let (hfc, delays, services) = three_cluster_world();
+        let mut protocol = StateProtocol::new(&hfc, services, &delays, ProtocolConfig::default());
+        let report = protocol.run_to_quiescence();
+        assert!(report.converged, "{report:?}");
+        assert!(report.messages_delivered > 0);
+        assert!(report.local_messages > 0);
+        assert!(report.aggregate_messages > 0);
+    }
+
+    #[test]
+    fn tables_reflect_cluster_structure() {
+        let (hfc, delays, services) = three_cluster_world();
+        let mut protocol = StateProtocol::new(&hfc, services, &delays, ProtocolConfig::default());
+        protocol.run_to_quiescence();
+        // Proxy 0 (cluster 0) knows proxies 0 and 1 in SCT_P...
+        let (sctp, sctc) = protocol.tables_of(ProxyId::new(0));
+        assert_eq!(sctp.len(), 2);
+        assert!(sctp.services_of(ProxyId::new(1)).is_some());
+        assert!(sctp.services_of(ProxyId::new(2)).is_none(), "other cluster");
+        // ...and all three clusters in SCT_C.
+        assert_eq!(sctc.len(), 3);
+        // Service 9 lives in clusters 0 (proxy 0) and 2 (proxy 5).
+        assert_eq!(
+            sctc.clusters_with(ServiceId::new(9)),
+            vec![ClusterId::new(0), ClusterId::new(2)]
+        );
+    }
+
+    #[test]
+    fn no_convergence_before_messages_arrive() {
+        let (hfc, delays, services) = three_cluster_world();
+        let mut protocol = StateProtocol::new(&hfc, services, &delays, ProtocolConfig::default());
+        let report = protocol.run_until(SimTime::from_ms(0.5));
+        assert!(
+            !report.converged,
+            "nothing can converge in half a millisecond"
+        );
+        let report = protocol.run_to_quiescence();
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn single_cluster_needs_no_aggregate_messages() {
+        let n = 4;
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = if i == j { 0.0 } else { 1.0 };
+            }
+        }
+        let delays = DelayMatrix::from_values(n, values);
+        let clustering = Clustering::from_labels(&[0, 0, 0, 0]);
+        let hfc = HfcTopology::build(&clustering, &delays);
+        let services: Vec<ServiceSet> = (0..n)
+            .map(|i| ServiceSet::from_iter([ServiceId::new(i)]))
+            .collect();
+        let mut protocol = StateProtocol::new(&hfc, services, &delays, ProtocolConfig::default());
+        let report = protocol.run_to_quiescence();
+        assert!(report.converged);
+        assert_eq!(report.aggregate_messages, 0);
+    }
+
+    #[test]
+    fn message_volume_scales_with_rounds() {
+        let (hfc, delays, services) = three_cluster_world();
+        let run = |rounds: usize| {
+            let config = ProtocolConfig {
+                rounds,
+                ..ProtocolConfig::default()
+            };
+            let mut protocol = StateProtocol::new(&hfc, services.clone(), &delays, config);
+            protocol.run_to_quiescence()
+        };
+        let one = run(1);
+        let three = run(3);
+        // Even a single round converges thanks to the event-driven
+        // re-advertisement borders perform when their aggregate
+        // changes; more rounds just cost more messages.
+        assert!(one.converged);
+        assert!(three.converged);
+        assert!(three.local_messages > one.local_messages);
+    }
+
+    #[test]
+    #[should_panic(expected = "one service set per proxy")]
+    fn wrong_service_count_panics() {
+        let (hfc, delays, _) = three_cluster_world();
+        let _ = StateProtocol::new(&hfc, vec![], &delays, ProtocolConfig::default());
+    }
+}
+
+#[cfg(test)]
+mod loss_tests {
+    use super::*;
+    use son_clustering::Clustering;
+    use son_overlay::{DelayMatrix, ServiceId};
+
+    fn world() -> (HfcTopology, DelayMatrix, Vec<ServiceSet>) {
+        let n = 12;
+        let pos: Vec<f64> = (0..n)
+            .map(|i| (i / 4) as f64 * 200.0 + (i % 4) as f64 * 3.0)
+            .collect();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = (pos[i] - pos[j]).abs();
+            }
+        }
+        let delays = DelayMatrix::from_values(n, values);
+        let labels: Vec<usize> = (0..n).map(|i| i / 4).collect();
+        let hfc = HfcTopology::build(&Clustering::from_labels(&labels), &delays);
+        let services: Vec<ServiceSet> = (0..n)
+            .map(|i| ServiceSet::from_iter([ServiceId::new(i)]))
+            .collect();
+        (hfc, delays, services)
+    }
+
+    #[test]
+    fn protocol_survives_moderate_loss() {
+        let (hfc, delays, services) = world();
+        // Periodic retransmission is the protocol's loss defence: with
+        // enough rounds, a 25% drop rate still converges.
+        let config = ProtocolConfig {
+            rounds: 8,
+            ..ProtocolConfig::default()
+        };
+        let mut protocol = StateProtocol::new(&hfc, services, &delays, config);
+        protocol.inject_loss(0.25, 7);
+        let report = protocol.run_to_quiescence();
+        assert!(report.converged, "{report:?}");
+    }
+
+    #[test]
+    fn total_loss_prevents_convergence() {
+        let (hfc, delays, services) = world();
+        let mut protocol = StateProtocol::new(&hfc, services, &delays, ProtocolConfig::default());
+        protocol.inject_loss(1.0, 1);
+        let report = protocol.run_to_quiescence();
+        assert!(!report.converged);
+        assert_eq!(report.messages_delivered, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let (hfc, delays, services) = world();
+        let mut protocol = StateProtocol::new(&hfc, services, &delays, ProtocolConfig::default());
+        protocol.inject_loss(1.5, 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Service Capability Tables.
+
+use son_overlay::{ClusterId, ProxyId, ServiceId, ServiceSet};
+use std::collections::BTreeMap;
+
+/// The per-proxy Service Capability Table (`SCT_P`): which services
+/// each proxy of the *local cluster* carries.
+///
+/// # Example
+///
+/// ```
+/// use son_state::SctP;
+/// use son_overlay::{ProxyId, ServiceId, ServiceSet};
+///
+/// let mut sct = SctP::new();
+/// sct.update(ProxyId::new(3), ServiceSet::from_iter([ServiceId::new(1)]));
+/// assert_eq!(sct.providers_of(ServiceId::new(1)), vec![ProxyId::new(3)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SctP {
+    entries: BTreeMap<ProxyId, ServiceSet>,
+}
+
+impl SctP {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs or refreshes the capability set of `proxy`. Returns
+    /// `true` if the stored entry changed.
+    pub fn update(&mut self, proxy: ProxyId, services: ServiceSet) -> bool {
+        match self.entries.get(&proxy) {
+            Some(existing) if *existing == services => false,
+            _ => {
+                self.entries.insert(proxy, services);
+                true
+            }
+        }
+    }
+
+    /// The capability set of `proxy`, if known.
+    pub fn services_of(&self, proxy: ProxyId) -> Option<&ServiceSet> {
+        self.entries.get(&proxy)
+    }
+
+    /// Proxies known to carry `service`, in id order.
+    pub fn providers_of(&self, service: ServiceId) -> Vec<ProxyId> {
+        self.entries
+            .iter()
+            .filter(|(_, set)| set.contains(service))
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Number of proxies known.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no proxy is known.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(proxy, services)` entries in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProxyId, &ServiceSet)> {
+        self.entries.iter().map(|(&p, s)| (p, s))
+    }
+
+    /// The union of every known proxy's services — the aggregate SCI a
+    /// border proxy advertises for its cluster (Section 4, footnote 5).
+    pub fn aggregate(&self) -> ServiceSet {
+        let mut out = ServiceSet::new();
+        for set in self.entries.values() {
+            out.merge(set);
+        }
+        out
+    }
+}
+
+/// The per-cluster Service Capability Table (`SCT_C`): the aggregate
+/// service set of every cluster in the system.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SctC {
+    entries: BTreeMap<ClusterId, ServiceSet>,
+}
+
+impl SctC {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs or refreshes the aggregate set of `cluster`. Returns
+    /// `true` if the stored entry changed.
+    pub fn update(&mut self, cluster: ClusterId, services: ServiceSet) -> bool {
+        match self.entries.get(&cluster) {
+            Some(existing) if *existing == services => false,
+            _ => {
+                self.entries.insert(cluster, services);
+                true
+            }
+        }
+    }
+
+    /// Merges `services` into the stored entry of `cluster` (set
+    /// union). Returns `true` if the entry grew (or was created).
+    ///
+    /// With statically installed services, cluster aggregates only ever
+    /// grow, so merging makes table updates order-independent: a stale
+    /// retransmission can never regress a fresher entry.
+    pub fn merge_update(&mut self, cluster: ClusterId, services: &ServiceSet) -> bool {
+        match self.entries.get_mut(&cluster) {
+            Some(existing) => {
+                let before = existing.len();
+                existing.merge(services);
+                existing.len() > before
+            }
+            None => {
+                self.entries.insert(cluster, services.clone());
+                true
+            }
+        }
+    }
+
+    /// The aggregate set of `cluster`, if known.
+    pub fn services_of(&self, cluster: ClusterId) -> Option<&ServiceSet> {
+        self.entries.get(&cluster)
+    }
+
+    /// Clusters known to offer `service`, in id order.
+    pub fn clusters_with(&self, service: ServiceId) -> Vec<ClusterId> {
+        self.entries
+            .iter()
+            .filter(|(_, set)| set.contains(service))
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    /// Number of clusters known.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no cluster is known.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(cluster, services)` entries in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClusterId, &ServiceSet)> {
+        self.entries.iter().map(|(&c, s)| (c, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[usize]) -> ServiceSet {
+        ids.iter().map(|&i| ServiceId::new(i)).collect()
+    }
+
+    #[test]
+    fn sctp_update_reports_changes() {
+        let mut sct = SctP::new();
+        assert!(sct.update(ProxyId::new(0), set(&[1, 2])));
+        assert!(!sct.update(ProxyId::new(0), set(&[1, 2])), "same content");
+        assert!(sct.update(ProxyId::new(0), set(&[1])), "content changed");
+        assert_eq!(sct.len(), 1);
+    }
+
+    #[test]
+    fn sctp_finds_providers_in_order() {
+        let mut sct = SctP::new();
+        sct.update(ProxyId::new(5), set(&[1]));
+        sct.update(ProxyId::new(2), set(&[1, 3]));
+        sct.update(ProxyId::new(9), set(&[3]));
+        assert_eq!(
+            sct.providers_of(ServiceId::new(1)),
+            vec![ProxyId::new(2), ProxyId::new(5)]
+        );
+        assert!(sct.providers_of(ServiceId::new(7)).is_empty());
+    }
+
+    #[test]
+    fn sctp_aggregate_is_union() {
+        let mut sct = SctP::new();
+        sct.update(ProxyId::new(0), set(&[1, 2]));
+        sct.update(ProxyId::new(1), set(&[2, 3]));
+        assert_eq!(sct.aggregate(), set(&[1, 2, 3]));
+        assert_eq!(SctP::new().aggregate(), ServiceSet::new());
+    }
+
+    #[test]
+    fn sctc_tracks_clusters() {
+        let mut sct = SctC::new();
+        assert!(sct.is_empty());
+        sct.update(ClusterId::new(0), set(&[1]));
+        sct.update(ClusterId::new(2), set(&[1, 4]));
+        assert_eq!(
+            sct.clusters_with(ServiceId::new(1)),
+            vec![ClusterId::new(0), ClusterId::new(2)]
+        );
+        assert_eq!(sct.services_of(ClusterId::new(2)), Some(&set(&[1, 4])));
+        assert_eq!(sct.services_of(ClusterId::new(1)), None);
+        assert_eq!(sct.iter().count(), 2);
+    }
+}
+
+#[cfg(test)]
+mod merge_tests {
+    use super::*;
+
+    fn set(ids: &[usize]) -> ServiceSet {
+        ids.iter().map(|&i| ServiceId::new(i)).collect()
+    }
+
+    #[test]
+    fn merge_update_is_monotone() {
+        let mut sct = SctC::new();
+        assert!(sct.merge_update(ClusterId::new(0), &set(&[1, 2])));
+        // A stale retransmission cannot shrink the entry.
+        assert!(!sct.merge_update(ClusterId::new(0), &set(&[1])));
+        assert_eq!(sct.services_of(ClusterId::new(0)), Some(&set(&[1, 2])));
+        // New services grow it.
+        assert!(sct.merge_update(ClusterId::new(0), &set(&[3])));
+        assert_eq!(sct.services_of(ClusterId::new(0)), Some(&set(&[1, 2, 3])));
+    }
+
+    #[test]
+    fn merge_update_is_order_independent() {
+        let parts = [set(&[1]), set(&[2, 3]), set(&[1, 4])];
+        let mut forward = SctC::new();
+        for p in &parts {
+            forward.merge_update(ClusterId::new(0), p);
+        }
+        let mut backward = SctC::new();
+        for p in parts.iter().rev() {
+            backward.merge_update(ClusterId::new(0), p);
+        }
+        assert_eq!(
+            forward.services_of(ClusterId::new(0)),
+            backward.services_of(ClusterId::new(0))
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Simulation environments (the paper's Table 1).
+
+/// One simulation environment: the sizes of everything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Environment {
+    /// Number of nodes in the physical (transit-stub) topology.
+    pub physical_nodes: usize,
+    /// Number of landmark nodes for the coordinate embedding.
+    pub landmarks: usize,
+    /// Number of overlay proxies.
+    pub proxies: usize,
+    /// Number of clients issuing requests.
+    pub clients: usize,
+    /// Inclusive range of services installed per proxy.
+    pub services_per_proxy: (usize, usize),
+    /// Inclusive range of service-request lengths.
+    pub request_length: (usize, usize),
+    /// Size of the universe of distinct named services (not given in
+    /// the paper; see crate docs).
+    pub service_universe: usize,
+    /// Base RNG seed; every derived generator seeds from this.
+    pub seed: u64,
+}
+
+impl Environment {
+    /// The Table 1 row for a given proxy count (250, 500, 750 or 1000).
+    ///
+    /// # Panics
+    ///
+    /// Panics for any other proxy count.
+    pub fn table1(proxies: usize, seed: u64) -> Self {
+        let (physical_nodes, clients) = match proxies {
+            250 => (300, 40),
+            500 => (600, 90),
+            750 => (900, 140),
+            1000 => (1200, 120),
+            other => panic!("no Table 1 row for {other} proxies"),
+        };
+        Environment {
+            physical_nodes,
+            landmarks: 10,
+            proxies,
+            clients,
+            services_per_proxy: (4, 10),
+            request_length: (4, 10),
+            service_universe: 60,
+            seed,
+        }
+    }
+
+    /// A scaled-down environment for quick tests (not from the paper).
+    pub fn small(seed: u64) -> Self {
+        Environment {
+            physical_nodes: 120,
+            landmarks: 8,
+            proxies: 60,
+            clients: 10,
+            services_per_proxy: (3, 6),
+            request_length: (2, 5),
+            service_universe: 20,
+            seed,
+        }
+    }
+}
+
+/// All four Table 1 environments, in increasing size.
+pub fn table1_environments(seed: u64) -> Vec<Environment> {
+    [250, 500, 750, 1000]
+        .into_iter()
+        .map(|p| Environment::table1(p, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let envs = table1_environments(0);
+        assert_eq!(envs.len(), 4);
+        let rows: Vec<(usize, usize, usize, usize)> = envs
+            .iter()
+            .map(|e| (e.physical_nodes, e.landmarks, e.proxies, e.clients))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                (300, 10, 250, 40),
+                (600, 10, 500, 90),
+                (900, 10, 750, 140),
+                (1200, 10, 1000, 120),
+            ]
+        );
+        for e in &envs {
+            assert_eq!(e.services_per_proxy, (4, 10));
+            assert_eq!(e.request_length, (4, 10));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no Table 1 row")]
+    fn unknown_row_panics() {
+        let _ = Environment::table1(123, 0);
+    }
+}

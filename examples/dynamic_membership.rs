@@ -1,0 +1,84 @@
+//! Dynamic membership — the paper's first future direction (§7),
+//! implemented in `son_core::membership`.
+//!
+//! Proxies join the cluster of their nearest neighbor (cheap, no
+//! re-clustering); churn gradually deteriorates the clustering, a
+//! quality score detects it, and a restructure (full MST + Zahn pass)
+//! repairs it.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_membership
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use son_core::membership::DynamicOverlay;
+use son_core::{Coordinates, ProxyId, ZahnConfig};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(9);
+    // Start from five tight communities in the plane.
+    let centers = [
+        (0.0, 0.0),
+        (400.0, 50.0),
+        (120.0, 500.0),
+        (500.0, 450.0),
+        (250.0, 250.0),
+    ];
+    let mut coords = Vec::new();
+    for &(cx, cy) in &centers {
+        for _ in 0..8 {
+            coords.push(Coordinates::new(vec![
+                cx + rng.gen::<f64>() * 30.0,
+                cy + rng.gen::<f64>() * 30.0,
+            ]));
+        }
+    }
+    let mut overlay = DynamicOverlay::new(coords, ZahnConfig::default());
+    println!(
+        "initial: {} proxies, {} clusters, quality {:.3}",
+        overlay.len(),
+        overlay.hfc().cluster_count(),
+        overlay.quality().unwrap_or(f64::NAN)
+    );
+
+    // Churn: two *new* communities come online (e.g. new data centers)
+    // and a few old members leave. Join-nearest stretches the existing
+    // clusters toward the newcomers instead of recognizing the new
+    // groups.
+    let new_centers = [(720.0, 120.0), (80.0, 760.0)];
+    for round in 1..=4 {
+        for _ in 0..6 {
+            let (cx, cy) = new_centers[rng.gen_range(0..new_centers.len())];
+            overlay.join(Coordinates::new(vec![
+                cx + rng.gen::<f64>() * 40.0,
+                cy + rng.gen::<f64>() * 40.0,
+            ]));
+        }
+        for _ in 0..2 {
+            let victim = ProxyId::new(rng.gen_range(0..overlay.len()));
+            overlay.leave(victim);
+        }
+        println!(
+            "after churn round {round}: {} proxies, {} clusters, quality {:.3}",
+            overlay.len(),
+            overlay.hfc().cluster_count(),
+            overlay.quality().unwrap_or(f64::NAN)
+        );
+    }
+
+    // Quality-triggered restructuring.
+    let threshold = 0.08;
+    let restructured = overlay.restructure_if_needed(threshold);
+    println!(
+        "\nrestructure (threshold {threshold}): {} -> {} clusters, quality {:.3}{}",
+        if restructured { "ran" } else { "skipped" },
+        overlay.hfc().cluster_count(),
+        overlay.quality().unwrap_or(f64::NAN),
+        if restructured {
+            " (fresh MST + Zahn pass)"
+        } else {
+            ""
+        }
+    );
+}

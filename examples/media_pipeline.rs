@@ -1,0 +1,93 @@
+//! The paper's motivating multimedia scenario (Section 2.1):
+//!
+//! > An MPEG video stream may undergo a series of transformations for
+//! > customization: (1) be watermarked for copyright protection;
+//! > (2) be converted from MPEG to H.261 to reduce bandwidth
+//! > requirement; (3) be incorporated with a background music, under
+//! > user's request; (4) be compressed, again, for less bandwidth
+//! > requirement.
+//!
+//! We install these named services on a sparse subset of proxies and
+//! route the four-stage pipeline from a media server's proxy to a
+//! client's proxy, comparing the hierarchical route against the
+//! full-state HFC optimum.
+//!
+//! ```sh
+//! cargo run --release --example media_pipeline
+//! ```
+
+use son_core::{
+    ProxyId, ServiceGraph, ServiceOverlay, ServiceRegistry, ServiceRequest, ServiceSet, SonConfig,
+};
+
+fn main() {
+    let mut registry = ServiceRegistry::new();
+    let watermark = registry.intern("watermark");
+    let mpeg2h261 = registry.intern("mpeg2h261");
+    let bg_music = registry.intern("background-music");
+    let compress = registry.intern("compress");
+
+    // Build the overlay world, then install the media services by hand:
+    // every 7th proxy gets one of the four services, round-robin, so
+    // providers are scattered across clusters.
+    let base = ServiceOverlay::build(&SonConfig::small(2024));
+    let n = base.proxy_count();
+    let all = [watermark, mpeg2h261, bg_music, compress];
+    let services: Vec<ServiceSet> = (0..n)
+        .map(|i| {
+            if i % 7 == 0 {
+                ServiceSet::from_iter([all[(i / 7) % all.len()]])
+            } else {
+                ServiceSet::new()
+            }
+        })
+        .collect();
+    let overlay = base.with_services(services);
+
+    let pipeline = ServiceGraph::linear(vec![watermark, mpeg2h261, bg_music, compress]);
+    println!("pipeline: watermark → mpeg2h261 → background-music → compress");
+    println!(
+        "world: {} proxies in {} clusters\n",
+        overlay.proxy_count(),
+        overlay.hfc().cluster_count()
+    );
+
+    let router = overlay.hier_router();
+    let server = ProxyId::new(1);
+    for client in [10usize, 25, 40, 55] {
+        let request = ServiceRequest::new(server, pipeline.clone(), ProxyId::new(client));
+        match router.route(&request) {
+            Ok(route) => {
+                route
+                    .path
+                    .validate(&request, |p, s| overlay.carries(p, s))
+                    .expect("routed paths are feasible");
+                let full = router
+                    .route_without_aggregation(&request)
+                    .expect("full-state route exists when the hierarchical one does");
+                println!("server {server} → client p{client}");
+                print!("  path : ");
+                let mut first = true;
+                for hop in route.path.hops() {
+                    if !first {
+                        print!(" → ");
+                    }
+                    first = false;
+                    match hop.service {
+                        Some(s) => print!("{}@{}", registry.name(s), hop.proxy),
+                        None => print!("{}", hop.proxy),
+                    }
+                }
+                println!();
+                println!(
+                    "  delay: {:.1}ms hierarchical vs {:.1}ms full-state HFC ({} relays)",
+                    overlay.true_length(&route.path),
+                    overlay.true_length(&full),
+                    route.path.relay_count(),
+                );
+            }
+            Err(e) => println!("server {server} → client p{client}: {e}"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,107 @@
+//! The paper's Web-document scenario (Section 2.1) with a *non-linear*
+//! service graph (Figure 2(b)).
+//!
+//! A document can reach the client two ways:
+//!
+//! * `translate → merge → format` (translate first, then merge with a
+//!   local document), or
+//! * `ocr → merge → format` (the source is a scanned image that must be
+//!   OCR'd instead of translated), or
+//! * `ocr → format` (when no merge is needed for scanned sources).
+//!
+//! The router picks whichever feasible configuration yields the
+//! shortest path — and different client locations pick different
+//! configurations.
+//!
+//! ```sh
+//! cargo run --release --example web_customization
+//! ```
+
+use son_core::{
+    ProxyId, ServiceGraph, ServiceOverlay, ServiceRegistry, ServiceRequest, ServiceSet, SonConfig,
+};
+
+fn main() {
+    let mut registry = ServiceRegistry::new();
+    let translate = registry.intern("translate");
+    let ocr = registry.intern("ocr");
+    let merge = registry.intern("merge");
+    let format = registry.intern("format");
+
+    let base = ServiceOverlay::build(&SonConfig::small(77));
+    let n = base.proxy_count();
+    // translate is rare (every 11th proxy), ocr more common (every 5th),
+    // merge/format widespread (every 3rd, alternating).
+    let services: Vec<ServiceSet> = (0..n)
+        .map(|i| {
+            let mut set = ServiceSet::new();
+            if i % 11 == 0 {
+                set.insert(translate);
+            }
+            if i % 5 == 0 {
+                set.insert(ocr);
+            }
+            if i % 3 == 0 {
+                set.insert(if i % 2 == 0 { merge } else { format });
+            }
+            if i % 9 == 0 {
+                set.insert(format);
+            }
+            set
+        })
+        .collect();
+    let overlay = base.with_services(services);
+
+    // Figure 2(b)-shaped graph: two source stages (translate, ocr)
+    // feeding merge → format, plus the ocr → format shortcut.
+    let graph = ServiceGraph::builder()
+        .stage(translate) // 0
+        .stage(ocr) // 1
+        .stage(merge) // 2
+        .stage(format) // 3
+        .edge(0, 2)
+        .edge(1, 2)
+        .edge(2, 3)
+        .edge(1, 3)
+        .build()
+        .expect("the dependency graph is acyclic");
+    println!(
+        "configurations available: {:?}",
+        graph
+            .configurations()
+            .iter()
+            .map(|c| c
+                .iter()
+                .map(|&s| registry.name(graph.service(s)))
+                .collect::<Vec<_>>()
+                .join("→"))
+            .collect::<Vec<_>>()
+    );
+    println!();
+
+    let router = overlay.hier_router();
+    for (src, dst) in [(2usize, 50usize), (17, 33), (44, 8), (29, 58)] {
+        let request = ServiceRequest::new(ProxyId::new(src), graph.clone(), ProxyId::new(dst));
+        match router.route(&request) {
+            Ok(route) => {
+                route
+                    .path
+                    .validate(&request, |p, s| overlay.carries(p, s))
+                    .expect("routed paths are feasible");
+                let chosen: Vec<&str> = route
+                    .path
+                    .service_chain()
+                    .iter()
+                    .map(|&s| registry.name(s))
+                    .collect();
+                println!(
+                    "p{src} → p{dst}: picked [{}], {:.1}ms over {} clusters",
+                    chosen.join(" → "),
+                    overlay.true_length(&route.path),
+                    route.child_count
+                );
+            }
+            Err(e) => println!("p{src} → p{dst}: {e}"),
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Integration: routing keeps working across membership churn — joins,
+//! leaves and quality-triggered restructuring (the paper's §7 future
+//! direction, end to end).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use son_core::membership::DynamicOverlay;
+use son_core::{
+    Coordinates, HierConfig, HierarchicalRouter, ProxyId, ServiceGraph, ServiceId,
+    ServiceRequest, ServiceSet, ZahnConfig,
+};
+
+/// Five planted communities plus per-proxy service sets.
+fn world(seed: u64) -> (DynamicOverlay, Vec<ServiceSet>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coords = Vec::new();
+    for c in 0..5 {
+        for _ in 0..6 {
+            coords.push(Coordinates::new(vec![
+                c as f64 * 800.0 + rng.gen::<f64>() * 40.0,
+                (c % 2) as f64 * 600.0 + rng.gen::<f64>() * 40.0,
+            ]));
+        }
+    }
+    let n = coords.len();
+    let overlay = DynamicOverlay::new(coords, ZahnConfig::default());
+    let services: Vec<ServiceSet> = (0..n)
+        .map(|i| (0..10).filter(|s| (i + s) % 3 != 0).map(ServiceId::new).collect())
+        .collect();
+    (overlay, services)
+}
+
+fn route_everything(overlay: &DynamicOverlay, services: &[ServiceSet], seed: u64) -> usize {
+    let router = HierarchicalRouter::from_services(
+        overlay.hfc(),
+        services,
+        overlay.delays(),
+        HierConfig::default(),
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = overlay.len();
+    let mut ok = 0;
+    for _ in 0..25 {
+        let request = ServiceRequest::new(
+            ProxyId::new(rng.gen_range(0..n)),
+            ServiceGraph::linear(
+                (0..3).map(|_| ServiceId::new(rng.gen_range(0..10))).collect(),
+            ),
+            ProxyId::new(rng.gen_range(0..n)),
+        );
+        if let Ok(route) = router.route(&request) {
+            route
+                .path
+                .validate(&request, |p, s| services[p.index()].contains(s))
+                .expect("routed path must be feasible");
+            ok += 1;
+        }
+    }
+    ok
+}
+
+#[test]
+fn routing_survives_joins_leaves_and_restructure() {
+    let (mut overlay, mut services) = world(5);
+    assert!(route_everything(&overlay, &services, 1) > 15);
+
+    let mut rng = StdRng::seed_from_u64(9);
+    // Joins: newcomers with their own services.
+    for i in 0..8 {
+        overlay.join(Coordinates::new(vec![
+            rng.gen::<f64>() * 3_500.0,
+            rng.gen::<f64>() * 700.0,
+        ]));
+        services.push((0..10).filter(|s| (i + s) % 4 != 0).map(ServiceId::new).collect());
+    }
+    assert!(route_everything(&overlay, &services, 2) > 15);
+
+    // Leaves: swap-remove semantics must be mirrored on the service
+    // table.
+    for _ in 0..5 {
+        let victim = ProxyId::new(rng.gen_range(0..overlay.len()));
+        overlay.leave(victim);
+        services.swap_remove(victim.index());
+    }
+    assert_eq!(services.len(), overlay.len());
+    assert!(route_everything(&overlay, &services, 3) > 15);
+
+    // Restructure and route again.
+    overlay.restructure();
+    assert!(route_everything(&overlay, &services, 4) > 15);
+}
+
+#[test]
+fn hfc_invariants_hold_through_heavy_churn() {
+    let (mut overlay, _) = world(6);
+    let mut rng = StdRng::seed_from_u64(10);
+    for step in 0..40 {
+        if step % 3 == 0 && overlay.len() > 5 {
+            let victim = ProxyId::new(rng.gen_range(0..overlay.len()));
+            overlay.leave(victim);
+        } else {
+            overlay.join(Coordinates::new(vec![
+                rng.gen::<f64>() * 3_500.0,
+                rng.gen::<f64>() * 700.0,
+            ]));
+        }
+        let hfc = overlay.hfc();
+        // Membership is a partition.
+        let mut seen = vec![false; overlay.len()];
+        for c in hfc.clusters() {
+            for &m in hfc.members(c) {
+                assert!(!seen[m.index()], "proxy in two clusters");
+                seen[m.index()] = true;
+                assert_eq!(hfc.cluster_of(m), c);
+            }
+        }
+        assert!(seen.into_iter().all(|s| s), "proxy in no cluster");
+        // Borders are symmetric and live in the right clusters.
+        for i in hfc.clusters() {
+            for j in hfc.clusters() {
+                if i < j {
+                    let ij = hfc.border(i, j);
+                    let ji = hfc.border(j, i);
+                    assert_eq!(ij.local, ji.remote);
+                    assert_eq!(ij.remote, ji.local);
+                    assert_eq!(hfc.cluster_of(ij.local), i);
+                    assert_eq!(hfc.cluster_of(ij.remote), j);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Integration: the full pipeline from physical topology to routed,
+//! validated service paths, across several seeds.
+
+use son_core::{OverheadKind, RouteError, ServiceOverlay, SonConfig};
+
+#[test]
+fn full_pipeline_works_across_seeds() {
+    for seed in [1u64, 2, 3] {
+        let overlay = ServiceOverlay::build(&SonConfig::small(seed));
+
+        // The physical world is connected and the clustering covers
+        // every proxy.
+        assert!(overlay.physical().graph().is_connected());
+        assert_eq!(overlay.clustering().point_count(), overlay.proxy_count());
+
+        // The distributed state protocol converges.
+        let report = overlay.run_state_protocol();
+        assert!(report.converged, "seed {seed}: {report:?}");
+
+        // Requests route and validate.
+        let router = overlay.hier_router();
+        let requests = overlay.generate_requests(40, seed ^ 0xbeef);
+        let mut ok = 0;
+        for request in &requests {
+            match router.route(request) {
+                Ok(route) => {
+                    route
+                        .path
+                        .validate(request, |p, s| overlay.carries(p, s))
+                        .unwrap_or_else(|e| panic!("seed {seed}: invalid path: {e}"));
+                    ok += 1;
+                }
+                Err(RouteError::NoProvider(_)) => {} // genuinely unavailable service
+                Err(RouteError::Infeasible) => {}
+            }
+        }
+        assert!(ok >= 20, "seed {seed}: only {ok}/40 requests routed");
+    }
+}
+
+#[test]
+fn hfc_overhead_beats_flat_at_every_size() {
+    for seed in [4u64, 5] {
+        let overlay = ServiceOverlay::build(&SonConfig::small(seed));
+        let (flat_c, hfc_c) = overlay.overhead(OverheadKind::Coordinates);
+        let (flat_s, hfc_s) = overlay.overhead(OverheadKind::ServiceCapability);
+        assert!(
+            hfc_c.mean < flat_c.mean,
+            "seed {seed}: coordinates {} !< {}",
+            hfc_c.mean,
+            flat_c.mean
+        );
+        assert!(
+            hfc_s.mean < flat_s.mean,
+            "seed {seed}: services {} !< {}",
+            hfc_s.mean,
+            flat_s.mean
+        );
+        // And every individual proxy is below the flat bound.
+        assert!(hfc_c.max <= flat_c.max);
+        assert!(hfc_s.max <= flat_s.max + overlay.hfc().cluster_count());
+    }
+}
+
+#[test]
+fn protocol_tables_agree_with_router_construction() {
+    // The router built directly from installed services must see the
+    // same world as the one built from converged protocol tables.
+    let overlay = ServiceOverlay::build(&SonConfig::small(6));
+    let report = overlay.run_state_protocol();
+    assert!(report.converged);
+
+    let router = overlay.hier_router();
+    // Every cluster aggregate in the router's SCT_C equals the union of
+    // its members' installed services.
+    for cluster in overlay.hfc().clusters() {
+        let mut expected = son_core::ServiceSet::new();
+        for &m in overlay.hfc().members(cluster) {
+            expected.merge(&overlay.services()[m.index()]);
+        }
+        assert_eq!(
+            router.sctc().services_of(cluster),
+            Some(&expected),
+            "aggregate mismatch for {cluster}"
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Integration: the state distribution protocol on realistically built
+//! overlays (not hand-crafted clusters).
+
+use son_core::{ProtocolConfig, ProxyId, ServiceOverlay, SimTime, SonConfig, StateProtocol};
+
+#[test]
+fn protocol_converges_on_generated_overlays() {
+    for seed in [51u64, 52] {
+        let overlay = ServiceOverlay::build(&SonConfig::small(seed));
+        let report = overlay.run_state_protocol();
+        assert!(report.converged, "seed {seed}: {report:?}");
+        assert!(report.ended_at > SimTime::ZERO);
+    }
+}
+
+#[test]
+fn message_cost_scales_with_cluster_sizes_not_n_squared() {
+    // Local state messages per round are Σ |C_i|·(|C_i|−1), which for
+    // balanced clusters is far below n(n−1) (the flat flooding cost).
+    let overlay = ServiceOverlay::build(&SonConfig::small(53));
+    let report = overlay.run_state_protocol();
+    assert!(report.converged);
+    let n = overlay.proxy_count() as u64;
+    let rounds = overlay.config().protocol.rounds as u64;
+    let flat_flood = n * (n - 1) * rounds;
+    assert!(
+        report.local_messages < flat_flood,
+        "local messages {} should undercut flat flooding {}",
+        report.local_messages,
+        flat_flood
+    );
+}
+
+#[test]
+fn converged_tables_drive_identical_routing() {
+    // Routing from protocol-converged tables must equal routing from
+    // statically constructed tables.
+    let overlay = ServiceOverlay::build(&SonConfig::small(54));
+    let mut protocol = StateProtocol::new(
+        overlay.hfc(),
+        overlay.services().to_vec(),
+        overlay.true_delays(),
+        ProtocolConfig::default(),
+    );
+    let report = protocol.run_to_quiescence();
+    assert!(report.converged);
+
+    // Per-cluster tables extracted from any member agree.
+    for cluster in overlay.hfc().clusters() {
+        let members = overlay.hfc().members(cluster);
+        let (first_sctp, first_sctc) = protocol.tables_of(members[0]);
+        for &m in &members[1..] {
+            let (sctp, sctc) = protocol.tables_of(m);
+            assert_eq!(sctp, first_sctp, "SCT_P divergence inside {cluster}");
+            assert_eq!(sctc, first_sctc, "SCT_C divergence inside {cluster}");
+        }
+    }
+
+    // And the tables describe exactly the installed services.
+    for cluster in overlay.hfc().clusters() {
+        let probe = overlay.hfc().members(cluster)[0];
+        let (sctp, _) = protocol.tables_of(probe);
+        for &m in overlay.hfc().members(cluster) {
+            assert_eq!(
+                sctp.services_of(m),
+                Some(&overlay.services()[m.index()]),
+                "wrong capability entry for {m}"
+            );
+        }
+    }
+    let _ = ProxyId::new(0); // silence unused-import pedantry if members empty
+}
