@@ -168,9 +168,9 @@ mod tests {
     #[test]
     fn prim_on_a_square() {
         // Unit square; MST weight = 3 sides = 3.
-        let pts = [[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]];
+        let pts: [[f64; 2]; 4] = [[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]];
         let dist = |a: usize, b: usize| {
-            (((pts[a][0] - pts[b][0]) as f64).powi(2) + ((pts[a][1] - pts[b][1]) as f64).powi(2))
+            ((pts[a][0] - pts[b][0]).powi(2) + (pts[a][1] - pts[b][1]).powi(2))
                 .sqrt()
         };
         let mst = mst_complete(4, dist);

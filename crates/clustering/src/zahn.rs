@@ -253,7 +253,7 @@ mod tests {
     fn ratio_controls_sensitivity() {
         // Mild gap: 3x the local spacing.
         let xs: &[f64] = &[0.0, 1.0, 2.0, 3.0, 6.5, 7.5, 8.5, 9.5];
-        let mst = line_mst(&xs);
+        let mst = line_mst(xs);
         let loose = ZahnClusterer::new(ZahnConfig {
             ratio: 5.0,
             ..ZahnConfig::default()
@@ -271,7 +271,7 @@ mod tests {
     #[test]
     fn both_sides_rule_cuts_no_more_than_combined() {
         let xs: &[f64] = &[0.0, 1.0, 2.0, 10.0, 11.0, 30.0, 31.0, 32.0];
-        let mst = line_mst(&xs);
+        let mst = line_mst(xs);
         let combined = ZahnClusterer::new(ZahnConfig {
             rule: InconsistencyRule::CombinedMean,
             ..ZahnConfig::default()
@@ -294,7 +294,7 @@ mod tests {
     fn absorption_removes_tiny_clusters() {
         // A lone outlier between two groups.
         let xs: &[f64] = &[0.0, 1.0, 2.0, 50.0, 100.0, 101.0, 102.0];
-        let mst = line_mst(&xs);
+        let mst = line_mst(xs);
         let raw = ZahnClusterer::new(ZahnConfig {
             ratio: 2.0,
             ..ZahnConfig::default()
@@ -323,7 +323,7 @@ mod tests {
         // A single edge has no nearby edges, so it can never be judged
         // inconsistent.
         let xs: &[f64] = &[0.0, 1_000_000.0];
-        let clustering = ZahnClusterer::default().cluster(&line_mst(&xs));
+        let clustering = ZahnClusterer::default().cluster(&line_mst(xs));
         assert_eq!(clustering.len(), 1);
     }
 

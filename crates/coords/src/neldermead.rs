@@ -187,7 +187,7 @@ mod tests {
         let target: Vec<f64> = (0..8).map(|i| i as f64 - 3.5).collect();
         let t = target.clone();
         let f = move |x: &[f64]| -> f64 { x.iter().zip(&t).map(|(a, b)| (a - b).powi(2)).sum() };
-        let (x, v) = minimize(&f, &vec![0.0; 8], &cfg());
+        let (x, v) = minimize(&f, &[0.0; 8], &cfg());
         assert!(v < 1e-6, "value {v}");
         for (a, b) in x.iter().zip(&target) {
             assert!((a - b).abs() < 1e-2);

@@ -36,9 +36,11 @@ pub mod membership;
 pub mod multilevel;
 pub mod overlay_system;
 
-pub use membership::DynamicOverlay;
+pub use membership::{ChurnStats, DynamicOverlay};
 pub use multilevel::{MultiLevelHfc, MultiLevelRouter, SuperClusterId};
-pub use overlay_system::{BuildStats, ServiceOverlay, SonConfig};
+pub use overlay_system::{
+    BuildStage, BuildStats, OverlayBuilder, ServiceOverlay, SonConfig, StageTimings,
+};
 
 // Re-export the full public API of the component crates so downstream
 // users (examples, benches) need only one dependency.
@@ -55,15 +57,15 @@ pub use son_netsim::{
     SimStats, SimTime, Simulator, TransitStubConfig,
 };
 pub use son_overlay::{
-    BorderPair, BorderSelection, ClusterId, CoordDelays, DelayMatrix, DelayModel, HfcDelays,
-    HfcTopology, MeshConfig, MeshTopology, Proxy, ProxyId, QosProfile, QosRequirement,
-    ServiceGraph, ServiceId, ServiceRegistry, ServiceRequest, ServiceSet, StageId,
+    BorderPair, BorderSelection, CachedDelays, ClusterId, CoordDelays, DelayMatrix, DelayModel,
+    HfcDelays, HfcSnapshot, HfcTopology, MeshConfig, MeshTopology, Proxy, ProxyId, QosProfile,
+    QosRequirement, ServiceGraph, ServiceId, ServiceRegistry, ServiceRequest, ServiceSet, StageId,
 };
 pub use son_routing::fixtures;
 pub use son_routing::{
     resolve_distributed, solve_service_dag, Assignment, ChildSpec, FlatRouter, HierConfig,
-    HierRoute, HierarchicalRouter, PathHop, ProviderIndex, ProviderLookup, RouteError, RoutePlan,
-    ServicePath, SessionReport, ValidatePathError,
+    HierRoute, HierarchicalRouter, PathBuilder, PathHop, ProviderIndex, ProviderLookup, RouteError,
+    RoutePlan, Router, ServicePath, SessionReport, ValidatePathError,
 };
 pub use son_state::{
     flat_overhead, hfc_overhead, OverheadKind, OverheadReport, ProtocolConfig, SctC, SctP,

@@ -5,15 +5,36 @@
 //! > of clustering. Hence some kind of re-structuring mechanism needs
 //! > to be devised.
 //!
-//! [`DynamicOverlay`] implements exactly that: cheap incremental joins
-//! (a newcomer adopts its nearest neighbor's cluster) and leaves, a
-//! clustering-quality score to detect deterioration, and a
-//! [`DynamicOverlay::restructure`] operation that re-runs the full
-//! MST + Zahn pipeline when quality drops below a threshold.
+//! [`DynamicOverlay`] implements exactly that, *incrementally*: a join
+//! assigns the newcomer to its nearest neighbor's cluster and
+//! re-elects only the border pairs involving that cluster; a leave
+//! re-elects borders only where the departed proxy served as one
+//! ([`HfcTopology::insert_proxy`] / [`HfcTopology::remove_proxy`] —
+//! O(cluster) per event instead of the old O(n²) full rebuild). A
+//! clustering-quality score detects deterioration, and
+//! [`DynamicOverlay::restructure`] re-runs the full MST + Zahn
+//! pipeline — either on demand, by threshold, or automatically via
+//! [`DynamicOverlay::with_restructure_threshold`].
 
 use son_clustering::{mst_complete, Clustering, ZahnClusterer, ZahnConfig};
 use son_coords::Coordinates;
 use son_overlay::{CoordDelays, HfcTopology, ProxyId};
+
+/// How often (in membership events) the automatic drift fallback
+/// recomputes the O(n²) quality score. Checking every event would
+/// erase the point of incremental maintenance.
+const QUALITY_CHECK_INTERVAL: usize = 16;
+
+/// Counters separating cheap incremental events from full rebuilds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChurnStats {
+    /// Joins handled by incremental border maintenance.
+    pub incremental_joins: usize,
+    /// Leaves handled by incremental border maintenance.
+    pub incremental_leaves: usize,
+    /// Full MST + Zahn + HFC rebuilds (restructures).
+    pub full_rebuilds: usize,
+}
 
 /// A clustered overlay whose membership changes over time.
 ///
@@ -40,14 +61,20 @@ use son_overlay::{CoordDelays, HfcTopology, ProxyId};
 /// let p = overlay.join(Coordinates::new(vec![103.0, 0.0]));
 /// let second = overlay.hfc().cluster_of(son_core::ProxyId::new(3));
 /// assert_eq!(overlay.hfc().cluster_of(p), second);
+/// // Handled incrementally — no full rebuild ran.
+/// assert_eq!(overlay.churn_stats().incremental_joins, 1);
+/// assert_eq!(overlay.churn_stats().full_rebuilds, 0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct DynamicOverlay {
     coords: Vec<Coordinates>,
-    labels: Vec<usize>,
     zahn: ZahnConfig,
     hfc: HfcTopology,
     delays: CoordDelays,
+    /// Quality level past which an automatic restructure fires.
+    drift_threshold: Option<f64>,
+    events_since_check: usize,
+    stats: ChurnStats,
 }
 
 impl DynamicOverlay {
@@ -60,7 +87,6 @@ impl DynamicOverlay {
     pub fn new(coords: Vec<Coordinates>, zahn: ZahnConfig) -> Self {
         assert!(!coords.is_empty(), "an overlay needs at least one proxy");
         let mut overlay = DynamicOverlay {
-            labels: vec![0; coords.len()],
             delays: CoordDelays::new(coords.clone()),
             coords,
             zahn,
@@ -68,9 +94,21 @@ impl DynamicOverlay {
                 &Clustering::from_labels(&[0]),
                 &CoordDelays::new(vec![Coordinates::origin(1)]),
             ),
+            drift_threshold: None,
+            events_since_check: 0,
+            stats: ChurnStats::default(),
         };
         overlay.restructure();
+        overlay.stats = ChurnStats::default();
         overlay
+    }
+
+    /// Enables the drift fallback: every [`QUALITY_CHECK_INTERVAL`]
+    /// membership events the quality score is recomputed, and a full
+    /// restructure runs when it exceeds `threshold` (lower is better).
+    pub fn with_restructure_threshold(mut self, threshold: f64) -> Self {
+        self.drift_threshold = Some(threshold);
+        self
     }
 
     /// Number of live proxies.
@@ -94,8 +132,21 @@ impl DynamicOverlay {
         &self.delays
     }
 
-    /// A newcomer joins the cluster of its nearest existing neighbor
-    /// (no re-clustering). Returns the new proxy's id.
+    /// How churn has been handled so far.
+    pub fn churn_stats(&self) -> ChurnStats {
+        self.stats
+    }
+
+    /// Current per-proxy cluster labels (dense hfc cluster indices).
+    pub fn labels(&self) -> Vec<usize> {
+        (0..self.coords.len())
+            .map(|i| self.hfc.cluster_of(ProxyId::new(i)).index())
+            .collect()
+    }
+
+    /// A newcomer joins the cluster of its nearest existing neighbor,
+    /// updating only border pairs that involve that cluster (no
+    /// re-clustering). Returns the new proxy's id.
     pub fn join(&mut self, coords: Coordinates) -> ProxyId {
         let nearest = (0..self.coords.len())
             .min_by(|&a, &b| {
@@ -104,14 +155,18 @@ impl DynamicOverlay {
                 da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
             })
             .expect("overlay is never empty");
-        self.labels.push(self.labels[nearest]);
-        self.coords.push(coords);
-        self.refresh();
-        ProxyId::new(self.coords.len() - 1)
+        let cluster = self.hfc.cluster_of(ProxyId::new(nearest));
+        self.coords.push(coords.clone());
+        self.delays.push(coords);
+        let p = self.hfc.insert_proxy(cluster, &self.delays);
+        self.stats.incremental_joins += 1;
+        self.maybe_restructure_on_drift();
+        p
     }
 
-    /// Removes `proxy` (swap-remove). Returns the id of the proxy that
-    /// was moved into the vacated slot, if any.
+    /// Removes `proxy` (swap-remove), re-electing borders only where it
+    /// served as one. Returns the id of the proxy that was moved into
+    /// the vacated slot, if any.
     ///
     /// # Panics
     ///
@@ -121,18 +176,19 @@ impl DynamicOverlay {
         assert!(self.coords.len() > 1, "the last proxy cannot leave");
         let i = proxy.index();
         assert!(i < self.coords.len(), "unknown proxy {proxy}");
-        let last = self.coords.len() - 1;
         self.coords.swap_remove(i);
-        self.labels.swap_remove(i);
-        self.refresh();
-        (i != last).then(|| ProxyId::new(i))
+        self.delays.swap_remove(proxy);
+        let moved = self.hfc.remove_proxy(proxy, &self.delays);
+        self.stats.incremental_leaves += 1;
+        self.maybe_restructure_on_drift();
+        moved
     }
 
     /// Mean intra-cluster over mean inter-cluster distance — lower is
     /// better. `None` when there is only one cluster or all clusters
     /// are singletons.
     pub fn quality(&self) -> Option<f64> {
-        Clustering::from_labels(&self.labels)
+        Clustering::from_labels(&self.labels())
             .separation_score(|a, b| self.coords[a].distance(&self.coords[b]))
     }
 
@@ -142,8 +198,9 @@ impl DynamicOverlay {
         let n = self.coords.len();
         let mst = mst_complete(n, |a, b| self.coords[a].distance(&self.coords[b]));
         let clustering = ZahnClusterer::new(self.zahn.clone()).cluster(&mst);
-        self.labels = (0..n).map(|p| clustering.cluster_of(p)).collect();
-        self.refresh();
+        self.delays = CoordDelays::new(self.coords.clone());
+        self.hfc = HfcTopology::build(&clustering, &self.delays);
+        self.stats.full_rebuilds += 1;
     }
 
     /// Restructures only when quality has deteriorated past
@@ -158,9 +215,17 @@ impl DynamicOverlay {
         }
     }
 
-    fn refresh(&mut self) {
-        self.delays = CoordDelays::new(self.coords.clone());
-        self.hfc = HfcTopology::build(&Clustering::from_labels(&self.labels), &self.delays);
+    /// The drift fallback: every few events, fall back to a full
+    /// rebuild if incremental churn has degraded clustering quality.
+    fn maybe_restructure_on_drift(&mut self) {
+        let Some(threshold) = self.drift_threshold else {
+            return;
+        };
+        self.events_since_check += 1;
+        if self.events_since_check >= QUALITY_CHECK_INTERVAL {
+            self.events_since_check = 0;
+            self.restructure_if_needed(threshold);
+        }
     }
 }
 
@@ -221,6 +286,42 @@ mod tests {
         // Leaving the actual last slot moves nobody.
         let moved = overlay.leave(ProxyId::new(10));
         assert_eq!(moved, None);
+    }
+
+    #[test]
+    fn membership_events_are_incremental() {
+        let mut overlay = DynamicOverlay::new(grid_coords(), ZahnConfig::default());
+        for i in 0..4 {
+            overlay.join(Coordinates::new(vec![20.0 + i as f64, 0.0]));
+        }
+        overlay.leave(ProxyId::new(3));
+        overlay.leave(ProxyId::new(7));
+        let stats = overlay.churn_stats();
+        assert_eq!(stats.incremental_joins, 4);
+        assert_eq!(stats.incremental_leaves, 2);
+        assert_eq!(stats.full_rebuilds, 0, "no event may trigger a full rebuild");
+        // The incrementally maintained topology matches a from-scratch
+        // build over the same membership.
+        let scratch = HfcTopology::build(
+            &Clustering::from_labels(&overlay.labels()),
+            overlay.delays(),
+        );
+        assert_eq!(overlay.hfc().snapshot(), scratch.snapshot());
+    }
+
+    #[test]
+    fn drift_threshold_triggers_automatic_rebuild() {
+        let mut overlay = DynamicOverlay::new(grid_coords(), ZahnConfig::default())
+            .with_restructure_threshold(0.02);
+        // Plenty of ill-fitting joins: newcomers land between groups,
+        // degrading quality until the periodic check fires a rebuild.
+        for i in 0..32 {
+            overlay.join(Coordinates::new(vec![150.0 + (i % 8) as f64 * 25.0, 0.0]));
+        }
+        assert!(
+            overlay.churn_stats().full_rebuilds >= 1,
+            "drift past the threshold must trigger the fallback"
+        );
     }
 
     #[test]

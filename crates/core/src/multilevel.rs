@@ -401,7 +401,7 @@ where
         request: &son_overlay::ServiceRequest,
     ) -> Result<son_routing::ServicePath, son_routing::RouteError> {
         use son_overlay::{ProxyId, ServiceGraph, ServiceRequest};
-        use son_routing::{PathHop, RouteError, ServicePath};
+        use son_routing::{PathBuilder, RouteError};
         use std::collections::BTreeMap;
 
         let super_of_proxy =
@@ -443,11 +443,11 @@ where
         };
 
         type Key = (u32, u32); // (super, entry)
+        type StateMap = BTreeMap<Key, (f64, Option<(usize, Key)>)>;
         let order = graph
             .topological_order()
             .expect("service graphs are validated acyclic");
-        let mut states: Vec<BTreeMap<Key, (f64, Option<(usize, Key)>)>> =
-            vec![BTreeMap::new(); graph.len()];
+        let mut states: Vec<StateMap> = vec![BTreeMap::new(); graph.len()];
         for &stage in &order {
             let si = stage.index();
             for &sup in &candidates[si] {
@@ -487,33 +487,30 @@ where
         // same supercluster must still respect cluster-border
         // connectivity — delegate to that supercluster's bi-level
         // router with an empty service graph.
-        let splice_relay = |hops: &mut Vec<PathHop>,
+        let splice_relay = |path: &mut PathBuilder,
                             sup: SuperClusterId,
                             to: ProxyId|
          -> Result<(), RouteError> {
-            let from = hops.last().expect("non-empty").proxy;
-            if from == to {
+            if path.current() == to {
                 return Ok(());
             }
-            let child = ServiceRequest::new(from, ServiceGraph::linear(vec![]), to);
+            let child = ServiceRequest::new(path.current(), ServiceGraph::linear(vec![]), to);
             let sub = self.sub_routers[sup.index()].route(&child)?;
-            for hop in &sub.path.hops()[1..] {
-                push(hops, hop.proxy);
-            }
+            path.splice(&sub.path);
             Ok(())
         };
 
         // Close at the destination and pick the best sink state (or the
         // pure relay path for an empty graph).
         if graph.is_empty() {
-            let mut hops = vec![PathHop::relay(request.source)];
+            let mut path = PathBuilder::start(request.source);
             if src_super != dst_super {
                 let (local, remote) = super_border(src_super, dst_super);
-                splice_relay(&mut hops, src_super, local)?;
-                push(&mut hops, remote);
+                splice_relay(&mut path, src_super, local)?;
+                path.relay(remote);
             }
-            splice_relay(&mut hops, dst_super, request.destination)?;
-            return Ok(ServicePath::new(hops));
+            splice_relay(&mut path, dst_super, request.destination)?;
+            return Ok(path.finish(request.destination));
         }
         let mut best: Option<(f64, usize, Key)> = None;
         for sink in graph.sinks() {
@@ -552,15 +549,15 @@ where
         }
 
         // ---- Solve each group with its bi-level sub-router ----
-        let mut hops: Vec<PathHop> = vec![PathHop::relay(request.source)];
+        let mut path = PathBuilder::start(request.source);
         let mut prev_super = src_super;
         for (gi, (sup, stage_indices)) in groups.iter().enumerate() {
             if *sup != prev_super {
                 let (local, remote) = super_border(prev_super, *sup);
-                splice_relay(&mut hops, prev_super, local)?;
-                push(&mut hops, remote);
+                splice_relay(&mut path, prev_super, local)?;
+                path.relay(remote);
             }
-            let child_source = hops.last().expect("non-empty").proxy;
+            let child_source = path.current();
             let child_dest = if gi + 1 < groups.len() {
                 super_border(*sup, groups[gi + 1].0).0
             } else if *sup == dst_super {
@@ -576,29 +573,28 @@ where
             );
             let child = ServiceRequest::new(child_source, child_graph, child_dest);
             let sub = self.sub_routers[sup.index()].route(&child)?;
-            // Splice the child's hops, skipping its duplicated source.
-            for hop in &sub.path.hops()[1..] {
-                if hop.service.is_none() {
-                    push(&mut hops, hop.proxy);
-                } else {
-                    hops.push(*hop);
-                }
-            }
+            path.splice(&sub.path);
             prev_super = *sup;
         }
         if prev_super != dst_super {
             let (local, remote) = super_border(prev_super, dst_super);
-            splice_relay(&mut hops, prev_super, local)?;
-            push(&mut hops, remote);
+            splice_relay(&mut path, prev_super, local)?;
+            path.relay(remote);
         }
-        splice_relay(&mut hops, dst_super, request.destination)?;
-        return Ok(ServicePath::new(hops));
+        splice_relay(&mut path, dst_super, request.destination)?;
+        Ok(path.finish(request.destination))
+    }
+}
 
-        fn push(hops: &mut Vec<PathHop>, proxy: ProxyId) {
-            if hops.last().map(|h| h.proxy) != Some(proxy) {
-                hops.push(PathHop::relay(proxy));
-            }
-        }
+impl<D> son_routing::Router for MultiLevelRouter<'_, D>
+where
+    D: son_overlay::DelayModel,
+{
+    fn route_path(
+        &self,
+        request: &son_overlay::ServiceRequest,
+    ) -> Result<son_routing::ServicePath, son_routing::RouteError> {
+        self.route(request)
     }
 }
 
@@ -748,6 +744,58 @@ mod router_tests {
                     "not a super border hop"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn all_three_routers_serve_the_router_trait() {
+        use son_routing::{FlatRouter, ProviderIndex, Router};
+        let (hfc, delays, services) = routed_world();
+        let ml = MultiLevelHfc::build(&hfc, &delays, &ZahnConfig::default());
+        let providers = ProviderIndex::from_service_sets(&services);
+        let flat = FlatRouter::new(&providers, &delays);
+        let two = son_routing::HierarchicalRouter::from_services(
+            &hfc,
+            &services,
+            &delays,
+            HierConfig::default(),
+        );
+        let three =
+            MultiLevelRouter::from_services(&hfc, &ml, &services, &delays, HierConfig::default());
+
+        // The whole point of the trait: one generic driver, any router.
+        fn check<R: Router>(router: &R, request: &ServiceRequest, services: &[ServiceSet]) {
+            let path = router.route_path(request).expect("request is routable");
+            path.validate(request, |p, s| services[p.index()].contains(s))
+                .unwrap();
+        }
+        let requests = [
+            ServiceRequest::new(
+                ProxyId::new(0),
+                ServiceGraph::linear(vec![sid(9)]),
+                ProxyId::new(1),
+            ),
+            ServiceRequest::new(
+                ProxyId::new(0),
+                ServiceGraph::linear(vec![sid(1), sid(2)]),
+                ProxyId::new(5),
+            ),
+            ServiceRequest::new(
+                ProxyId::new(3),
+                ServiceGraph::linear(vec![]),
+                ProxyId::new(10),
+            ),
+        ];
+        for request in &requests {
+            check(&flat, request, &services);
+            check(&two, request, &services);
+            check(&three, request, &services);
+        }
+
+        // And dynamically, for heterogeneous router collections.
+        let routers: [&dyn Router; 3] = [&flat, &two, &three];
+        for (r, request) in routers.iter().zip(&requests) {
+            assert!(r.route_path(request).is_ok());
         }
     }
 

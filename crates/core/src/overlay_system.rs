@@ -1,14 +1,26 @@
 //! End-to-end construction of a clustered service overlay.
 //!
-//! [`ServiceOverlay::build`] runs the paper's whole pipeline:
+//! [`OverlayBuilder`] runs the paper's pipeline as explicit stages
+//! ([`BuildStage`]):
 //!
-//! 1. generate a transit-stub physical topology (GT-ITM style);
-//! 2. pick well-spread landmarks and attach proxies to stub nodes;
-//! 3. obtain the distance map via GNP coordinates (Section 3.1);
-//! 4. cluster proxies with Zahn's MST method in the coordinate space
-//!    (Section 3.2);
-//! 5. build the HFC topology with closest-pair border selection
-//!    (Section 3.3).
+//! 1. **Topology** — generate a transit-stub physical topology
+//!    (GT-ITM style);
+//! 2. **Landmarks** — pick well-spread landmarks and attach proxies
+//!    to stub nodes;
+//! 3. **Embedding** — obtain the distance map via GNP coordinates
+//!    (Section 3.1);
+//! 4. **Distances** — set up lazy true-delay rows for evaluation;
+//! 5. **Clustering** — cluster proxies with Zahn's MST method in the
+//!    coordinate space (Section 3.2);
+//! 6. **Hfc** — build the HFC topology with closest-pair border
+//!    selection (Section 3.3);
+//! 7. **State** — install services, QoS profiles, and clients.
+//!
+//! The builder records per-stage wall time in [`BuildStats`] and
+//! reruns only stages whose inputs changed, so parameter sweeps (e.g.
+//! over Zahn thresholds or border-selection rules) skip regenerating
+//! the world. [`ServiceOverlay::build`] remains the one-shot
+//! convenience wrapper.
 //!
 //! The result answers hierarchical routes, mesh-baseline routes,
 //! full-state HFC routes, overhead reports (Figure 9) and state
@@ -19,9 +31,10 @@ use son_coords::{select_landmarks_maxmin, EmbeddingConfig, ErrorStats, GnpEmbedd
 use son_netsim::graph::NodeId;
 use son_netsim::topology::{PhysicalNetwork, TransitStubConfig};
 use son_overlay::{
-    BorderSelection, CoordDelays, DelayMatrix, DelayModel, HfcTopology, MeshConfig, MeshTopology,
+    BorderSelection, CachedDelays, CoordDelays, DelayModel, HfcTopology, MeshConfig, MeshTopology,
     ProxyId, QosProfile, QosRequirement, ServiceId, ServiceRequest, ServiceSet,
 };
+use std::time::{Duration, Instant};
 use son_routing::{
     FlatRouter, HierConfig, HierarchicalRouter, ProviderIndex, RouteError, ServicePath,
 };
@@ -95,6 +108,66 @@ impl SonConfig {
     }
 }
 
+/// The pipeline stages of [`OverlayBuilder`], in execution order.
+/// Invalidating a stage invalidates everything after it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BuildStage {
+    /// Physical transit-stub topology generation.
+    Topology,
+    /// Landmark selection and proxy placement.
+    Landmarks,
+    /// GNP coordinate embedding and predicted delays.
+    Embedding,
+    /// True-delay setup (lazy Dijkstra rows, no upfront O(n²) cost).
+    Distances,
+    /// MST + Zahn clustering in coordinate space.
+    Clustering,
+    /// HFC topology with border-pair election.
+    Hfc,
+    /// Service installation, QoS profiles, and client placement.
+    State,
+}
+
+impl BuildStage {
+    /// All stages in execution order.
+    pub const ALL: [BuildStage; 7] = [
+        BuildStage::Topology,
+        BuildStage::Landmarks,
+        BuildStage::Embedding,
+        BuildStage::Distances,
+        BuildStage::Clustering,
+        BuildStage::Hfc,
+        BuildStage::State,
+    ];
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Wall time each pipeline stage took on its most recent run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    times: [Duration; BuildStage::ALL.len()],
+}
+
+impl StageTimings {
+    /// Wall time of `stage`'s most recent run (zero if it never ran).
+    pub fn get(&self, stage: BuildStage) -> Duration {
+        self.times[stage.index()]
+    }
+
+    /// Total wall time across all stages' most recent runs.
+    pub fn total(&self) -> Duration {
+        self.times.iter().sum()
+    }
+
+    /// Iterates stages with their most recent wall times.
+    pub fn iter(&self) -> impl Iterator<Item = (BuildStage, Duration)> + '_ {
+        BuildStage::ALL.iter().map(|&s| (s, self.times[s.index()]))
+    }
+}
+
 /// Timing and quality metadata from a build.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BuildStats {
@@ -106,6 +179,319 @@ pub struct BuildStats {
     pub max_cluster_size: usize,
     /// Number of distinct border proxies.
     pub border_proxies: usize,
+    /// Per-stage wall time of the pipeline runs that produced this
+    /// overlay.
+    pub timings: StageTimings,
+}
+
+/// A staged, rerunnable builder for [`ServiceOverlay`].
+///
+/// Each call to [`OverlayBuilder::run`] executes only the *dirty*
+/// stages (initially all of them). The `set_*` mutators mark exactly
+/// the stages their parameter feeds — e.g. swapping the Zahn config
+/// reruns clustering, HFC, and state, but keeps the generated world
+/// and its embedding.
+///
+/// # Example
+///
+/// ```
+/// use son_core::{BuildStage, OverlayBuilder, SonConfig};
+/// use son_core::ZahnConfig;
+///
+/// let mut builder = OverlayBuilder::new(SonConfig::small(3));
+/// let first = builder.finish();
+///
+/// // Sweep a clustering parameter: the physical world, landmarks and
+/// // embedding are reused, only clustering and later stages rerun.
+/// builder.set_zahn(ZahnConfig { min_cluster_size: 3, ..ZahnConfig::default() });
+/// assert!(!builder.is_dirty(BuildStage::Embedding));
+/// assert!(builder.is_dirty(BuildStage::Clustering));
+/// let second = builder.finish();
+/// assert_eq!(first.attachments(), second.attachments());
+/// ```
+#[derive(Debug)]
+pub struct OverlayBuilder {
+    config: SonConfig,
+    dirty: [bool; BuildStage::ALL.len()],
+    run_counts: [usize; BuildStage::ALL.len()],
+    timings: StageTimings,
+    physical: Option<PhysicalNetwork>,
+    landmarks: Option<Vec<NodeId>>,
+    attachments: Option<Vec<NodeId>>,
+    predicted: Option<CoordDelays>,
+    embedding_error: Option<ErrorStats>,
+    true_delays: Option<CachedDelays>,
+    clustering: Option<Clustering>,
+    hfc: Option<HfcTopology>,
+    services: Option<Vec<ServiceSet>>,
+    qos: Option<Vec<QosProfile>>,
+    clients: Option<Vec<NodeId>>,
+    client_proxies: Option<Vec<ProxyId>>,
+}
+
+impl OverlayBuilder {
+    /// Starts a builder with every stage pending.
+    pub fn new(config: SonConfig) -> Self {
+        OverlayBuilder {
+            config,
+            dirty: [true; BuildStage::ALL.len()],
+            run_counts: [0; BuildStage::ALL.len()],
+            timings: StageTimings::default(),
+            physical: None,
+            landmarks: None,
+            attachments: None,
+            predicted: None,
+            embedding_error: None,
+            true_delays: None,
+            clustering: None,
+            hfc: None,
+            services: None,
+            qos: None,
+            clients: None,
+            client_proxies: None,
+        }
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &SonConfig {
+        &self.config
+    }
+
+    /// Marks `stage` and every later stage for rerun.
+    pub fn invalidate(&mut self, stage: BuildStage) {
+        for flag in self.dirty[stage.index()..].iter_mut() {
+            *flag = true;
+        }
+    }
+
+    /// Whether `stage` will rerun on the next [`OverlayBuilder::run`].
+    pub fn is_dirty(&self, stage: BuildStage) -> bool {
+        self.dirty[stage.index()]
+    }
+
+    /// How many times `stage` has executed.
+    pub fn runs(&self, stage: BuildStage) -> usize {
+        self.run_counts[stage.index()]
+    }
+
+    /// Per-stage wall times of the most recent runs.
+    pub fn timings(&self) -> &StageTimings {
+        &self.timings
+    }
+
+    /// Replaces the environment; regenerates the world from scratch.
+    pub fn set_environment(&mut self, environment: Environment) -> &mut Self {
+        self.config.environment = environment;
+        self.invalidate(BuildStage::Topology);
+        self
+    }
+
+    /// Replaces the embedding parameters; reruns embedding onward.
+    pub fn set_embedding(&mut self, embedding: EmbeddingConfig) -> &mut Self {
+        self.config.embedding = embedding;
+        self.invalidate(BuildStage::Embedding);
+        self
+    }
+
+    /// Replaces the Zahn clustering parameters; reruns clustering
+    /// onward, keeping the world and embedding.
+    pub fn set_zahn(&mut self, zahn: ZahnConfig) -> &mut Self {
+        self.config.zahn = zahn;
+        self.invalidate(BuildStage::Clustering);
+        self
+    }
+
+    /// Replaces the border-selection rule; reruns only HFC and state.
+    pub fn set_border_selection(&mut self, selection: BorderSelection) -> &mut Self {
+        self.config.border_selection = selection;
+        self.invalidate(BuildStage::Hfc);
+        self
+    }
+
+    /// Replaces the mesh parameters (query-time only; nothing reruns).
+    pub fn set_mesh(&mut self, mesh: MeshConfig) -> &mut Self {
+        self.config.mesh = mesh;
+        self
+    }
+
+    /// Replaces the hierarchical-router parameters (query-time only).
+    pub fn set_hier(&mut self, hier: HierConfig) -> &mut Self {
+        self.config.hier = hier;
+        self
+    }
+
+    /// Replaces the state-protocol timing (query-time only).
+    pub fn set_protocol(&mut self, protocol: ProtocolConfig) -> &mut Self {
+        self.config.protocol = protocol;
+        self
+    }
+
+    /// Executes all dirty stages in order, timing each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment is inconsistent (e.g. more proxies
+    /// than stub nodes).
+    pub fn run(&mut self) -> &mut Self {
+        for stage in BuildStage::ALL {
+            if !self.dirty[stage.index()] {
+                continue;
+            }
+            let start = Instant::now();
+            self.run_stage(stage);
+            self.timings.times[stage.index()] = start.elapsed();
+            self.run_counts[stage.index()] += 1;
+            self.dirty[stage.index()] = false;
+        }
+        self
+    }
+
+    fn run_stage(&mut self, stage: BuildStage) {
+        let env = &self.config.environment;
+        match stage {
+            BuildStage::Topology => {
+                let ts = TransitStubConfig::with_target_size(env.physical_nodes, env.seed);
+                self.physical = Some(PhysicalNetwork::generate(&ts));
+            }
+            BuildStage::Landmarks => {
+                let physical = self.physical.as_ref().expect("stage order");
+                let stubs = physical.stub_nodes();
+                let landmarks = select_landmarks_maxmin(physical.graph(), &stubs, env.landmarks);
+                self.attachments = Some(place_proxies_excluding(
+                    physical,
+                    env.proxies,
+                    &landmarks,
+                    env.seed.wrapping_add(1),
+                ));
+                self.landmarks = Some(landmarks);
+            }
+            BuildStage::Embedding => {
+                // Distance map via GNP (what the deployed system
+                // would know).
+                let physical = self.physical.as_ref().expect("stage order");
+                let landmarks = self.landmarks.as_ref().expect("stage order");
+                let attachments = self.attachments.as_ref().expect("stage order");
+                let embedding = GnpEmbedding::compute(
+                    physical.graph(),
+                    landmarks,
+                    attachments,
+                    &self.config.embedding,
+                );
+                self.embedding_error =
+                    Some(embedding.relative_error_stats(physical.graph(), attachments));
+                self.predicted = Some(CoordDelays::new(
+                    attachments
+                        .iter()
+                        .map(|&a| {
+                            embedding
+                                .coordinates(a)
+                                .expect("every attachment was embedded")
+                                .clone()
+                        })
+                        .collect(),
+                ));
+            }
+            BuildStage::Distances => {
+                // Ground truth for evaluation — lazy rows, so building
+                // the overlay costs nothing here; evaluation pays one
+                // Dijkstra per source it actually queries.
+                let physical = self.physical.as_ref().expect("stage order");
+                let attachments = self.attachments.as_ref().expect("stage order");
+                self.true_delays = Some(CachedDelays::new(
+                    physical.graph().clone(),
+                    attachments.clone(),
+                ));
+            }
+            BuildStage::Clustering => {
+                // Cluster in the coordinate space.
+                let predicted = self.predicted.as_ref().expect("stage order");
+                let n = predicted.len();
+                let mst =
+                    mst_complete(n, |a, b| predicted.delay(ProxyId::new(a), ProxyId::new(b)));
+                self.clustering = Some(ZahnClusterer::new(self.config.zahn.clone()).cluster(&mst));
+            }
+            BuildStage::Hfc => {
+                let clustering = self.clustering.as_ref().expect("stage order");
+                let predicted = self.predicted.as_ref().expect("stage order");
+                self.hfc = Some(HfcTopology::build_with_selection(
+                    clustering,
+                    predicted,
+                    self.config.border_selection,
+                ));
+            }
+            BuildStage::State => {
+                let physical = self.physical.as_ref().expect("stage order");
+                let landmarks = self.landmarks.as_ref().expect("stage order");
+                let attachments = self.attachments.as_ref().expect("stage order");
+                self.services = Some(assign_services(
+                    env.proxies,
+                    env.service_universe,
+                    env.services_per_proxy,
+                    env.seed.wrapping_add(2),
+                ));
+                self.qos = Some(assign_qos(env.proxies, env.seed.wrapping_add(3)));
+                // Clients attach to stub nodes too (distinct from
+                // landmarks); each client's requests terminate at its
+                // nearest proxy.
+                let clients = place_proxies_excluding(
+                    physical,
+                    env.clients
+                        .min(physical.stub_nodes().len().saturating_sub(env.landmarks)),
+                    landmarks,
+                    env.seed.wrapping_add(4),
+                );
+                self.client_proxies = Some(
+                    clients
+                        .iter()
+                        .map(|&c| {
+                            let dist = physical.graph().dijkstra(c);
+                            let (best, _) = attachments
+                                .iter()
+                                .enumerate()
+                                .min_by(|a, b| {
+                                    dist[a.1.index()]
+                                        .partial_cmp(&dist[b.1.index()])
+                                        .unwrap_or(std::cmp::Ordering::Equal)
+                                })
+                                .expect("at least one proxy exists");
+                            ProxyId::new(best)
+                        })
+                        .collect(),
+                );
+                self.clients = Some(clients);
+            }
+        }
+    }
+
+    /// Runs any dirty stages and assembles a [`ServiceOverlay`]. The
+    /// builder stays usable for further parameter changes and reruns.
+    pub fn finish(&mut self) -> ServiceOverlay {
+        self.run();
+        let clustering = self.clustering.clone().expect("pipeline ran");
+        let hfc = self.hfc.clone().expect("pipeline ran");
+        let stats = BuildStats {
+            embedding_error: self.embedding_error.expect("pipeline ran"),
+            clusters: hfc.cluster_count(),
+            max_cluster_size: clustering.max_cluster_size(),
+            border_proxies: hfc.all_border_proxies().len(),
+            timings: self.timings,
+        };
+        ServiceOverlay {
+            config: self.config.clone(),
+            physical: self.physical.clone().expect("pipeline ran"),
+            landmarks: self.landmarks.clone().expect("pipeline ran"),
+            attachments: self.attachments.clone().expect("pipeline ran"),
+            services: self.services.clone().expect("pipeline ran"),
+            qos: self.qos.clone().expect("pipeline ran"),
+            clients: self.clients.clone().expect("pipeline ran"),
+            client_proxies: self.client_proxies.clone().expect("pipeline ran"),
+            true_delays: self.true_delays.clone().expect("pipeline ran"),
+            predicted: self.predicted.clone().expect("pipeline ran"),
+            clustering,
+            hfc,
+            stats,
+        }
+    }
 }
 
 /// A fully built clustered service overlay network.
@@ -119,7 +505,7 @@ pub struct ServiceOverlay {
     qos: Vec<QosProfile>,
     clients: Vec<NodeId>,
     client_proxies: Vec<ProxyId>,
-    true_delays: DelayMatrix,
+    true_delays: CachedDelays,
     predicted: CoordDelays,
     clustering: Clustering,
     hfc: HfcTopology,
@@ -128,106 +514,14 @@ pub struct ServiceOverlay {
 
 impl ServiceOverlay {
     /// Runs the full pipeline. Deterministic in the config's seed.
+    /// One-shot convenience over [`OverlayBuilder`].
     ///
     /// # Panics
     ///
     /// Panics if the environment is inconsistent (e.g. more proxies
     /// than stub nodes).
     pub fn build(config: &SonConfig) -> Self {
-        let env = &config.environment;
-        let ts = TransitStubConfig::with_target_size(env.physical_nodes, env.seed);
-        let physical = PhysicalNetwork::generate(&ts);
-        let stubs = physical.stub_nodes();
-        let landmarks = select_landmarks_maxmin(physical.graph(), &stubs, env.landmarks);
-        let attachments =
-            place_proxies_excluding(&physical, env.proxies, &landmarks, env.seed.wrapping_add(1));
-
-        // Distance map via GNP (what the deployed system would know).
-        let embedding = GnpEmbedding::compute(
-            physical.graph(),
-            &landmarks,
-            &attachments,
-            &config.embedding,
-        );
-        let embedding_error = embedding.relative_error_stats(physical.graph(), &attachments);
-        let predicted = CoordDelays::new(
-            attachments
-                .iter()
-                .map(|&a| {
-                    embedding
-                        .coordinates(a)
-                        .expect("every attachment was embedded")
-                        .clone()
-                })
-                .collect(),
-        );
-
-        // Cluster in the coordinate space.
-        let n = attachments.len();
-        let mst = mst_complete(n, |a, b| predicted.delay(ProxyId::new(a), ProxyId::new(b)));
-        let clustering = ZahnClusterer::new(config.zahn.clone()).cluster(&mst);
-        let hfc =
-            HfcTopology::build_with_selection(&clustering, &predicted, config.border_selection);
-
-        // Ground truth for evaluation.
-        let true_delays = DelayMatrix::from_graph(physical.graph(), &attachments);
-
-        let services = assign_services(
-            env.proxies,
-            env.service_universe,
-            env.services_per_proxy,
-            env.seed.wrapping_add(2),
-        );
-        let qos = assign_qos(env.proxies, env.seed.wrapping_add(3));
-
-        // Clients attach to stub nodes too (distinct from landmarks);
-        // each client's requests terminate at its nearest proxy.
-        let clients = place_proxies_excluding(
-            &physical,
-            env.clients
-                .min(physical.stub_nodes().len().saturating_sub(env.landmarks)),
-            &landmarks,
-            env.seed.wrapping_add(4),
-        );
-        let client_proxies: Vec<ProxyId> = clients
-            .iter()
-            .map(|&c| {
-                let dist = physical.graph().dijkstra(c);
-                let (best, _) = attachments
-                    .iter()
-                    .enumerate()
-                    .min_by(|a, b| {
-                        dist[a.1.index()]
-                            .partial_cmp(&dist[b.1.index()])
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .expect("at least one proxy exists");
-                ProxyId::new(best)
-            })
-            .collect();
-
-        let stats = BuildStats {
-            embedding_error,
-            clusters: hfc.cluster_count(),
-            max_cluster_size: clustering.max_cluster_size(),
-            border_proxies: hfc.all_border_proxies().len(),
-        };
-
-        ServiceOverlay {
-            config: config.clone(),
-            physical,
-            landmarks,
-            attachments,
-            services,
-            qos,
-            clients,
-            client_proxies,
-            true_delays,
-            predicted,
-            clustering,
-            hfc,
-            stats,
-        }
+        OverlayBuilder::new(config.clone()).finish()
     }
 
     /// Replaces the randomly assigned services with an explicit
@@ -283,8 +577,9 @@ impl ServiceOverlay {
         self.services[proxy.index()].contains(service)
     }
 
-    /// True end-to-end delays (evaluation metric).
-    pub fn true_delays(&self) -> &DelayMatrix {
+    /// True end-to-end delays (evaluation metric). Rows are computed
+    /// lazily per queried source and memoized.
+    pub fn true_delays(&self) -> &CachedDelays {
         &self.true_delays
     }
 
@@ -570,6 +865,96 @@ mod tests {
         assert_eq!(a.attachments(), b.attachments());
         assert_eq!(a.hfc().cluster_count(), b.hfc().cluster_count());
         assert_eq!(a.services(), b.services());
+    }
+}
+
+#[cfg(test)]
+mod builder_tests {
+    use super::*;
+
+    #[test]
+    fn builder_matches_one_shot_build() {
+        let config = SonConfig::small(3);
+        let one_shot = ServiceOverlay::build(&config);
+        let staged = OverlayBuilder::new(config).finish();
+        assert_eq!(one_shot.attachments(), staged.attachments());
+        assert_eq!(one_shot.services(), staged.services());
+        assert_eq!(one_shot.hfc().snapshot(), staged.hfc().snapshot());
+        assert_eq!(one_shot.client_proxies(), staged.client_proxies());
+    }
+
+    #[test]
+    fn only_dirty_stages_rerun() {
+        let mut builder = OverlayBuilder::new(SonConfig::small(3));
+        builder.run();
+        for stage in BuildStage::ALL {
+            assert_eq!(builder.runs(stage), 1);
+            assert!(!builder.is_dirty(stage));
+        }
+        // A clean rerun does nothing.
+        builder.run();
+        for stage in BuildStage::ALL {
+            assert_eq!(builder.runs(stage), 1);
+        }
+        // Changing the border rule reruns HFC and state only.
+        builder.set_border_selection(BorderSelection::FirstPair);
+        builder.run();
+        assert_eq!(builder.runs(BuildStage::Topology), 1);
+        assert_eq!(builder.runs(BuildStage::Embedding), 1);
+        assert_eq!(builder.runs(BuildStage::Clustering), 1);
+        assert_eq!(builder.runs(BuildStage::Hfc), 2);
+        assert_eq!(builder.runs(BuildStage::State), 2);
+        // Changing clustering parameters reaches back one stage more.
+        builder.set_zahn(ZahnConfig {
+            min_cluster_size: 3,
+            ..ZahnConfig::default()
+        });
+        builder.run();
+        assert_eq!(builder.runs(BuildStage::Embedding), 1);
+        assert_eq!(builder.runs(BuildStage::Clustering), 2);
+        assert_eq!(builder.runs(BuildStage::Hfc), 3);
+    }
+
+    #[test]
+    fn rerun_with_same_params_reproduces_the_one_shot_world() {
+        // Sweep away and back: the final overlay must be identical to
+        // a fresh build with the final parameters.
+        let mut builder = OverlayBuilder::new(SonConfig::small(7));
+        let _ = builder.finish();
+        builder.set_border_selection(BorderSelection::FirstPair);
+        let ablated = builder.finish();
+        let fresh = ServiceOverlay::build(&SonConfig {
+            border_selection: BorderSelection::FirstPair,
+            ..SonConfig::small(7)
+        });
+        assert_eq!(ablated.hfc().snapshot(), fresh.hfc().snapshot());
+        assert_eq!(ablated.attachments(), fresh.attachments());
+    }
+
+    #[test]
+    fn stage_timings_are_recorded() {
+        let overlay = ServiceOverlay::build(&SonConfig::small(5));
+        let timings = overlay.stats().timings;
+        // Every stage ran; the expensive ones cannot take literally
+        // zero time.
+        assert!(timings.total() > Duration::ZERO);
+        assert!(timings.get(BuildStage::Embedding) > Duration::ZERO);
+        let enumerated: Vec<_> = timings.iter().collect();
+        assert_eq!(enumerated.len(), BuildStage::ALL.len());
+    }
+
+    #[test]
+    fn true_delays_are_lazy() {
+        let overlay = ServiceOverlay::build(&SonConfig::small(6));
+        // Building must not have densified the full matrix: client
+        // attachment uses the physical graph directly, so at most a
+        // handful of rows may be warm.
+        assert_eq!(overlay.true_delays().computed_rows(), 0);
+        let p = ProxyId::new(0);
+        let q = ProxyId::new(1);
+        let d = overlay.true_delays().delay(p, q);
+        assert!(d.is_finite() && d > 0.0);
+        assert_eq!(overlay.true_delays().computed_rows(), 1);
     }
 }
 

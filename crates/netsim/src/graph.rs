@@ -213,8 +213,8 @@ impl Graph {
         for (i, row) in d.iter_mut().enumerate() {
             row[i] = 0.0;
         }
-        for i in 0..n {
-            for &(j, w) in &self.adjacency[i] {
+        for (i, neighbors) in self.adjacency.iter().enumerate() {
+            for &(j, w) in neighbors {
                 if w < d[i][j.index()] {
                     d[i][j.index()] = w;
                 }

@@ -131,7 +131,7 @@ impl TransitStubConfig {
         // scale the backbone. Choose T and NT close to sqrt(backbone).
         let backbone = (target_nodes as f64 / 19.0).round().max(4.0) as usize;
         let t = (backbone as f64).sqrt().round().max(2.0) as usize;
-        let nt = (backbone + t - 1) / t;
+        let nt = backbone.div_ceil(t);
         cfg.transit_domains = t;
         cfg.transit_nodes_per_domain = nt.max(2);
         cfg
@@ -344,7 +344,7 @@ fn dist(a: Position, b: Position) -> f64 {
 /// instead of piling up (which would defeat distance-based clustering).
 fn spread_center(index: usize, total: usize, world: f64, rng: &mut StdRng) -> Position {
     let cols = (total as f64).sqrt().ceil() as usize;
-    let rows = (total + cols - 1) / cols;
+    let rows = total.div_ceil(cols);
     let cell_w = world / cols as f64;
     let cell_h = world / rows as f64;
     let col = index % cols;

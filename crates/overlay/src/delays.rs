@@ -7,6 +7,8 @@
 //!   physical network; used to *evaluate* final paths.
 //! * [`CoordDelays`] — delays predicted from network coordinates; what
 //!   HFC nodes actually know and route on.
+//! * [`CachedDelays`] — true delays like [`DelayMatrix`], but computed
+//!   lazily: one Dijkstra row per *queried* source proxy, memoized.
 //! * [`HfcDelays`] — a wrapper constraining communication to the HFC
 //!   topology: intra-cluster pairs talk directly, inter-cluster pairs
 //!   talk through their clusters' border pair.
@@ -15,6 +17,7 @@ use crate::hfc::HfcTopology;
 use crate::proxy::ProxyId;
 use son_coords::Coordinates;
 use son_netsim::graph::{Graph, NodeId};
+use std::sync::{Arc, RwLock};
 
 /// Something that knows the delay between two proxies.
 pub trait DelayModel {
@@ -112,6 +115,128 @@ impl DelayModel for DelayMatrix {
     }
 }
 
+/// True end-to-end delays computed lazily: a Dijkstra row is run the
+/// first time a source proxy is queried and memoized after that.
+///
+/// Building a full [`DelayMatrix`] is `n` single-source shortest-path
+/// runs up front — fine for evaluation sweeps, wasteful when only a
+/// fraction of sources is ever queried (e.g. client attachment, spot
+/// checks of routed paths). `CachedDelays` defers that cost: an
+/// overlay whose workload touches `k` distinct sources pays for `k`
+/// rows, not `n`.
+///
+/// Clones share the row cache, so handing a clone to a consumer (the
+/// state protocol clones its delay model) keeps memoization global.
+///
+/// # Example
+///
+/// ```
+/// use son_netsim::graph::{Graph, NodeId};
+/// use son_overlay::{CachedDelays, DelayModel, ProxyId};
+///
+/// let mut g = Graph::with_nodes(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1), 2.0);
+/// g.add_edge(NodeId::new(1), NodeId::new(2), 3.0);
+/// let delays = CachedDelays::new(g, vec![NodeId::new(0), NodeId::new(2)]);
+/// assert_eq!(delays.computed_rows(), 0);
+/// assert_eq!(delays.delay(ProxyId::new(0), ProxyId::new(1)), 5.0);
+/// assert_eq!(delays.computed_rows(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CachedDelays {
+    graph: Arc<Graph>,
+    attachments: Arc<Vec<NodeId>>,
+    // rows[i] is the proxy-indexed delay row from proxy i, present
+    // once proxy i has been queried as a source.
+    rows: Arc<RwLock<RowCache>>,
+}
+
+/// The memoized Dijkstra rows of a [`CachedDelays`], proxy-indexed.
+type RowCache = Vec<Option<Arc<Vec<f64>>>>;
+
+impl CachedDelays {
+    /// Wraps a physical network and proxy attachment points without
+    /// computing any delays yet.
+    pub fn new(graph: Graph, attachments: Vec<NodeId>) -> Self {
+        let n = attachments.len();
+        CachedDelays {
+            graph: Arc::new(graph),
+            attachments: Arc::new(attachments),
+            rows: Arc::new(RwLock::new(vec![None; n])),
+        }
+    }
+
+    /// The delay row from `source` to every proxy, computing and
+    /// memoizing it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is disconnected from any other attachment.
+    pub fn row(&self, source: ProxyId) -> Arc<Vec<f64>> {
+        let i = source.index();
+        if let Some(row) = &self.rows.read().expect("cache lock poisoned")[i] {
+            return Arc::clone(row);
+        }
+        let a = self.attachments[i];
+        let dist = self.graph.dijkstra(a);
+        let row: Vec<f64> = self
+            .attachments
+            .iter()
+            .map(|&b| {
+                let d = dist[b.index()];
+                assert!(
+                    d.is_finite(),
+                    "attachments {a} and {b} are disconnected in the physical network"
+                );
+                d
+            })
+            .collect();
+        let row = Arc::new(row);
+        // A concurrent query may have raced us here; either result is
+        // identical, so last write wins harmlessly.
+        self.rows.write().expect("cache lock poisoned")[i] = Some(Arc::clone(&row));
+        row
+    }
+
+    /// Number of proxies.
+    pub fn len(&self) -> usize {
+        self.attachments.len()
+    }
+
+    /// Returns `true` if no proxies are attached.
+    pub fn is_empty(&self) -> bool {
+        self.attachments.is_empty()
+    }
+
+    /// How many source rows have been computed so far.
+    pub fn computed_rows(&self) -> usize {
+        self.rows
+            .read()
+            .expect("cache lock poisoned")
+            .iter()
+            .filter(|r| r.is_some())
+            .count()
+    }
+
+    /// Forces every row and densifies into a [`DelayMatrix`] (for
+    /// consumers that genuinely need all `n²` delays).
+    pub fn to_matrix(&self) -> DelayMatrix {
+        let n = self.len();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            let row = self.row(ProxyId::new(i));
+            values[i * n..(i + 1) * n].copy_from_slice(&row);
+        }
+        DelayMatrix { n, values }
+    }
+}
+
+impl DelayModel for CachedDelays {
+    fn delay(&self, a: ProxyId, b: ProxyId) -> f64 {
+        self.row(a)[b.index()]
+    }
+}
+
 /// Delays predicted from per-proxy network coordinates — the distance
 /// map every HFC node derives from the information in Figure 4.
 #[derive(Debug, Clone)]
@@ -128,6 +253,22 @@ impl CoordDelays {
     /// The coordinates of `proxy`.
     pub fn coordinates(&self, proxy: ProxyId) -> &Coordinates {
         &self.coords[proxy.index()]
+    }
+
+    /// Appends a proxy's coordinates (it takes the next id).
+    pub fn push(&mut self, coords: Coordinates) -> ProxyId {
+        self.coords.push(coords);
+        ProxyId::new(self.coords.len() - 1)
+    }
+
+    /// Removes a proxy's coordinates by swap-remove: the last proxy's
+    /// coordinates now answer at `proxy`'s id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proxy` is out of range.
+    pub fn swap_remove(&mut self, proxy: ProxyId) {
+        self.coords.swap_remove(proxy.index());
     }
 
     /// Number of proxies.
@@ -237,6 +378,72 @@ mod tests {
     #[should_panic(expected = "symmetric")]
     fn asymmetric_values_panic() {
         let _ = DelayMatrix::from_values(2, vec![0.0, 3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn cached_delays_match_dense_matrix() {
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1.0);
+        g.add_edge(NodeId::new(1), NodeId::new(2), 2.0);
+        g.add_edge(NodeId::new(2), NodeId::new(3), 4.0);
+        g.add_edge(NodeId::new(3), NodeId::new(4), 8.0);
+        g.add_edge(NodeId::new(0), NodeId::new(4), 3.0);
+        let attachments: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+        let dense = DelayMatrix::from_graph(&g, &attachments);
+        let cached = CachedDelays::new(g, attachments);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(
+                    cached.delay(ProxyId::new(i), ProxyId::new(j)),
+                    dense.delay(ProxyId::new(i), ProxyId::new(j))
+                );
+            }
+        }
+        assert_eq!(cached.computed_rows(), 5);
+    }
+
+    #[test]
+    fn cached_delays_only_pay_for_queried_rows() {
+        let mut g = Graph::with_nodes(4);
+        for i in 0..3 {
+            g.add_edge(NodeId::new(i), NodeId::new(i + 1), 1.0);
+        }
+        let cached = CachedDelays::new(g, (0..4).map(NodeId::new).collect());
+        assert_eq!(cached.computed_rows(), 0);
+        let _ = cached.delay(ProxyId::new(2), ProxyId::new(0));
+        let _ = cached.delay(ProxyId::new(2), ProxyId::new(3));
+        assert_eq!(cached.computed_rows(), 1);
+        // Clones share the memoized cache.
+        let clone = cached.clone();
+        let _ = clone.delay(ProxyId::new(1), ProxyId::new(3));
+        assert_eq!(cached.computed_rows(), 2);
+    }
+
+    #[test]
+    fn cached_delays_densify() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 2.0);
+        g.add_edge(NodeId::new(1), NodeId::new(2), 5.0);
+        let attachments: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        let cached = CachedDelays::new(g.clone(), attachments.clone());
+        let dense = cached.to_matrix();
+        let reference = DelayMatrix::from_graph(&g, &attachments);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(
+                    dense.delay(ProxyId::new(i), ProxyId::new(j)),
+                    reference.delay(ProxyId::new(i), ProxyId::new(j))
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn cached_delays_panic_on_disconnected_query() {
+        let g = Graph::with_nodes(2);
+        let cached = CachedDelays::new(g, vec![NodeId::new(0), NodeId::new(1)]);
+        let _ = cached.delay(ProxyId::new(0), ProxyId::new(1));
     }
 
     #[test]

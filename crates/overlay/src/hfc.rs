@@ -151,6 +151,154 @@ impl HfcTopology {
         }
     }
 
+    /// Inserts a new proxy (taking id [`HfcTopology::proxy_count`])
+    /// into `cluster`, re-electing only the border pairs that involve
+    /// that cluster — O(n) work instead of the O(n²) full rebuild.
+    ///
+    /// An existing border pair is displaced only when the newcomer
+    /// forms a *strictly* closer pair, matching the tie-breaking of
+    /// [`HfcTopology::build`] (under distinct pair distances the
+    /// incremental result is identical to a from-scratch build).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn insert_proxy<D: DelayModel>(&mut self, cluster: ClusterId, delays: &D) -> ProxyId {
+        let c = cluster.index();
+        assert!(c < self.members.len(), "unknown cluster {cluster}");
+        let p = ProxyId::new(self.cluster_of.len());
+        self.cluster_of.push(cluster);
+        // p is the largest id, so pushing keeps the list ascending.
+        self.members[c].push(p);
+        for j in 0..self.members.len() {
+            if j == c {
+                continue;
+            }
+            let current = BorderPair {
+                local: self.borders[c][j].expect("off-diagonal borders are always present"),
+                remote: self.borders[j][c].expect("off-diagonal borders are always present"),
+            };
+            let mut best = delays.delay(current.local, current.remote);
+            let mut winner: Option<ProxyId> = None;
+            for &y in &self.members[j] {
+                let d = delays.delay(p, y);
+                if d < best {
+                    best = d;
+                    winner = Some(y);
+                }
+            }
+            if let Some(y) = winner {
+                self.borders[c][j] = Some(p);
+                self.borders[j][c] = Some(y);
+            }
+        }
+        p
+    }
+
+    /// Removes `proxy` by swap-remove: the highest-id proxy takes over
+    /// the vacated id. Border pairs are re-elected only where the
+    /// departed proxy served as a border; if its cluster empties, the
+    /// cluster is removed (the highest cluster id takes its slot).
+    /// Returns the proxy id that moved into the vacated slot, if any.
+    ///
+    /// `delays` must already reflect the post-removal id assignment
+    /// (i.e. the old last proxy's delays answered at `proxy`'s id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proxy` is out of range or is the last proxy overall.
+    pub fn remove_proxy<D: DelayModel>(&mut self, proxy: ProxyId, delays: &D) -> Option<ProxyId> {
+        let n = self.cluster_of.len();
+        assert!(n > 1, "the last proxy cannot be removed");
+        let i = proxy.index();
+        assert!(i < n, "unknown proxy {proxy}");
+        let last = ProxyId::new(n - 1);
+        let cp = self.cluster_of[i];
+        let cl = self.cluster_of[last.index()];
+
+        // Which cluster pairs lose their border with the departure.
+        let dirty: Vec<usize> = (0..self.members.len())
+            .filter(|&j| j != cp.index() && self.borders[cp.index()][j] == Some(proxy))
+            .collect();
+
+        // Drop the departing proxy from its member list.
+        let slot = self.members[cp.index()]
+            .iter()
+            .position(|&m| m == proxy)
+            .expect("member lists cover every proxy");
+        self.members[cp.index()].remove(slot);
+
+        let moved = if proxy != last {
+            // The old last proxy now answers at the vacated id: rename
+            // it in its member list (keeping ascending order) and in
+            // every border slot that referenced it.
+            let tail = self.members[cl.index()]
+                .pop()
+                .expect("the last proxy tops its cluster's member list");
+            debug_assert_eq!(tail, last);
+            let at = self.members[cl.index()].partition_point(|&m| m < proxy);
+            self.members[cl.index()].insert(at, proxy);
+            for row in &mut self.borders {
+                for b in row.iter_mut() {
+                    if *b == Some(last) {
+                        *b = Some(proxy);
+                    }
+                }
+            }
+            self.cluster_of[i] = cl;
+            Some(proxy)
+        } else {
+            None
+        };
+        self.cluster_of.pop();
+
+        if self.members[cp.index()].is_empty() {
+            self.remove_empty_cluster(cp);
+        } else {
+            // Re-elect exactly the pairs the departed proxy bordered.
+            for j in dirty {
+                self.reelect_border(cp.index(), j, delays);
+            }
+        }
+        moved
+    }
+
+    /// Swap-removes an emptied cluster: the highest cluster id takes
+    /// its slot in the member, border, and assignment tables.
+    fn remove_empty_cluster(&mut self, cluster: ClusterId) {
+        let c = cluster.index();
+        debug_assert!(self.members[c].is_empty());
+        let last = self.members.len() - 1;
+        self.members.swap_remove(c);
+        self.borders.swap_remove(c);
+        for row in &mut self.borders {
+            row.swap_remove(c);
+        }
+        if c != last {
+            for &m in &self.members[c] {
+                self.cluster_of[m.index()] = ClusterId::new(c);
+            }
+        }
+    }
+
+    /// Recomputes the closest-pair border between clusters `i` and `j`
+    /// from scratch, with the same iteration order (ascending ids,
+    /// strict improvement) as [`HfcTopology::build`].
+    fn reelect_border<D: DelayModel>(&mut self, i: usize, j: usize, delays: &D) {
+        let mut best: Option<(ProxyId, ProxyId, f64)> = None;
+        for &x in &self.members[i] {
+            for &y in &self.members[j] {
+                let d = delays.delay(x, y);
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((x, y, d));
+                }
+            }
+        }
+        let (bx, by, _) = best.expect("clusters are non-empty");
+        self.borders[i][j] = Some(bx);
+        self.borders[j][i] = Some(by);
+    }
+
     /// Number of clusters.
     pub fn cluster_count(&self) -> usize {
         self.members.len()
@@ -258,6 +406,59 @@ impl HfcTopology {
         out.dedup();
         out
     }
+
+    /// A cluster-id-independent view of the topology, for comparing
+    /// two builds that may number their clusters differently (e.g. an
+    /// incrementally maintained topology against a from-scratch one).
+    pub fn snapshot(&self) -> HfcSnapshot {
+        let mut clusters: Vec<Vec<ProxyId>> = self
+            .members
+            .iter()
+            .map(|m| {
+                let mut m = m.clone();
+                m.sort();
+                m
+            })
+            .collect();
+        // Canonical order: by smallest member (member lists partition
+        // the proxies, so the keys are distinct).
+        let mut order: Vec<usize> = (0..clusters.len()).collect();
+        order.sort_by_key(|&c| clusters[c][0]);
+        let rank: Vec<usize> = {
+            let mut rank = vec![0; order.len()];
+            for (pos, &c) in order.iter().enumerate() {
+                rank[c] = pos;
+            }
+            rank
+        };
+        clusters.sort_by_key(|m| m[0]);
+        let mut borders = Vec::new();
+        for i in 0..self.members.len() {
+            for j in 0..self.members.len() {
+                if i == j {
+                    continue;
+                }
+                let (a, b) = (rank[i], rank[j]);
+                if a < b {
+                    let pair = self.border(ClusterId::new(i), ClusterId::new(j));
+                    borders.push(((a, b), (pair.local, pair.remote)));
+                }
+            }
+        }
+        borders.sort();
+        HfcSnapshot { clusters, borders }
+    }
+}
+
+/// See [`HfcTopology::snapshot`]: clusters sorted by their smallest
+/// member, borders keyed by positions in that order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HfcSnapshot {
+    /// Sorted member lists, ordered by smallest member.
+    pub clusters: Vec<Vec<ProxyId>>,
+    /// For each cluster pair `(i, j)` with `i < j` (positions in
+    /// `clusters`), the border pair oriented from `i` to `j`.
+    pub borders: Vec<((usize, usize), (ProxyId, ProxyId))>,
 }
 
 #[cfg(test)]
@@ -399,6 +600,133 @@ mod tests {
             constrained.hops(ProxyId::new(1), ProxyId::new(2)),
             vec![ProxyId::new(1), ProxyId::new(2)]
         );
+    }
+}
+
+#[cfg(test)]
+mod incremental_tests {
+    use super::*;
+    use crate::delays::CoordDelays;
+    use son_coords::Coordinates;
+
+    fn coords(xs: &[f64]) -> CoordDelays {
+        CoordDelays::new(xs.iter().map(|&x| Coordinates::new(vec![x, 0.0])).collect())
+    }
+
+    fn scratch(labels: &[usize], delays: &CoordDelays) -> HfcTopology {
+        HfcTopology::build(&Clustering::from_labels(labels), delays)
+    }
+
+    #[test]
+    fn insert_matches_scratch_build() {
+        let mut delays = coords(&[0.0, 1.0, 10.0, 11.0, 30.0, 31.0]);
+        let mut hfc = scratch(&[0, 0, 1, 1, 2, 2], &delays);
+        // A newcomer at 9.0 lands in the middle cluster and becomes
+        // its border toward cluster 0 (9.0 is closer to 1.0 than 10.0).
+        delays.push(Coordinates::new(vec![9.0, 0.0]));
+        let p = hfc.insert_proxy(ClusterId::new(1), &delays);
+        assert_eq!(p, ProxyId::new(6));
+        assert_eq!(hfc.cluster_of(p), ClusterId::new(1));
+        let pair = hfc.border(ClusterId::new(1), ClusterId::new(0));
+        assert_eq!(pair.local, p);
+        assert_eq!(
+            hfc.snapshot(),
+            scratch(&[0, 0, 1, 1, 2, 2, 1], &delays).snapshot()
+        );
+    }
+
+    #[test]
+    fn insert_keeps_existing_border_when_not_closer() {
+        let mut delays = coords(&[0.0, 1.0, 10.0, 11.0]);
+        let mut hfc = scratch(&[0, 0, 1, 1], &delays);
+        // A newcomer deep inside cluster 1 changes no border.
+        delays.push(Coordinates::new(vec![11.5, 0.0]));
+        hfc.insert_proxy(ClusterId::new(1), &delays);
+        let pair = hfc.border(ClusterId::new(0), ClusterId::new(1));
+        assert_eq!(pair.local, ProxyId::new(1));
+        assert_eq!(pair.remote, ProxyId::new(2));
+        assert_eq!(hfc.snapshot(), scratch(&[0, 0, 1, 1, 1], &delays).snapshot());
+    }
+
+    #[test]
+    fn remove_reelects_only_where_departed_was_border() {
+        let mut delays = coords(&[0.0, 1.0, 10.0, 11.0, 30.0, 31.0]);
+        let mut hfc = scratch(&[0, 0, 1, 1, 2, 2], &delays);
+        // Proxy 2 (at 10.0) borders cluster 0; its departure promotes
+        // proxy 3. Proxy 5 (at 31.0) is swapped into id 2.
+        delays.swap_remove(ProxyId::new(2));
+        let moved = hfc.remove_proxy(ProxyId::new(2), &delays);
+        assert_eq!(moved, Some(ProxyId::new(2)));
+        assert_eq!(hfc.proxy_count(), 5);
+        // Same world expressed as labels: [0,0,2,1,2] (old proxy 5 now
+        // at id 2 belongs to the far cluster).
+        assert_eq!(hfc.snapshot(), scratch(&[0, 0, 2, 1, 2], &delays).snapshot());
+    }
+
+    #[test]
+    fn removing_a_singleton_cluster_compacts_ids() {
+        let mut delays = coords(&[0.0, 1.0, 50.0, 100.0, 101.0]);
+        let mut hfc = scratch(&[0, 0, 1, 2, 2], &delays);
+        assert_eq!(hfc.cluster_count(), 3);
+        // Proxy 2 is alone in its cluster; removing it drops a cluster.
+        delays.swap_remove(ProxyId::new(2));
+        let moved = hfc.remove_proxy(ProxyId::new(2), &delays);
+        assert_eq!(moved, Some(ProxyId::new(2)));
+        assert_eq!(hfc.cluster_count(), 2);
+        assert_eq!(hfc.snapshot(), scratch(&[0, 0, 1, 1], &delays).snapshot());
+    }
+
+    #[test]
+    fn remove_last_id_moves_nobody() {
+        let mut delays = coords(&[0.0, 1.0, 10.0, 11.0]);
+        let mut hfc = scratch(&[0, 0, 1, 1], &delays);
+        delays.swap_remove(ProxyId::new(3));
+        let moved = hfc.remove_proxy(ProxyId::new(3), &delays);
+        assert_eq!(moved, None);
+        assert_eq!(hfc.snapshot(), scratch(&[0, 0, 1], &delays).snapshot());
+    }
+
+    #[test]
+    fn random_churn_matches_scratch_build() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        // Three well-separated communities; random coords make border
+        // ties measure-zero, so incremental == scratch exactly.
+        let mut xs: Vec<f64> = Vec::new();
+        let mut labels: Vec<usize> = Vec::new();
+        for c in 0..3 {
+            for _ in 0..5 {
+                xs.push(c as f64 * 1000.0 + rng.gen::<f64>() * 50.0);
+                labels.push(c);
+            }
+        }
+        let mut delays = coords(&xs);
+        let mut hfc = scratch(&labels, &delays);
+        for step in 0..60 {
+            if hfc.proxy_count() > 4 && rng.gen_bool(0.4) {
+                let victim = ProxyId::new(rng.gen_range(0..hfc.proxy_count()));
+                labels.swap_remove(victim.index());
+                xs.swap_remove(victim.index());
+                delays.swap_remove(victim);
+                hfc.remove_proxy(victim, &delays);
+            } else {
+                let c = rng.gen_range(0..3usize).min(hfc.cluster_count() - 1);
+                // Place the newcomer near an existing member of c so
+                // cluster geometry stays sane.
+                let anchor = hfc.members(ClusterId::new(c))[0];
+                let x = xs[anchor.index()] + rng.gen::<f64>() * 40.0 - 20.0;
+                xs.push(x);
+                labels.push(labels[anchor.index()]);
+                delays.push(Coordinates::new(vec![x, 0.0]));
+                hfc.insert_proxy(ClusterId::new(c), &delays);
+            }
+            assert_eq!(
+                hfc.snapshot(),
+                scratch(&labels, &delays).snapshot(),
+                "divergence at churn step {step}"
+            );
+        }
     }
 }
 

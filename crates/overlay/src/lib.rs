@@ -36,8 +36,8 @@ pub mod request;
 pub mod service;
 pub mod sgraph;
 
-pub use delays::{CoordDelays, DelayMatrix, DelayModel, HfcDelays};
-pub use hfc::{BorderPair, BorderSelection, ClusterId, HfcTopology};
+pub use delays::{CachedDelays, CoordDelays, DelayMatrix, DelayModel, HfcDelays};
+pub use hfc::{BorderPair, BorderSelection, ClusterId, HfcSnapshot, HfcTopology};
 pub use mesh::{MeshConfig, MeshTopology};
 pub use proxy::{Proxy, ProxyId};
 pub use qos::{QosProfile, QosRequirement};

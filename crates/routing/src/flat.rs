@@ -10,7 +10,7 @@
 //! * **HFC without aggregation** — solve over HFC-constrained delays
 //!   with full state, expanding hops through border pairs.
 
-use crate::path::{PathHop, ServicePath};
+use crate::path::{PathBuilder, ServicePath};
 use crate::providers::ProviderLookup;
 use crate::sdag::solve_service_dag;
 use son_overlay::{DelayModel, ProxyId, ServiceId, ServiceRequest};
@@ -95,27 +95,14 @@ where
         )
         .ok_or_else(|| self.diagnose(request))?;
 
-        let mut hops: Vec<PathHop> = vec![PathHop::relay(request.source)];
+        let mut path = PathBuilder::start(request.source);
         for a in &assignments {
-            let from = hops.last().expect("path starts non-empty").proxy;
-            push_expanded(&mut hops, expand(from, a.proxy));
+            path.extend_expanded(&expand(path.current(), a.proxy));
             // The provider hop itself carries the service.
-            let len = hops.len();
-            let last = hops.last_mut().expect("expand returns endpoints");
-            if last.proxy == a.proxy && last.service.is_none() && len > 1 {
-                last.service = Some(request.graph.service(a.stage));
-            } else {
-                hops.push(PathHop::serving(a.proxy, request.graph.service(a.stage)));
-            }
+            path.serve(a.proxy, request.graph.service(a.stage));
         }
-        let from = hops.last().expect("non-empty").proxy;
-        push_expanded(&mut hops, expand(from, request.destination));
-        if hops.last().map(|h| h.proxy) != Some(request.destination)
-            || hops.last().and_then(|h| h.service).is_some()
-        {
-            hops.push(PathHop::relay(request.destination));
-        }
-        Ok(ServicePath::new(hops))
+        path.extend_expanded(&expand(path.current(), request.destination));
+        Ok(path.finish_with_relay(request.destination))
     }
 
     /// Distinguishes "service missing everywhere" from "no viable
@@ -127,19 +114,6 @@ where
             }
         }
         RouteError::Infeasible
-    }
-}
-
-/// Appends `segment` (inclusive hop list) to `hops` as relays, skipping
-/// the shared first element.
-fn push_expanded(hops: &mut Vec<PathHop>, segment: Vec<ProxyId>) {
-    debug_assert_eq!(
-        segment.first().map(|&p| p),
-        hops.last().map(|h| h.proxy),
-        "expansion must start at the current hop"
-    );
-    for &p in segment.iter().skip(1) {
-        hops.push(PathHop::relay(p));
     }
 }
 

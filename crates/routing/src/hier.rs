@@ -21,7 +21,7 @@
 //!    paths and the border glue hops into the final service path.
 
 use crate::flat::RouteError;
-use crate::path::{PathHop, ServicePath};
+use crate::path::{PathBuilder, ServicePath};
 use crate::providers::ProviderIndex;
 use crate::sdag::{solve_service_dag, Assignment};
 use son_overlay::{
@@ -374,38 +374,29 @@ where
         );
         let source_cluster = self.hfc.cluster_of(request.source);
         let dest_cluster = self.hfc.cluster_of(request.destination);
-        let mut hops: Vec<PathHop> = vec![PathHop::relay(request.source)];
+        let mut path = PathBuilder::start(request.source);
         let mut prev_cluster = source_cluster;
         for (child, assignments) in plan.children.iter().zip(answers) {
             let cluster = child.cluster;
             if cluster != prev_cluster {
                 let pair = self.hfc.border(prev_cluster, cluster);
-                push_relay(&mut hops, pair.local);
-                push_relay(&mut hops, pair.remote);
+                path.relay(pair.local);
+                path.relay(pair.remote);
             }
             for a in assignments {
-                let service = child.services[a.stage.index()];
-                // Collapse a trailing relay on the same proxy.
-                let len = hops.len();
-                match hops.last_mut() {
-                    Some(last) if last.proxy == a.proxy && last.service.is_none() && len > 1 => {
-                        last.service = Some(service);
-                    }
-                    _ => hops.push(PathHop::serving(a.proxy, service)),
-                }
+                path.serve(a.proxy, child.services[a.stage.index()]);
             }
-            push_relay(&mut hops, child.dest);
+            path.relay(child.dest);
             prev_cluster = cluster;
         }
         if prev_cluster != dest_cluster {
             let pair = self.hfc.border(prev_cluster, dest_cluster);
-            push_relay(&mut hops, pair.local);
-            push_relay(&mut hops, pair.remote);
+            path.relay(pair.local);
+            path.relay(pair.remote);
         }
-        push_relay(&mut hops, request.destination);
 
         HierRoute {
-            path: ServicePath::new(hops),
+            path: path.finish(request.destination),
             child_count: plan.children.len(),
             csp: plan.csp,
             estimate: plan.estimate,
@@ -443,8 +434,6 @@ where
         dest_cluster: ClusterId,
         excluded: &[(StageId, ClusterId)],
     ) -> Result<(f64, Vec<(StageId, ClusterId)>), RouteError> {
-        type StateKey = (u32, u32); // (cluster, entry proxy)
-        type PrevRef = (usize, StateKey); // (stage index, state)
 
         let graph = &request.graph;
         if graph.is_empty() {
@@ -474,7 +463,7 @@ where
         let order = graph
             .topological_order()
             .expect("service graphs are validated acyclic at construction");
-        let mut states: Vec<BTreeMap<StateKey, (f64, Option<PrevRef>)>> =
+        let mut states: Vec<StateMap> =
             vec![BTreeMap::new(); graph.len()];
 
         for &stage in &order {
@@ -623,6 +612,13 @@ where
     }
 }
 
+/// A cluster-level DAG state: (cluster, entry proxy).
+type StateKey = (u32, u32);
+/// Back-pointer to the predecessor state: (stage index, state).
+type PrevRef = (usize, StateKey);
+/// Best known cost and predecessor per state, for one stage.
+type StateMap = BTreeMap<StateKey, (f64, Option<PrevRef>)>;
+
 fn key(cluster: ClusterId, entry: ProxyId) -> (u32, u32) {
     (cluster.index() as u32, entry.index() as u32)
 }
@@ -631,23 +627,12 @@ fn unkey(k: (u32, u32)) -> (ClusterId, ProxyId) {
     (ClusterId::new(k.0 as usize), ProxyId::new(k.1 as usize))
 }
 
-fn upsert(
-    map: &mut BTreeMap<(u32, u32), (f64, Option<(usize, (u32, u32))>)>,
-    k: (u32, u32),
-    cost: f64,
-    prev: Option<(usize, (u32, u32))>,
-) {
+fn upsert(map: &mut StateMap, k: StateKey, cost: f64, prev: Option<PrevRef>) {
     match map.get(&k) {
         Some(&(existing, _)) if existing <= cost => {}
         _ => {
             map.insert(k, (cost, prev));
         }
-    }
-}
-
-fn push_relay(hops: &mut Vec<PathHop>, proxy: ProxyId) {
-    if hops.last().map(|h| h.proxy) != Some(proxy) {
-        hops.push(PathHop::relay(proxy));
     }
 }
 

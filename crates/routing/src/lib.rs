@@ -51,12 +51,14 @@ pub mod hier;
 pub mod path;
 mod proptests;
 pub mod providers;
+pub mod router;
 pub mod sdag;
 pub mod session;
 
 pub use flat::{FlatRouter, RouteError};
 pub use hier::{ChildSpec, HierConfig, HierRoute, HierarchicalRouter, RoutePlan};
-pub use path::{PathHop, ServicePath, ValidatePathError};
+pub use path::{PathBuilder, PathHop, ServicePath, ValidatePathError};
+pub use router::Router;
 pub use providers::{ProviderIndex, ProviderLookup};
 pub use sdag::{solve_service_dag, Assignment};
 pub use session::{resolve_distributed, SessionReport};

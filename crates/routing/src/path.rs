@@ -195,6 +195,106 @@ impl fmt::Display for ServicePath {
     }
 }
 
+/// Incrementally composes a [`ServicePath`].
+///
+/// Centralises the hop bookkeeping every router needs — relay
+/// deduplication, collapsing a service onto a trailing relay of the
+/// same proxy, appending expanded hop segments, splicing child paths —
+/// so the flat, hierarchical, and multi-level routers share one
+/// implementation instead of three hand-rolled helpers.
+#[derive(Debug, Clone)]
+pub struct PathBuilder {
+    hops: Vec<PathHop>,
+}
+
+impl PathBuilder {
+    /// Starts a path at the request's source proxy (the paper's leading
+    /// `−/p₀` hop).
+    pub fn start(source: ProxyId) -> Self {
+        PathBuilder {
+            hops: vec![PathHop::relay(source)],
+        }
+    }
+
+    /// The proxy the path currently ends at.
+    pub fn current(&self) -> ProxyId {
+        self.hops.last().expect("paths are non-empty").proxy
+    }
+
+    /// Appends a relay hop unless the path already ends at `proxy`.
+    pub fn relay(&mut self, proxy: ProxyId) {
+        if self.current() != proxy {
+            self.hops.push(PathHop::relay(proxy));
+        }
+    }
+
+    /// Applies `service` at `proxy`: collapses onto a trailing relay of
+    /// the same proxy — but never the bare source hop — otherwise
+    /// appends a fresh serving hop (a zero-cost self-hop).
+    pub fn serve(&mut self, proxy: ProxyId, service: ServiceId) {
+        let len = self.hops.len();
+        match self.hops.last_mut() {
+            Some(last) if last.proxy == proxy && last.service.is_none() && len > 1 => {
+                last.service = Some(service);
+            }
+            _ => self.hops.push(PathHop::serving(proxy, service)),
+        }
+    }
+
+    /// Appends an inclusive expanded hop list (mesh relays, HFC border
+    /// chains) whose first element must be the current end. Every
+    /// subsequent element becomes a relay hop, duplicates included, so
+    /// zero-cost self-hops stay explicit for [`PathBuilder::serve`] to
+    /// collapse onto.
+    pub fn extend_expanded(&mut self, segment: &[ProxyId]) {
+        debug_assert_eq!(
+            segment.first().copied(),
+            Some(self.current()),
+            "expansion must start at the current hop"
+        );
+        for &p in &segment[1..] {
+            self.hops.push(PathHop::relay(p));
+        }
+    }
+
+    /// Splices a child path that starts at the current end: its source
+    /// hop is skipped, relay hops are deduplicated, serving hops are
+    /// appended verbatim.
+    pub fn splice(&mut self, path: &ServicePath) {
+        debug_assert_eq!(
+            path.source(),
+            self.current(),
+            "spliced path must start at the current hop"
+        );
+        for hop in &path.hops()[1..] {
+            if hop.service.is_none() {
+                self.relay(hop.proxy);
+            } else {
+                self.hops.push(*hop);
+            }
+        }
+    }
+
+    /// Ends the path at `destination`, deduplicating by proxy: if the
+    /// path already ends there (even with a service applied) no hop is
+    /// added.
+    pub fn finish(mut self, destination: ProxyId) -> ServicePath {
+        self.relay(destination);
+        ServicePath::new(self.hops)
+    }
+
+    /// Ends the path with an explicit bare relay at `destination` (the
+    /// paper's trailing `−/pₙ₊₁`): a hop is appended whenever the path
+    /// ends elsewhere *or* its last hop applies a service.
+    pub fn finish_with_relay(mut self, destination: ProxyId) -> ServicePath {
+        let last = self.hops.last().expect("paths are non-empty");
+        if last.proxy != destination || last.service.is_some() {
+            self.hops.push(PathHop::relay(destination));
+        }
+        ServicePath::new(self.hops)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,5 +434,84 @@ mod tests {
     #[should_panic(expected = "at least one hop")]
     fn empty_path_panics() {
         let _ = ServicePath::new(vec![]);
+    }
+
+    #[test]
+    fn builder_collapses_service_onto_trailing_relay() {
+        let mut b = PathBuilder::start(ProxyId::new(0));
+        b.relay(ProxyId::new(1));
+        b.serve(ProxyId::new(1), ServiceId::new(4));
+        let path = b.finish_with_relay(ProxyId::new(2));
+        assert_eq!(
+            path.hops(),
+            &[
+                PathHop::relay(ProxyId::new(0)),
+                PathHop::serving(ProxyId::new(1), ServiceId::new(4)),
+                PathHop::relay(ProxyId::new(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn builder_never_collapses_onto_the_source_hop() {
+        // Serving at the source keeps the bare -/p₀ hop and adds a
+        // zero-cost self-hop, matching the paper's notation.
+        let mut b = PathBuilder::start(ProxyId::new(0));
+        b.serve(ProxyId::new(0), ServiceId::new(1));
+        let path = b.finish_with_relay(ProxyId::new(3));
+        assert_eq!(
+            path.hops(),
+            &[
+                PathHop::relay(ProxyId::new(0)),
+                PathHop::serving(ProxyId::new(0), ServiceId::new(1)),
+                PathHop::relay(ProxyId::new(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn builder_relay_deduplicates_but_expansion_does_not() {
+        let mut b = PathBuilder::start(ProxyId::new(0));
+        b.relay(ProxyId::new(0)); // no-op
+        b.extend_expanded(&[ProxyId::new(0), ProxyId::new(0)]); // explicit self-hop
+        assert_eq!(b.current(), ProxyId::new(0));
+        let path = b.finish(ProxyId::new(0));
+        assert_eq!(path.hops().len(), 2);
+    }
+
+    #[test]
+    fn builder_finish_variants_differ_on_serving_tail() {
+        let mut a = PathBuilder::start(ProxyId::new(0));
+        a.serve(ProxyId::new(2), ServiceId::new(0));
+        let deduped = a.finish(ProxyId::new(2));
+        assert_eq!(deduped.hops().len(), 2);
+
+        let mut b = PathBuilder::start(ProxyId::new(0));
+        b.serve(ProxyId::new(2), ServiceId::new(0));
+        let explicit = b.finish_with_relay(ProxyId::new(2));
+        assert_eq!(explicit.hops().len(), 3);
+        assert_eq!(explicit.hops()[2], PathHop::relay(ProxyId::new(2)));
+    }
+
+    #[test]
+    fn builder_splice_skips_source_and_keeps_services() {
+        let child = ServicePath::new(vec![
+            PathHop::relay(ProxyId::new(1)),
+            PathHop::serving(ProxyId::new(1), ServiceId::new(5)),
+            PathHop::relay(ProxyId::new(2)),
+        ]);
+        let mut b = PathBuilder::start(ProxyId::new(0));
+        b.relay(ProxyId::new(1));
+        b.splice(&child);
+        let path = b.finish(ProxyId::new(2));
+        assert_eq!(
+            path.hops(),
+            &[
+                PathHop::relay(ProxyId::new(0)),
+                PathHop::relay(ProxyId::new(1)),
+                PathHop::serving(ProxyId::new(1), ServiceId::new(5)),
+                PathHop::relay(ProxyId::new(2)),
+            ]
+        );
     }
 }

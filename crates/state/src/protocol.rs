@@ -304,7 +304,7 @@ impl StateProtocol {
         );
         let n = hfc.proxy_count();
         let mut actors = Vec::with_capacity(n);
-        for p in 0..n {
+        for (p, service_set) in services.iter().enumerate() {
             let id = ProxyId::new(p);
             let cluster = hfc.cluster_of(id);
             let peers: Vec<ProxyId> = hfc
@@ -326,7 +326,7 @@ impl StateProtocol {
             actors.push(ProxyActor {
                 id,
                 cluster,
-                services: services[p].clone(),
+                services: service_set.clone(),
                 peers,
                 border_duties,
                 config: config.clone(),
