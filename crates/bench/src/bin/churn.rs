@@ -10,9 +10,13 @@
 //! ```sh
 //! cargo run --release -p son-bench --bin churn > results/churn.txt
 //! ```
+//!
+//! Also writes `results/BENCH_churn.json` (same artifact schema as the
+//! other benchmark bins).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use son_bench::{bench_artifact, write_bench_artifact, Json};
 use son_core::membership::DynamicOverlay;
 use son_core::{Clustering, Coordinates, HfcTopology, ProxyId, ZahnConfig};
 use std::time::{Duration, Instant};
@@ -116,5 +120,38 @@ fn main() {
     );
     if speedup < 5.0 {
         println!("WARNING: speedup below the 5x target");
+    }
+
+    let strategy_row = |name: &str, total: Duration, per_event: f64| {
+        Json::obj([
+            ("strategy", Json::from(name)),
+            ("total_ms", Json::from(total.as_secs_f64() * 1e3)),
+            ("per_event_us", Json::from(per_event)),
+        ])
+    };
+    let config = Json::obj([
+        ("start_proxies", Json::from(START_PROXIES)),
+        ("events", Json::from(events)),
+        ("joins", Json::from(joins)),
+        ("leaves", Json::from(leaves)),
+        ("final_proxies", Json::from(overlay.len())),
+        ("clusters", Json::from(overlay.hfc().cluster_count())),
+        ("speedup", Json::from(speedup)),
+        ("quick", Json::Bool(quick)),
+    ]);
+    let artifact = bench_artifact(
+        "churn",
+        config,
+        vec![
+            strategy_row("incremental", incremental, per_event_incr),
+            strategy_row("full_rebuild", full, per_event_full),
+        ],
+    );
+    match write_bench_artifact("churn", &artifact) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_churn.json: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -61,8 +61,7 @@ fn main() {
 
     // Path-quality price of the extra level, at the smallest size.
     let proxies = sizes[0];
-    let overlay =
-        ServiceOverlay::build(&SonConfig::from_environment(environment_for(proxies, 42)));
+    let overlay = ServiceOverlay::build(&SonConfig::from_environment(environment_for(proxies, 42)));
     let ml = MultiLevelHfc::build(
         overlay.hfc(),
         overlay.predicted_delays(),

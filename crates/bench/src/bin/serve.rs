@@ -1,0 +1,202 @@
+//! Parallel serving throughput: worker count × overlay size.
+//!
+//! Drives [`son_core::Engine`] with a Zipf-skewed request mix (popular
+//! requests recur, so the sharded route cache earns its keep) and
+//! sweeps worker counts at each overlay size. Each cell runs a warmup
+//! pass (fills the cache, reported as the cold numbers) and a measured
+//! pass drawn with a different seed.
+//!
+//! Request service is simulated: after routing, the worker holds the
+//! request for a time proportional to the path's end-to-end delay
+//! (`EngineConfig::dispatch_us_per_delay`), modelling synchronous data
+//! transmission along the overlay path. The factor is calibrated per
+//! overlay so the mean hold is [`TARGET_HOLD_US`] — without it a
+//! route-only benchmark on a single-CPU host cannot show serving
+//! parallelism at all.
+//!
+//! ```sh
+//! cargo run --release -p son-bench --bin serve > results/serve.txt
+//! cargo run --release -p son-bench --bin serve -- --smoke   # CI-sized
+//! ```
+//!
+//! Also writes `results/BENCH_serve.json`.
+
+use son_bench::environment_for;
+use son_bench::{bench_artifact, write_bench_artifact, Json};
+use son_core::{
+    zipf_request_mix, Engine, EngineConfig, HierProvider, ServeOutcome, ServiceOverlay,
+    ServiceRequest, SonConfig,
+};
+
+/// Zipf exponent for the request mix (web-trace territory).
+const ZIPF_S: f64 = 0.9;
+/// Mean simulated per-request service hold, microseconds.
+const TARGET_HOLD_US: f64 = 300.0;
+
+struct Sweep {
+    sizes: &'static [usize],
+    workers: &'static [usize],
+    pool: usize,
+    requests: usize,
+}
+
+const FULL: Sweep = Sweep {
+    sizes: &[250, 500],
+    workers: &[1, 2, 4, 8],
+    pool: 256,
+    requests: 4_000,
+};
+
+const SMOKE: Sweep = Sweep {
+    sizes: &[60],
+    workers: &[1, 4],
+    pool: 48,
+    requests: 300,
+};
+
+struct Cell {
+    proxies: usize,
+    workers: usize,
+    cold: ServeOutcome,
+    warm: ServeOutcome,
+}
+
+/// Routes the pool once (single worker, no hold) to find the mean
+/// end-to-end path delay, so the hold factor lands on
+/// [`TARGET_HOLD_US`] regardless of overlay scale.
+fn calibrate_hold(overlay: &ServiceOverlay, pool: &[ServiceRequest]) -> f64 {
+    let snapshot = overlay.engine_snapshot();
+    let engine = Engine::new(
+        overlay.engine_snapshot(),
+        HierProvider {
+            config: overlay.config().hier,
+        },
+        EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        },
+    );
+    let outcome = engine.serve(pool);
+    let lengths: Vec<f64> = outcome
+        .paths
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|p| p.length(snapshot.delays()))
+        .collect();
+    if lengths.is_empty() {
+        return 0.0;
+    }
+    let mean = lengths.iter().sum::<f64>() / lengths.len() as f64;
+    TARGET_HOLD_US / mean.max(f64::EPSILON)
+}
+
+fn run_cell(
+    overlay: &ServiceOverlay,
+    proxies: usize,
+    workers: usize,
+    dispatch: f64,
+    warmup: &[ServiceRequest],
+    measured: &[ServiceRequest],
+) -> Cell {
+    let engine = Engine::new(
+        overlay.engine_snapshot(),
+        HierProvider {
+            config: overlay.config().hier,
+        },
+        EngineConfig {
+            workers,
+            dispatch_us_per_delay: dispatch,
+            ..EngineConfig::default()
+        },
+    );
+    let cold = engine.serve(warmup);
+    let warm = engine.serve(measured);
+    Cell {
+        proxies,
+        workers,
+        cold,
+        warm,
+    }
+}
+
+fn cell_row(cell: &Cell, baseline_rps: f64) -> Json {
+    let w = &cell.warm.report;
+    Json::obj([
+        ("proxies", Json::from(cell.proxies)),
+        ("workers", Json::from(cell.workers)),
+        ("router", Json::from(w.router)),
+        ("requests", Json::from(w.requests)),
+        ("errors", Json::from(w.errors)),
+        ("cold_rps", Json::from(cell.cold.report.requests_per_sec)),
+        ("warm_rps", Json::from(w.requests_per_sec)),
+        ("warm_hit_rate", Json::from(w.cache.hit_rate())),
+        ("p50_us", Json::from(w.latency.p50_us)),
+        ("p90_us", Json::from(w.latency.p90_us)),
+        ("p99_us", Json::from(w.latency.p99_us)),
+        (
+            "speedup_vs_one_worker",
+            Json::from(w.requests_per_sec / baseline_rps),
+        ),
+    ])
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sweep = if smoke { SMOKE } else { FULL };
+
+    println!("Parallel serving: Zipf({ZIPF_S}) mix, warm route cache");
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9}",
+        "proxies", "workers", "cold req/s", "warm req/s", "hit %", "p50 us", "p99 us", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for &proxies in sweep.sizes {
+        let overlay =
+            ServiceOverlay::build(&SonConfig::from_environment(environment_for(proxies, 42)));
+        let mut pool = overlay.generate_client_requests(sweep.pool * 2, 42 ^ 0xF00D);
+        pool.dedup();
+        pool.truncate(sweep.pool);
+        let dispatch = calibrate_hold(&overlay, &pool);
+        let warmup = zipf_request_mix(&pool, sweep.requests, ZIPF_S, 7);
+        let measured = zipf_request_mix(&pool, sweep.requests, ZIPF_S, 8);
+
+        let mut baseline_rps = f64::NAN;
+        for &workers in sweep.workers {
+            let cell = run_cell(&overlay, proxies, workers, dispatch, &warmup, &measured);
+            if workers == 1 {
+                baseline_rps = cell.warm.report.requests_per_sec;
+            }
+            let w = &cell.warm.report;
+            println!(
+                "{:>8} {:>8} {:>12.0} {:>12.0} {:>8.0}% {:>9.0} {:>9.0} {:>8.2}x",
+                proxies,
+                workers,
+                cell.cold.report.requests_per_sec,
+                w.requests_per_sec,
+                w.cache.hit_rate() * 100.0,
+                w.latency.p50_us,
+                w.latency.p99_us,
+                w.requests_per_sec / baseline_rps,
+            );
+            rows.push(cell_row(&cell, baseline_rps));
+        }
+    }
+
+    let config = Json::obj([
+        ("router", Json::from("hier")),
+        ("zipf_s", Json::from(ZIPF_S)),
+        ("pool", Json::from(sweep.pool)),
+        ("requests", Json::from(sweep.requests)),
+        ("target_hold_us", Json::from(TARGET_HOLD_US)),
+        ("smoke", Json::Bool(smoke)),
+    ]);
+    let artifact = bench_artifact("serve", config, rows);
+    match write_bench_artifact("serve", &artifact) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write BENCH_serve.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -17,5 +17,7 @@
 //! offer a `--quick` mode for smoke runs and default to paper scale.
 
 pub mod experiments;
+pub mod json;
 
 pub use experiments::{environment_for, figure10, figure9, Fig10Options, Figure10Row, Figure9Row};
+pub use json::{bench_artifact, write_bench_artifact, Json};

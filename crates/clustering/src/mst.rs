@@ -170,8 +170,7 @@ mod tests {
         // Unit square; MST weight = 3 sides = 3.
         let pts: [[f64; 2]; 4] = [[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]];
         let dist = |a: usize, b: usize| {
-            ((pts[a][0] - pts[b][0]).powi(2) + (pts[a][1] - pts[b][1]).powi(2))
-                .sqrt()
+            ((pts[a][0] - pts[b][0]).powi(2) + (pts[a][1] - pts[b][1]).powi(2)).sqrt()
         };
         let mst = mst_complete(4, dist);
         assert_eq!(mst.edges().len(), 3);

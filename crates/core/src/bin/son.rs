@@ -9,6 +9,8 @@
 //!                                                  emit Graphviz DOT / text
 //! son protocol [--proxies N] [--seed S] [--loss P] [--rounds R]
 //!                                                  run the state protocol
+//! son serve    [--proxies N] [--seed S] [--requests K] [--workers W]
+//!              [--router flat|hier|multilevel]      serve K requests in parallel
 //! ```
 //!
 //! Sizes 250/500/750/1000 use the paper's Table 1 environments; other
@@ -16,7 +18,9 @@
 
 use son_core::export::{hfc_to_dot, hfc_to_text, physical_to_dot};
 use son_core::{
-    Environment, OverheadKind, ProtocolConfig, ServiceOverlay, SonConfig, StateProtocol,
+    Engine, EngineConfig, Environment, FlatProvider, HierProvider, MultiLevelProvider,
+    OverheadKind, ProtocolConfig, RouterProvider, ServeOutcome, ServiceOverlay, SonConfig,
+    StateProtocol, ZahnConfig,
 };
 use std::process::ExitCode;
 
@@ -27,6 +31,8 @@ struct Args {
     what: String,
     loss: f64,
     rounds: usize,
+    workers: usize,
+    router: String,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -37,6 +43,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         what: "summary".to_string(),
         loss: 0.0,
         rounds: 3,
+        workers: 4,
+        router: "hier".to_string(),
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -72,6 +80,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--loss: {e}"))?
             }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--router" => args.router = value("--router")?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -199,10 +213,83 @@ fn cmd_protocol(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    if args.workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    let overlay = build(args);
+    let batch = overlay.generate_client_requests(args.requests, args.seed ^ 0xF00D);
+    let config = EngineConfig {
+        workers: args.workers,
+        ..EngineConfig::default()
+    };
+    // Generic over the provider so one driver serves all three routers.
+    fn drive<P: RouterProvider<son_core::CoordDelays>>(
+        overlay: &ServiceOverlay,
+        provider: P,
+        config: EngineConfig,
+        batch: &[son_core::ServiceRequest],
+    ) -> (ServeOutcome, ServeOutcome) {
+        let engine = Engine::new(overlay.engine_snapshot(), provider, config);
+        (engine.serve(batch), engine.serve(batch))
+    }
+    let (cold, warm) = match args.router.as_str() {
+        "hier" => drive(
+            &overlay,
+            HierProvider {
+                config: overlay.config().hier,
+            },
+            config,
+            &batch,
+        ),
+        "flat" => drive(&overlay, FlatProvider, config, &batch),
+        "multilevel" => {
+            let provider = MultiLevelProvider::for_snapshot(
+                &overlay.engine_snapshot(),
+                &ZahnConfig::default(),
+                overlay.config().hier,
+            );
+            drive(&overlay, provider, config, &batch)
+        }
+        other => {
+            return Err(format!(
+                "--router must be flat|hier|multilevel, got {other}"
+            ))
+        }
+    };
+    for (label, outcome) in [("cold", &cold), ("warm", &warm)] {
+        let r = &outcome.report;
+        println!(
+            "{label} pass : {} req in {:.1}ms = {:.0} req/s | {} errors",
+            r.requests,
+            r.elapsed_secs * 1e3,
+            r.requests_per_sec,
+            r.errors,
+        );
+        println!(
+            "  latency  : p50 {:.0}us p90 {:.0}us p99 {:.0}us",
+            r.latency.p50_us, r.latency.p90_us, r.latency.p99_us
+        );
+        println!(
+            "  cache    : {:.0}% hit ({} hits, {} misses)",
+            r.cache.hit_rate() * 100.0,
+            r.cache.hits,
+            r.cache.misses
+        );
+    }
+    let busiest = warm.report.busiest_borders();
+    print!("borders    :");
+    for (proxy, load) in busiest.iter().take(5) {
+        print!(" {proxy}×{load}");
+    }
+    println!(" ({} border proxies carried traffic)", busiest.len());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
-        eprintln!("usage: son <build|route|overhead|export|protocol> [flags]");
+        eprintln!("usage: son <build|route|overhead|export|protocol|serve> [flags]");
         return ExitCode::FAILURE;
     };
     let args = match parse_args(rest) {
@@ -227,6 +314,7 @@ fn main() -> ExitCode {
         }
         "export" => cmd_export(&args),
         "protocol" => cmd_protocol(&args),
+        "serve" => cmd_serve(&args),
         other => Err(format!("unknown command {other}")),
     };
     match result {

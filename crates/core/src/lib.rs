@@ -37,7 +37,7 @@ pub mod multilevel;
 pub mod overlay_system;
 
 pub use membership::{ChurnStats, DynamicOverlay};
-pub use multilevel::{MultiLevelHfc, MultiLevelRouter, SuperClusterId};
+pub use multilevel::{MultiLevelHfc, MultiLevelProvider, MultiLevelRouter, SuperClusterId};
 pub use overlay_system::{
     BuildStage, BuildStats, OverlayBuilder, ServiceOverlay, SonConfig, StageTimings,
 };
@@ -51,6 +51,10 @@ pub use son_clustering::{
 pub use son_coords::{
     minimize, select_landmarks_maxmin, select_landmarks_random, Coordinates, EmbeddingConfig,
     ErrorStats, GnpEmbedding, NelderMeadConfig,
+};
+pub use son_engine::{
+    CacheStats, Engine, EngineConfig, EngineSnapshot, FlatProvider, HierProvider, LatencySummary,
+    RouteCache, RouteKey, RouterProvider, ServeOutcome, ServeReport,
 };
 pub use son_netsim::{
     Actor, Ctx, DelayMeasurer, EventQueue, Graph, MeasureConfig, NodeId, NodeKind, PhysicalNetwork,
@@ -73,5 +77,5 @@ pub use son_state::{
 };
 pub use son_workload::{
     assign_services, generate_requests, place_proxies, place_proxies_excluding,
-    table1_environments, Environment, RequestProfile,
+    table1_environments, zipf_request_mix, Environment, RequestProfile, Zipf,
 };

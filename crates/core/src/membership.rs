@@ -299,7 +299,10 @@ mod tests {
         let stats = overlay.churn_stats();
         assert_eq!(stats.incremental_joins, 4);
         assert_eq!(stats.incremental_leaves, 2);
-        assert_eq!(stats.full_rebuilds, 0, "no event may trigger a full rebuild");
+        assert_eq!(
+            stats.full_rebuilds, 0,
+            "no event may trigger a full rebuild"
+        );
         // The incrementally maintained topology matches a from-scratch
         // build over the same membership.
         let scratch = HfcTopology::build(

@@ -487,18 +487,16 @@ where
         // same supercluster must still respect cluster-border
         // connectivity — delegate to that supercluster's bi-level
         // router with an empty service graph.
-        let splice_relay = |path: &mut PathBuilder,
-                            sup: SuperClusterId,
-                            to: ProxyId|
-         -> Result<(), RouteError> {
-            if path.current() == to {
-                return Ok(());
-            }
-            let child = ServiceRequest::new(path.current(), ServiceGraph::linear(vec![]), to);
-            let sub = self.sub_routers[sup.index()].route(&child)?;
-            path.splice(&sub.path);
-            Ok(())
-        };
+        let splice_relay =
+            |path: &mut PathBuilder, sup: SuperClusterId, to: ProxyId| -> Result<(), RouteError> {
+                if path.current() == to {
+                    return Ok(());
+                }
+                let child = ServiceRequest::new(path.current(), ServiceGraph::linear(vec![]), to);
+                let sub = self.sub_routers[sup.index()].route(&child)?;
+                path.splice(&sub.path);
+                Ok(())
+            };
 
         // Close at the destination and pick the best sink state (or the
         // pure relay path for an empty graph).
@@ -598,13 +596,63 @@ where
     }
 }
 
+/// Serving-engine provider of the three-level router.
+///
+/// The supercluster hierarchy is derived once from a snapshot and kept
+/// on the provider, which then *lends* it to every router it builds
+/// (the `&'a self` receiver of [`son_engine::RouterProvider::router`]
+/// exists for exactly this). The hierarchy describes a specific
+/// topology, so after churn — i.e. after installing a new snapshot
+/// into the engine — build a fresh provider from that snapshot.
+#[derive(Debug, Clone)]
+pub struct MultiLevelProvider {
+    ml: MultiLevelHfc,
+    config: son_routing::HierConfig,
+}
+
+impl MultiLevelProvider {
+    /// Derives the supercluster hierarchy from `snapshot`.
+    pub fn for_snapshot<D: DelayModel>(
+        snapshot: &son_engine::EngineSnapshot<D>,
+        zahn: &ZahnConfig,
+        config: son_routing::HierConfig,
+    ) -> Self {
+        MultiLevelProvider {
+            ml: MultiLevelHfc::build(snapshot.hfc(), snapshot.delays(), zahn),
+            config,
+        }
+    }
+
+    /// The derived supercluster hierarchy.
+    pub fn hierarchy(&self) -> &MultiLevelHfc {
+        &self.ml
+    }
+}
+
+impl<D: DelayModel> son_engine::RouterProvider<D> for MultiLevelProvider {
+    fn router<'a>(
+        &'a self,
+        snapshot: &'a son_engine::EngineSnapshot<D>,
+    ) -> Box<dyn son_routing::Router + 'a> {
+        Box::new(MultiLevelRouter::from_services(
+            snapshot.hfc(),
+            &self.ml,
+            snapshot.services(),
+            snapshot.delays(),
+            self.config,
+        ))
+    }
+
+    fn name(&self) -> &'static str {
+        "multilevel"
+    }
+}
+
 #[cfg(test)]
 mod router_tests {
     use super::*;
     use son_clustering::Clustering;
-    use son_overlay::{
-        DelayMatrix, ProxyId, ServiceGraph, ServiceId, ServiceRequest, ServiceSet,
-    };
+    use son_overlay::{DelayMatrix, ProxyId, ServiceGraph, ServiceId, ServiceRequest, ServiceSet};
     use son_routing::HierConfig;
 
     fn sid(i: usize) -> ServiceId {
@@ -737,7 +785,11 @@ mod router_tests {
             let (sa, sb) = (ml.super_of(ca), ml.super_of(cb));
             if sa == sb {
                 let pair = hfc.border(ca, cb);
-                assert_eq!((pair.local, pair.remote), (a, b), "not a cluster border hop");
+                assert_eq!(
+                    (pair.local, pair.remote),
+                    (a, b),
+                    "not a cluster border hop"
+                );
             } else {
                 assert!(
                     super_borders.contains(&a) && super_borders.contains(&b),
@@ -797,6 +849,58 @@ mod router_tests {
         for (r, request) in routers.iter().zip(&requests) {
             assert!(r.route_path(request).is_ok());
         }
+    }
+
+    #[test]
+    fn multilevel_provider_serves_through_the_engine() {
+        use son_engine::{Engine, EngineConfig, EngineSnapshot, RouterProvider};
+        let (hfc, delays, services) = routed_world();
+        let snapshot = EngineSnapshot::new(hfc.clone(), services.clone(), delays.clone());
+        let provider = MultiLevelProvider::for_snapshot(
+            &snapshot,
+            &ZahnConfig::default(),
+            HierConfig::default(),
+        );
+        assert_eq!(RouterProvider::<DelayMatrix>::name(&provider), "multilevel");
+        let ml = provider.hierarchy().clone();
+        let direct =
+            MultiLevelRouter::from_services(&hfc, &ml, &services, &delays, HierConfig::default());
+        let engine = Engine::new(
+            snapshot,
+            provider,
+            EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let batch: Vec<ServiceRequest> = (0..12)
+            .map(|k| {
+                ServiceRequest::new(
+                    ProxyId::new(k % 12),
+                    ServiceGraph::linear(vec![sid(k % 4), sid(9)]),
+                    ProxyId::new((k * 5 + 1) % 12),
+                )
+            })
+            .collect();
+        let outcome = engine.serve(&batch);
+        assert_eq!(outcome.report.router, "multilevel");
+        assert_eq!(outcome.report.errors, 0);
+        for (request, served) in batch.iter().zip(&outcome.paths) {
+            let served = served.as_ref().expect("routable");
+            served
+                .validate(request, |p, s| services[p.index()].contains(s))
+                .unwrap();
+            assert_eq!(served, &direct.route(request).unwrap());
+        }
+    }
+
+    /// The engine hands these across worker threads.
+    #[test]
+    fn multilevel_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MultiLevelHfc>();
+        assert_send_sync::<MultiLevelRouter<'_, DelayMatrix>>();
+        assert_send_sync::<MultiLevelProvider>();
     }
 
     #[test]

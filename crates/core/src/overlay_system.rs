@@ -34,7 +34,6 @@ use son_overlay::{
     BorderSelection, CachedDelays, CoordDelays, DelayModel, HfcTopology, MeshConfig, MeshTopology,
     ProxyId, QosProfile, QosRequirement, ServiceId, ServiceRequest, ServiceSet,
 };
-use std::time::{Duration, Instant};
 use son_routing::{
     FlatRouter, HierConfig, HierarchicalRouter, ProviderIndex, RouteError, ServicePath,
 };
@@ -46,6 +45,7 @@ use son_workload::{
     assign_qos, assign_services, generate_requests, place_proxies_excluding, Environment,
     RequestProfile,
 };
+use std::time::{Duration, Instant};
 
 /// Everything needed to build a [`ServiceOverlay`].
 #[derive(Debug, Clone)]
@@ -406,8 +406,7 @@ impl OverlayBuilder {
                 // Cluster in the coordinate space.
                 let predicted = self.predicted.as_ref().expect("stage order");
                 let n = predicted.len();
-                let mst =
-                    mst_complete(n, |a, b| predicted.delay(ProxyId::new(a), ProxyId::new(b)));
+                let mst = mst_complete(n, |a, b| predicted.delay(ProxyId::new(a), ProxyId::new(b)));
                 self.clustering = Some(ZahnClusterer::new(self.config.zahn.clone()).cluster(&mst));
             }
             BuildStage::Hfc => {
@@ -679,6 +678,35 @@ impl ServiceOverlay {
             &self.services,
             &self.predicted,
             self.config.hier,
+        )
+    }
+
+    /// An immutable, epoch-stamped view of this overlay for the serving
+    /// engine. Routers in the engine route on coordinate-predicted
+    /// delays, exactly like [`ServiceOverlay::hier_router`] — what
+    /// deployed nodes actually know.
+    pub fn engine_snapshot(&self) -> son_engine::EngineSnapshot<CoordDelays> {
+        son_engine::EngineSnapshot::new(
+            self.hfc.clone(),
+            self.services.clone(),
+            self.predicted.clone(),
+        )
+    }
+
+    /// A multi-threaded serving engine over this overlay using the
+    /// paper's hierarchical router (see `son-engine` for the runtime's
+    /// design; use [`son_engine::Engine::new`] directly with a
+    /// different provider for flat or three-level routing).
+    pub fn engine(
+        &self,
+        config: son_engine::EngineConfig,
+    ) -> son_engine::Engine<CoordDelays, son_engine::HierProvider> {
+        son_engine::Engine::new(
+            self.engine_snapshot(),
+            son_engine::HierProvider {
+                config: self.config.hier,
+            },
+            config,
         )
     }
 

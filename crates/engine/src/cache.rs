@@ -1,0 +1,350 @@
+//! The sharded, epoch-invalidated route cache.
+//!
+//! CDN server-ranking studies (Gürsun) observe that request locality
+//! makes route decisions highly cacheable *per ingress partition*: the
+//! same (ingress cluster, request) pair recurs far more often than raw
+//! proxy-pair traffic would suggest. The cache therefore keys entries
+//! by **(ingress cluster, request signature)** — the signature is a
+//! canonical encoding of the full request (source, destination, and
+//! service-graph shape), so a hit is *exact*: the cached path is the
+//! one a fresh router would return for that request.
+//!
+//! **Epoch invalidation.** Every entry is stamped with the epoch of the
+//! snapshot it was computed under. A lookup passes the epoch of the
+//! snapshot currently being served; an entry from any other epoch is
+//! treated as a miss and dropped on sight. Membership events and
+//! state-protocol updates install a new snapshot under a bumped epoch,
+//! so cached paths are never served stale — without any scan-the-cache
+//! flush on the churn path.
+//!
+//! **Sharding.** Entries hash-partition across [`Mutex`]ed shards so
+//! concurrent workers rarely contend; counters are atomics outside the
+//! locks.
+
+use son_overlay::{ClusterId, ServiceRequest};
+use son_routing::ServicePath;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Canonical cache key: the ingress cluster plus a lossless encoding
+/// of the request (source, destination, stage services, stage edges).
+///
+/// Keys compare by value — two requests collide only if they are the
+/// same request entering at the same cluster, so cache hits can never
+/// return a path for a different request.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RouteKey {
+    ingress: u32,
+    words: Vec<u32>,
+}
+
+impl RouteKey {
+    /// Encodes `request` as seen from `ingress`.
+    pub fn encode(ingress: ClusterId, request: &ServiceRequest) -> Self {
+        let graph = &request.graph;
+        let mut words = Vec::with_capacity(3 + 2 * graph.len());
+        words.push(request.source.index() as u32);
+        words.push(request.destination.index() as u32);
+        words.push(graph.len() as u32);
+        for stage in graph.stage_ids() {
+            words.push(graph.service(stage).index() as u32);
+        }
+        for stage in graph.stage_ids() {
+            let preds = graph.predecessors(stage);
+            words.push(preds.len() as u32);
+            words.extend(preds.iter().map(|p| p.index() as u32));
+        }
+        RouteKey {
+            ingress: ingress.index() as u32,
+            words,
+        }
+    }
+
+    /// The ingress cluster component.
+    pub fn ingress(&self) -> ClusterId {
+        ClusterId::new(self.ingress as usize)
+    }
+
+    /// FNV-1a over the key, used for shard selection.
+    fn shard_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |w: u32| {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        mix(self.ingress);
+        for &w in &self.words {
+            mix(w);
+        }
+        h
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    epoch: u64,
+    path: ServicePath,
+}
+
+/// One shard: a map plus FIFO insertion order for eviction.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<RouteKey, Entry>,
+    order: VecDeque<RouteKey>,
+}
+
+/// Monotonic counters describing cache behavior since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (same epoch).
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Lookups that found an entry from another epoch (counted in
+    /// `misses` too; the entry is dropped).
+    pub stale_drops: u64,
+    /// Entries written.
+    pub insertions: u64,
+    /// Entries removed to make room (capacity evictions only).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Counter deltas between two snapshots of the same cache: what
+    /// happened after `earlier` was taken.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            stale_drops: self.stale_drops - earlier.stale_drops,
+            insertions: self.insertions - earlier.insertions,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+
+    /// Hits over all lookups, 0.0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The concurrent route cache. See the module docs for the design.
+#[derive(Debug)]
+pub struct RouteCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale_drops: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl RouteCache {
+    /// Creates a cache with `shards` lock partitions and room for
+    /// `capacity` entries in total (rounded up to a multiple of the
+    /// shard count; at least one entry per shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        assert!(shards > 0, "the cache needs at least one shard");
+        RouteCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity_per_shard: capacity.div_ceil(shards).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stale_drops: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &RouteKey) -> &Mutex<Shard> {
+        &self.shards[(key.shard_hash() % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks `key` up for a batch serving snapshot `epoch`. An entry
+    /// from a different epoch is dropped and reported as a miss.
+    pub fn lookup(&self, key: &RouteKey, epoch: u64) -> Option<ServicePath> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        match shard.entries.get(key) {
+            Some(entry) if entry.epoch == epoch => {
+                let path = entry.path.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(path)
+            }
+            Some(_) => {
+                shard.entries.remove(key);
+                drop(shard);
+                self.stale_drops.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a computed path under `key` for `epoch`, evicting in FIFO
+    /// order when the shard is full.
+    pub fn insert(&self, key: RouteKey, epoch: u64, path: ServicePath) {
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        // Evict until there is room. Keys in `order` whose entry was
+        // already dropped (stale lookup or overwrite) cost nothing.
+        while shard.entries.len() >= self.capacity_per_shard {
+            let Some(victim) = shard.order.pop_front() else {
+                break;
+            };
+            if shard.entries.remove(&victim).is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if shard
+            .entries
+            .insert(key.clone(), Entry { epoch, path })
+            .is_none()
+        {
+            shard.order.push_back(key);
+        }
+        drop(shard);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of resident entries (all epochs).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+            .sum()
+    }
+
+    /// Returns `true` if no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stale_drops: self.stale_drops.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use son_overlay::{ProxyId, ServiceGraph, ServiceId};
+    use son_routing::PathBuilder;
+
+    fn request(src: usize, services: &[usize], dst: usize) -> ServiceRequest {
+        ServiceRequest::new(
+            ProxyId::new(src),
+            ServiceGraph::linear(services.iter().map(|&s| ServiceId::new(s)).collect()),
+            ProxyId::new(dst),
+        )
+    }
+
+    fn path(src: usize, dst: usize) -> ServicePath {
+        PathBuilder::start(ProxyId::new(src)).finish(ProxyId::new(dst))
+    }
+
+    #[test]
+    fn keys_distinguish_requests_and_ingress() {
+        let a = RouteKey::encode(ClusterId::new(0), &request(1, &[2, 3], 4));
+        let b = RouteKey::encode(ClusterId::new(0), &request(1, &[3, 2], 4));
+        let c = RouteKey::encode(ClusterId::new(1), &request(1, &[2, 3], 4));
+        let a2 = RouteKey::encode(ClusterId::new(0), &request(1, &[2, 3], 4));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, a2);
+        assert_eq!(a.ingress(), ClusterId::new(0));
+    }
+
+    #[test]
+    fn keys_distinguish_graph_shapes() {
+        // Same stage services, different dependency edges.
+        let linear = request(0, &[1, 2], 3);
+        let graph = ServiceGraph::builder()
+            .stage(ServiceId::new(1))
+            .stage(ServiceId::new(2))
+            .build()
+            .unwrap();
+        let parallel = ServiceRequest::new(ProxyId::new(0), graph, ProxyId::new(3));
+        assert_ne!(
+            RouteKey::encode(ClusterId::new(0), &linear),
+            RouteKey::encode(ClusterId::new(0), &parallel)
+        );
+    }
+
+    #[test]
+    fn hit_after_insert_same_epoch() {
+        let cache = RouteCache::new(4, 64);
+        let key = RouteKey::encode(ClusterId::new(0), &request(0, &[1], 2));
+        assert_eq!(cache.lookup(&key, 7), None);
+        cache.insert(key.clone(), 7, path(0, 2));
+        assert_eq!(cache.lookup(&key, 7), Some(path(0, 2)));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn epoch_bump_invalidates() {
+        let cache = RouteCache::new(2, 64);
+        let key = RouteKey::encode(ClusterId::new(3), &request(0, &[1], 2));
+        cache.insert(key.clone(), 1, path(0, 2));
+        // Old-epoch entry: dropped, miss.
+        assert_eq!(cache.lookup(&key, 2), None);
+        assert_eq!(cache.stats().stale_drops, 1);
+        assert!(cache.is_empty(), "stale entries are dropped on sight");
+        // And it stays a miss (entry is gone, not resurrected).
+        assert_eq!(cache.lookup(&key, 1), None);
+    }
+
+    #[test]
+    fn capacity_is_bounded_fifo() {
+        let cache = RouteCache::new(1, 3);
+        let keys: Vec<RouteKey> = (0..5)
+            .map(|i| RouteKey::encode(ClusterId::new(0), &request(i, &[1], 9)))
+            .collect();
+        for (i, key) in keys.iter().enumerate() {
+            cache.insert(key.clone(), 0, path(i, 9));
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evictions, 2);
+        // The oldest two were evicted, the newest three survive.
+        assert_eq!(cache.lookup(&keys[0], 0), None);
+        assert_eq!(cache.lookup(&keys[1], 0), None);
+        for (i, key) in keys.iter().enumerate().skip(2) {
+            assert_eq!(cache.lookup(key, 0), Some(path(i, 9)), "key {i}");
+        }
+    }
+
+    #[test]
+    fn overwrite_does_not_duplicate_order() {
+        let cache = RouteCache::new(1, 2);
+        let key = RouteKey::encode(ClusterId::new(0), &request(0, &[1], 2));
+        cache.insert(key.clone(), 0, path(0, 2));
+        cache.insert(key.clone(), 1, path(0, 2));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&key, 1), Some(path(0, 2)));
+    }
+}

@@ -1,0 +1,380 @@
+//! The serving engine: sharded workers over an epoch-stamped snapshot.
+//!
+//! [`Engine::serve`] answers a batch of requests with worker threads.
+//! Each request is assigned to the worker owning its **ingress
+//! cluster** (`cluster % workers`), every worker builds its own router
+//! over the shared snapshot, and computed paths land in the shared
+//! [`RouteCache`] under the snapshot's epoch. Because routing is
+//! deterministic and cache hits are exact (see [`crate::cache`]), the
+//! served paths are identical for any worker count — threads change
+//! only the wall-clock, never the answers.
+//!
+//! **Churn.** [`Engine::install_snapshot`] publishes a rebuilt overlay
+//! view under the next epoch. Batches started before the install keep
+//! their old snapshot (and its epoch) to the end, so each batch is
+//! internally consistent; the next batch routes over the new topology
+//! and every cached path from before the change misses on epoch.
+//!
+//! **Simulated dispatch.** Real proxies don't just *compute* paths —
+//! they synchronously push the session's data along them. With
+//! [`EngineConfig::dispatch_us_per_delay`] > 0 each worker holds a
+//! request for `path length × that factor` microseconds after routing
+//! it, modeling transmission time proportional to the overlay delay of
+//! the chosen path. Worker threads overlap these holds the way an
+//! I/O-bound server overlaps in-flight responses, which is what makes
+//! thread count matter even on a single core. Set it to 0 to benchmark
+//! pure route computation.
+
+use crate::cache::{CacheStats, RouteCache, RouteKey};
+use crate::report::{LatencySummary, ServeReport};
+use crate::snapshot::{EngineSnapshot, RouterProvider};
+use son_overlay::{DelayModel, ServiceRequest};
+use son_routing::{RouteError, ServicePath};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads per batch (min 1).
+    pub workers: usize,
+    /// Lock partitions in the route cache.
+    pub cache_shards: usize,
+    /// Total route-cache entries before FIFO eviction.
+    pub cache_capacity: usize,
+    /// Microseconds a worker holds a served request per unit of path
+    /// delay, modeling synchronous data dispatch along the path.
+    /// 0 disables the hold and measures pure route computation.
+    pub dispatch_us_per_delay: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 1,
+            cache_shards: 16,
+            cache_capacity: 65_536,
+            dispatch_us_per_delay: 0.0,
+        }
+    }
+}
+
+/// What one [`Engine::serve`] call produced: the answers, in request
+/// order, plus the batch metrics.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// One result per request, same order as the input batch.
+    pub paths: Vec<Result<ServicePath, RouteError>>,
+    /// Batch metrics.
+    pub report: ServeReport,
+}
+
+/// What a worker hands back for one request: its batch index, the
+/// routing answer, and the observed service latency in microseconds.
+type WorkerItem = (usize, Result<ServicePath, RouteError>, f64);
+
+/// The multi-threaded request-serving runtime. See the module docs.
+#[derive(Debug)]
+pub struct Engine<D, P> {
+    provider: P,
+    config: EngineConfig,
+    snapshot: Mutex<Arc<EngineSnapshot<D>>>,
+    cache: RouteCache,
+    epoch: AtomicU64,
+}
+
+impl<D, P> Engine<D, P>
+where
+    D: DelayModel + Send + Sync,
+    P: RouterProvider<D>,
+{
+    /// Creates an engine serving `snapshot` (installed as epoch 0)
+    /// through routers built by `provider`.
+    pub fn new(mut snapshot: EngineSnapshot<D>, provider: P, config: EngineConfig) -> Self {
+        snapshot.stamp(0);
+        Engine {
+            provider,
+            config,
+            snapshot: Mutex::new(Arc::new(snapshot)),
+            cache: RouteCache::new(config.cache_shards, config.cache_capacity),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The current epoch (bumped by every snapshot install).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// The snapshot new batches will serve from.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot<D>> {
+        Arc::clone(&self.snapshot.lock().expect("snapshot lock poisoned"))
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Lifetime cache counters (per-batch deltas are in each
+    /// [`ServeReport`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Publishes a rebuilt overlay view under the next epoch and
+    /// returns that epoch. Call after membership churn or a state
+    /// protocol round; cached paths from earlier epochs are dropped
+    /// lazily on their next lookup.
+    pub fn install_snapshot(&self, mut snapshot: EngineSnapshot<D>) -> u64 {
+        let mut slot = self.snapshot.lock().expect("snapshot lock poisoned");
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        snapshot.stamp(epoch);
+        *slot = Arc::new(snapshot);
+        epoch
+    }
+
+    /// Serves a batch of requests and reports what happened. Paths come
+    /// back in request order and are independent of the worker count.
+    pub fn serve(&self, requests: &[ServiceRequest]) -> ServeOutcome {
+        let snapshot = self.snapshot();
+        let snap: &EngineSnapshot<D> = &snapshot;
+        let epoch = snap.epoch();
+        let workers = self.config.workers.max(1);
+
+        let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); workers];
+        for (i, request) in requests.iter().enumerate() {
+            assigned[snap.ingress(request).index() % workers].push(i);
+        }
+
+        let stats_before = self.cache.stats();
+        let started = Instant::now();
+        let produced: Vec<Vec<WorkerItem>> = thread::scope(|scope| {
+            let handles: Vec<_> = assigned
+                .iter()
+                .map(|indices| scope.spawn(move || self.run_worker(snap, epoch, requests, indices)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("engine worker panicked"))
+                .collect()
+        });
+        let elapsed = started.elapsed().as_secs_f64();
+
+        // Merge back into request order; tally errors, latencies, and
+        // border-proxy load.
+        let mut paths: Vec<Option<Result<ServicePath, RouteError>>> = vec![None; requests.len()];
+        let mut latencies = Vec::with_capacity(requests.len());
+        let mut border_load = vec![0u64; snap.proxy_count()];
+        let mut errors = 0;
+        for (i, result, latency_us) in produced.into_iter().flatten() {
+            latencies.push(latency_us);
+            match &result {
+                Ok(path) => {
+                    for hop in path.hops() {
+                        if snap.is_border(hop.proxy) {
+                            border_load[hop.proxy.index()] += 1;
+                        }
+                    }
+                }
+                Err(_) => errors += 1,
+            }
+            paths[i] = Some(result);
+        }
+
+        let report = ServeReport {
+            router: self.provider.name(),
+            workers,
+            epoch,
+            requests: requests.len(),
+            errors,
+            elapsed_secs: elapsed,
+            requests_per_sec: if elapsed > 0.0 {
+                requests.len() as f64 / elapsed
+            } else {
+                0.0
+            },
+            latency: LatencySummary::from_samples(&latencies),
+            cache: self.cache.stats().since(&stats_before),
+            border_load,
+        };
+        ServeOutcome {
+            paths: paths
+                .into_iter()
+                .map(|p| p.expect("every request is assigned to exactly one worker"))
+                .collect(),
+            report,
+        }
+    }
+
+    /// One worker's batch share: build a router, then answer each
+    /// assigned request cache-first.
+    fn run_worker(
+        &self,
+        snap: &EngineSnapshot<D>,
+        epoch: u64,
+        requests: &[ServiceRequest],
+        indices: &[usize],
+    ) -> Vec<WorkerItem> {
+        let router = self.provider.router(snap);
+        let mut out = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let request = &requests[i];
+            let begun = Instant::now();
+            let key = RouteKey::encode(snap.ingress(request), request);
+            let result = match self.cache.lookup(&key, epoch) {
+                Some(path) => Ok(path),
+                None => match router.route_path(request) {
+                    Ok(path) => {
+                        self.cache.insert(key, epoch, path.clone());
+                        Ok(path)
+                    }
+                    Err(err) => Err(err),
+                },
+            };
+            if self.config.dispatch_us_per_delay > 0.0 {
+                if let Ok(path) = &result {
+                    let hold = path.length(snap.delays()) * self.config.dispatch_us_per_delay;
+                    thread::sleep(Duration::from_micros(hold as u64));
+                }
+            }
+            out.push((i, result, begun.elapsed().as_secs_f64() * 1e6));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::HierProvider;
+    use son_clustering::Clustering;
+    use son_overlay::{DelayMatrix, HfcTopology, ProxyId, ServiceGraph, ServiceId, ServiceSet};
+
+    fn line_snapshot(n: usize, clusters: usize) -> EngineSnapshot<DelayMatrix> {
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = (i as f64 - j as f64).abs();
+            }
+        }
+        let delays = DelayMatrix::from_values(n, values);
+        let labels: Vec<usize> = (0..n).map(|i| i * clusters / n).collect();
+        let hfc = HfcTopology::build(&Clustering::from_labels(&labels), &delays);
+        let services = (0..n)
+            .map(|i| ServiceSet::from_iter([ServiceId::new(i % 4)]))
+            .collect();
+        EngineSnapshot::new(hfc, services, delays)
+    }
+
+    fn requests(n: usize, count: usize) -> Vec<ServiceRequest> {
+        (0..count)
+            .map(|k| {
+                ServiceRequest::new(
+                    ProxyId::new(k % n),
+                    ServiceGraph::linear(vec![ServiceId::new(k % 4), ServiceId::new((k + 1) % 4)]),
+                    ProxyId::new((k * 7 + 3) % n),
+                )
+            })
+            .collect()
+    }
+
+    fn engine(workers: usize) -> Engine<DelayMatrix, HierProvider> {
+        Engine::new(
+            line_snapshot(12, 3),
+            HierProvider::default(),
+            EngineConfig {
+                workers,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn serves_valid_paths_in_request_order() {
+        let eng = engine(2);
+        let batch = requests(12, 40);
+        let outcome = eng.serve(&batch);
+        assert_eq!(outcome.paths.len(), batch.len());
+        assert_eq!(outcome.report.errors, 0);
+        assert_eq!(outcome.report.requests, 40);
+        let snap = eng.snapshot();
+        for (request, path) in batch.iter().zip(&outcome.paths) {
+            let path = path.as_ref().expect("routable");
+            path.validate(request, |p, s| snap.services()[p.index()].contains(s))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_answers() {
+        let batch = requests(12, 60);
+        let single = engine(1).serve(&batch);
+        for workers in [2, 3, 4, 7] {
+            let multi = engine(workers).serve(&batch);
+            assert_eq!(multi.paths, single.paths, "{workers} workers");
+            assert_eq!(multi.report.workers, workers);
+        }
+    }
+
+    #[test]
+    fn repeated_batch_hits_the_cache() {
+        let eng = engine(2);
+        // 12 requests over 12 proxies: all distinct (the generator
+        // repeats with period 12), so the cold pass has no self-hits.
+        let batch = requests(12, 12);
+        let cold = eng.serve(&batch);
+        assert_eq!(cold.report.cache.hits, 0);
+        let warm = eng.serve(&batch);
+        assert_eq!(warm.report.cache.misses, 0);
+        assert_eq!(warm.report.cache.hits as usize, batch.len());
+        assert_eq!(warm.paths, cold.paths);
+    }
+
+    #[test]
+    fn install_snapshot_bumps_epoch_and_invalidates() {
+        let eng = engine(2);
+        let batch = requests(12, 12); // distinct, see above
+        eng.serve(&batch);
+        assert_eq!(eng.install_snapshot(line_snapshot(12, 3)), 1);
+        assert_eq!(eng.epoch(), 1);
+        let after = eng.serve(&batch);
+        assert_eq!(after.report.epoch, 1);
+        // Every cached path was stamped with epoch 0: all miss.
+        assert_eq!(after.report.cache.hits, 0);
+        assert_eq!(after.report.cache.stale_drops as usize, batch.len());
+    }
+
+    #[test]
+    fn border_load_counts_only_borders() {
+        let eng = engine(1);
+        let outcome = eng.serve(&requests(12, 50));
+        let snap = eng.snapshot();
+        assert_eq!(outcome.report.border_load.len(), 12);
+        for (i, &load) in outcome.report.border_load.iter().enumerate() {
+            if !snap.is_border(ProxyId::new(i)) {
+                assert_eq!(load, 0, "proxy {i} is not a border");
+            }
+        }
+        // Cross-cluster requests exist, so some border carried load.
+        assert!(outcome.report.busiest_borders().iter().any(|&(_, l)| l > 0));
+    }
+
+    #[test]
+    fn dispatch_hold_slows_single_worker() {
+        let snapshot = line_snapshot(12, 3);
+        let batch = requests(12, 8);
+        let config = EngineConfig {
+            workers: 1,
+            dispatch_us_per_delay: 2_000.0,
+            ..EngineConfig::default()
+        };
+        let eng = Engine::new(snapshot, HierProvider::default(), config);
+        let outcome = eng.serve(&batch);
+        // Every request holds ≥ 0; cross-proxy paths hold ≥ 2ms each.
+        assert!(outcome.report.elapsed_secs > 0.002);
+        assert_eq!(outcome.report.errors, 0);
+    }
+}

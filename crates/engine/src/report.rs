@@ -1,0 +1,128 @@
+//! Serving metrics: throughput, latency percentiles, cache behavior,
+//! and per-border-proxy load.
+
+use crate::cache::CacheStats;
+use son_overlay::ProxyId;
+
+/// Request-latency summary in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_us: f64,
+    /// 90th percentile.
+    pub p90_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Worst observed.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a batch of per-request latencies (microseconds).
+    /// Percentiles use nearest-rank on the sorted sample; an empty
+    /// batch summarizes to all zeros.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = |q: f64| sorted[((q * (sorted.len() - 1) as f64).round()) as usize];
+        LatencySummary {
+            p50_us: rank(0.50),
+            p90_us: rank(0.90),
+            p99_us: rank(0.99),
+            mean_us: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            max_us: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Everything the engine measured while serving one batch.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// The provider's router name ("flat", "hier", "multilevel").
+    pub router: &'static str,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Epoch of the snapshot the batch was served under.
+    pub epoch: u64,
+    /// Requests in the batch.
+    pub requests: usize,
+    /// Requests that failed to route.
+    pub errors: usize,
+    /// Wall-clock time for the whole batch, seconds.
+    pub elapsed_secs: f64,
+    /// `requests / elapsed_secs`.
+    pub requests_per_sec: f64,
+    /// Per-request service latency.
+    pub latency: LatencySummary,
+    /// Cache counters for this batch only (deltas, not lifetime).
+    pub cache: CacheStats,
+    /// How many served paths crossed each border proxy, indexed by
+    /// proxy. Non-border proxies always read zero.
+    pub border_load: Vec<u64>,
+}
+
+impl ServeReport {
+    /// Border proxies ranked by load, busiest first (zero-load borders
+    /// are omitted).
+    pub fn busiest_borders(&self) -> Vec<(ProxyId, u64)> {
+        let mut ranked: Vec<(ProxyId, u64)> = self
+            .border_load
+            .iter()
+            .enumerate()
+            .filter(|(_, &load)| load > 0)
+            .map(|(i, &load)| (ProxyId::new(i), load))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.index().cmp(&b.0.index())));
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_on_known_samples() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let summary = LatencySummary::from_samples(&samples);
+        assert_eq!(summary.p50_us, 51.0);
+        assert_eq!(summary.p90_us, 90.0);
+        assert_eq!(summary.p99_us, 99.0);
+        assert_eq!(summary.max_us, 100.0);
+        assert!((summary.mean_us - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_summary_of_nothing_is_zero() {
+        assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn busiest_borders_ranks_and_filters() {
+        let report = ServeReport {
+            router: "hier",
+            workers: 1,
+            epoch: 0,
+            requests: 0,
+            errors: 0,
+            elapsed_secs: 0.0,
+            requests_per_sec: 0.0,
+            latency: LatencySummary::default(),
+            cache: CacheStats::default(),
+            border_load: vec![0, 5, 0, 9, 5],
+        };
+        assert_eq!(
+            report.busiest_borders(),
+            vec![
+                (ProxyId::new(3), 9),
+                (ProxyId::new(1), 5),
+                (ProxyId::new(4), 5),
+            ]
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! Immutable overlay snapshots and per-worker router construction.
+//!
+//! The engine never routes over mutable overlay state: every serving
+//! batch captures one [`EngineSnapshot`] — the HFC topology, installed
+//! services, and a delay model, stamped with the **epoch** at which it
+//! was installed. Membership or state-protocol changes produce a *new*
+//! snapshot under the next epoch; requests in flight keep routing over
+//! the snapshot they started with, and the route cache refuses entries
+//! whose epoch differs from the snapshot being served (see
+//! [`crate::cache::RouteCache`]).
+//!
+//! Workers do not share a router: each one builds its own via a
+//! [`RouterProvider`], so routers need no internal synchronization and
+//! the only cross-thread state is the snapshot (read-only) and the
+//! sharded cache. [`HierProvider`] and [`FlatProvider`] cover the two
+//! routers living in `son-routing`; son-core adds a provider for its
+//! three-level `MultiLevelRouter` the same way.
+
+use son_overlay::{ClusterId, DelayModel, HfcTopology, ProxyId, ServiceRequest, ServiceSet};
+use son_routing::{FlatRouter, HierConfig, HierarchicalRouter, ProviderIndex, Router};
+
+/// One immutable, epoch-stamped view of the overlay: everything a
+/// worker needs to answer requests.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot<D> {
+    epoch: u64,
+    hfc: HfcTopology,
+    services: Vec<ServiceSet>,
+    delays: D,
+}
+
+impl<D: DelayModel> EngineSnapshot<D> {
+    /// Bundles an overlay view under epoch 0 (the engine re-stamps the
+    /// epoch on installation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `services.len()` differs from the proxy count.
+    pub fn new(hfc: HfcTopology, services: Vec<ServiceSet>, delays: D) -> Self {
+        assert_eq!(
+            services.len(),
+            hfc.proxy_count(),
+            "one service set per proxy required"
+        );
+        EngineSnapshot {
+            epoch: 0,
+            hfc,
+            services,
+            delays,
+        }
+    }
+
+    /// The epoch this snapshot was installed under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    pub(crate) fn stamp(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The HFC topology.
+    pub fn hfc(&self) -> &HfcTopology {
+        &self.hfc
+    }
+
+    /// Installed services per proxy.
+    pub fn services(&self) -> &[ServiceSet] {
+        &self.services
+    }
+
+    /// The delay model routers decide on.
+    pub fn delays(&self) -> &D {
+        &self.delays
+    }
+
+    /// Number of proxies in this snapshot.
+    pub fn proxy_count(&self) -> usize {
+        self.hfc.proxy_count()
+    }
+
+    /// The ingress cluster of a request: the cluster of its source
+    /// proxy — the first component of every cache key.
+    pub fn ingress(&self, request: &ServiceRequest) -> ClusterId {
+        self.hfc.cluster_of(request.source)
+    }
+
+    /// Whether `proxy` serves as a border in this snapshot (for the
+    /// per-border-proxy load report).
+    pub fn is_border(&self, proxy: ProxyId) -> bool {
+        self.hfc.is_border(proxy)
+    }
+}
+
+/// Builds a fresh router over a snapshot, once per worker per batch.
+///
+/// The `&'a self` receiver lets a provider lend router inputs it owns
+/// *beside* the snapshot — son-core's multi-level provider keeps the
+/// supercluster hierarchy it derived from the snapshot and lends it to
+/// every router it builds.
+pub trait RouterProvider<D: DelayModel>: Sync {
+    /// Constructs a router borrowing from `snapshot` (and possibly from
+    /// the provider itself).
+    fn router<'a>(&'a self, snapshot: &'a EngineSnapshot<D>) -> Box<dyn Router + 'a>;
+
+    /// A short human-readable strategy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Provider of the paper's hierarchical (divide-and-conquer) router —
+/// the engine default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HierProvider {
+    /// Hierarchical router tuning.
+    pub config: HierConfig,
+}
+
+impl<D: DelayModel> RouterProvider<D> for HierProvider {
+    fn router<'a>(&'a self, snapshot: &'a EngineSnapshot<D>) -> Box<dyn Router + 'a> {
+        Box::new(HierarchicalRouter::from_services(
+            &snapshot.hfc,
+            &snapshot.services,
+            &snapshot.delays,
+            self.config,
+        ))
+    }
+
+    fn name(&self) -> &'static str {
+        "hier"
+    }
+}
+
+/// Provider of the flat global-view router (the mesh-free baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlatProvider;
+
+impl<D: DelayModel> RouterProvider<D> for FlatProvider {
+    fn router<'a>(&'a self, snapshot: &'a EngineSnapshot<D>) -> Box<dyn Router + 'a> {
+        let providers = ProviderIndex::from_service_sets(&snapshot.services);
+        Box::new(FlatRouter::new(providers, &snapshot.delays))
+    }
+
+    fn name(&self) -> &'static str {
+        "flat"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use son_clustering::Clustering;
+    use son_overlay::{DelayMatrix, ProxyId, ServiceGraph, ServiceId};
+
+    fn snapshot() -> EngineSnapshot<DelayMatrix> {
+        let n = 6;
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = (i as f64 - j as f64).abs();
+            }
+        }
+        let delays = DelayMatrix::from_values(n, values);
+        let hfc = HfcTopology::build(&Clustering::from_labels(&[0, 0, 0, 1, 1, 1]), &delays);
+        let services = (0..n)
+            .map(|i| ServiceSet::from_iter([ServiceId::new(i % 3)]))
+            .collect();
+        EngineSnapshot::new(hfc, services, delays)
+    }
+
+    #[test]
+    fn providers_build_working_routers() {
+        let snap = snapshot();
+        let request = ServiceRequest::new(
+            ProxyId::new(0),
+            ServiceGraph::linear(vec![ServiceId::new(1), ServiceId::new(2)]),
+            ProxyId::new(5),
+        );
+        for provider in [
+            &HierProvider::default() as &dyn RouterProvider<DelayMatrix>,
+            &FlatProvider,
+        ] {
+            let router = provider.router(&snap);
+            let path = router.route_path(&request).expect("request is routable");
+            path.validate(&request, |p, s| snap.services()[p.index()].contains(s))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn ingress_is_the_source_cluster() {
+        let snap = snapshot();
+        let request = ServiceRequest::new(
+            ProxyId::new(4),
+            ServiceGraph::linear(vec![]),
+            ProxyId::new(0),
+        );
+        assert_eq!(
+            snap.ingress(&request),
+            snap.hfc().cluster_of(ProxyId::new(4))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one service set per proxy")]
+    fn mismatched_services_panic() {
+        let snap = snapshot();
+        let _ = EngineSnapshot::new(snap.hfc.clone(), vec![], snap.delays.clone());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property test: a cache hit answers exactly what the miss that
+//! filled it computed — and what a cache-cold engine would compute.
+//!
+//! Each case draws a random request over a randomized overlay, serves
+//! it twice through one engine (miss, then hit) and once through a
+//! fresh engine (miss again), and requires all three paths identical.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use son_clustering::Clustering;
+use son_engine::{Engine, EngineConfig, EngineSnapshot, FlatProvider, HierProvider};
+use son_overlay::{
+    DelayMatrix, HfcTopology, ProxyId, ServiceGraph, ServiceId, ServiceRequest, ServiceSet,
+};
+
+const PROXIES: usize = 24;
+const CLUSTERS: usize = 4;
+const SERVICES: usize = 6;
+
+/// A symmetric random delay matrix over `PROXIES` nodes.
+fn snapshot(seed: u64) -> EngineSnapshot<DelayMatrix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = vec![0.0; PROXIES * PROXIES];
+    for i in 0..PROXIES {
+        for j in (i + 1)..PROXIES {
+            let d = rng.gen_range(1.0..50.0);
+            values[i * PROXIES + j] = d;
+            values[j * PROXIES + i] = d;
+        }
+    }
+    let delays = DelayMatrix::from_values(PROXIES, values);
+    let labels: Vec<usize> = (0..PROXIES).map(|i| i * CLUSTERS / PROXIES).collect();
+    let hfc = HfcTopology::build(&Clustering::from_labels(&labels), &delays);
+    // Every service exists somewhere: proxy i carries service i mod 6.
+    let services = (0..PROXIES)
+        .map(|i| ServiceSet::from_iter([ServiceId::new(i % SERVICES)]))
+        .collect();
+    EngineSnapshot::new(hfc, services, delays)
+}
+
+fn request(src: usize, dst: usize, chain: &[usize]) -> ServiceRequest {
+    ServiceRequest::new(
+        ProxyId::new(src),
+        ServiceGraph::linear(chain.iter().map(|&s| ServiceId::new(s)).collect()),
+        ProxyId::new(dst),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cache_hits_and_misses_return_equal_paths(
+        seed in 0u64..1_000,
+        src in 0usize..PROXIES,
+        dst in 0usize..PROXIES,
+        chain in proptest::collection::vec(0usize..SERVICES, 1..4),
+    ) {
+        let request = request(src, dst, &chain);
+        let warm = Engine::new(snapshot(seed), HierProvider::default(), EngineConfig::default());
+
+        let miss = warm.serve(std::slice::from_ref(&request));
+        prop_assert_eq!(miss.report.cache.hits, 0);
+        let hit = warm.serve(std::slice::from_ref(&request));
+        prop_assert_eq!(hit.report.cache.hits, 1);
+        prop_assert_eq!(hit.report.cache.misses, 0);
+        prop_assert_eq!(&hit.paths[0], &miss.paths[0]);
+
+        // A cache-cold engine over the same snapshot agrees too.
+        let cold = Engine::new(snapshot(seed), HierProvider::default(), EngineConfig::default());
+        prop_assert_eq!(&cold.serve(std::slice::from_ref(&request)).paths[0], &miss.paths[0]);
+    }
+
+    #[test]
+    fn flat_router_cache_agrees_as_well(
+        seed in 0u64..1_000,
+        src in 0usize..PROXIES,
+        dst in 0usize..PROXIES,
+        chain in proptest::collection::vec(0usize..SERVICES, 1..4),
+    ) {
+        let request = request(src, dst, &chain);
+        let engine = Engine::new(snapshot(seed), FlatProvider, EngineConfig::default());
+        let miss = engine.serve(std::slice::from_ref(&request));
+        let hit = engine.serve(std::slice::from_ref(&request));
+        prop_assert_eq!(hit.report.cache.hits, 1);
+        prop_assert_eq!(&hit.paths[0], &miss.paths[0]);
+    }
+}

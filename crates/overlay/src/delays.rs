@@ -17,6 +17,7 @@ use crate::hfc::HfcTopology;
 use crate::proxy::ProxyId;
 use son_coords::Coordinates;
 use son_netsim::graph::{Graph, NodeId};
+use std::collections::VecDeque;
 use std::sync::{Arc, RwLock};
 
 /// Something that knows the delay between two proxies.
@@ -128,6 +129,12 @@ impl DelayModel for DelayMatrix {
 /// Clones share the row cache, so handing a clone to a consumer (the
 /// state protocol clones its delay model) keeps memoization global.
 ///
+/// By default the cache is unbounded — every queried source stays
+/// resident, worst case the full `n²` the dense matrix would cost.
+/// Long-running servers should use [`CachedDelays::bounded`], which
+/// caps residency and evicts the oldest row first; an evicted row is
+/// simply recomputed if queried again.
+///
 /// # Example
 ///
 /// ```
@@ -151,18 +158,65 @@ pub struct CachedDelays {
     rows: Arc<RwLock<RowCache>>,
 }
 
-/// The memoized Dijkstra rows of a [`CachedDelays`], proxy-indexed.
-type RowCache = Vec<Option<Arc<Vec<f64>>>>;
+/// The memoized Dijkstra rows of a [`CachedDelays`], proxy-indexed,
+/// with a residency bound: when `limit` rows are resident the oldest
+/// is evicted before the next one is admitted.
+#[derive(Debug)]
+struct RowCache {
+    rows: Vec<Option<Arc<Vec<f64>>>>,
+    // Resident row indices in admission order (FIFO eviction).
+    order: VecDeque<usize>,
+    limit: usize,
+    evictions: u64,
+}
+
+impl RowCache {
+    fn new(n: usize, limit: usize) -> Self {
+        RowCache {
+            rows: vec![None; n],
+            order: VecDeque::new(),
+            limit,
+            evictions: 0,
+        }
+    }
+
+    /// Admits `row` at index `i`, evicting the oldest resident rows
+    /// until the bound holds.
+    fn admit(&mut self, i: usize, row: Arc<Vec<f64>>) {
+        if self.rows[i].is_none() {
+            while self.order.len() >= self.limit {
+                let victim = self.order.pop_front().expect("order tracks residents");
+                self.rows[victim] = None;
+                self.evictions += 1;
+            }
+            self.order.push_back(i);
+        }
+        self.rows[i] = Some(row);
+    }
+}
 
 impl CachedDelays {
     /// Wraps a physical network and proxy attachment points without
-    /// computing any delays yet.
+    /// computing any delays yet; every queried row stays resident.
     pub fn new(graph: Graph, attachments: Vec<NodeId>) -> Self {
+        let limit = attachments.len().max(1);
+        Self::bounded(graph, attachments, limit)
+    }
+
+    /// Like [`CachedDelays::new`] but keeps at most `limit` rows
+    /// resident, evicting the oldest first. Bounds the memory of
+    /// long-running servers to `limit × n` delays instead of `n²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn bounded(graph: Graph, attachments: Vec<NodeId>, limit: usize) -> Self {
+        assert!(limit > 0, "the row cache needs room for at least one row");
         let n = attachments.len();
         CachedDelays {
             graph: Arc::new(graph),
             attachments: Arc::new(attachments),
-            rows: Arc::new(RwLock::new(vec![None; n])),
+            rows: Arc::new(RwLock::new(RowCache::new(n, limit))),
         }
     }
 
@@ -174,7 +228,7 @@ impl CachedDelays {
     /// Panics if `source` is disconnected from any other attachment.
     pub fn row(&self, source: ProxyId) -> Arc<Vec<f64>> {
         let i = source.index();
-        if let Some(row) = &self.rows.read().expect("cache lock poisoned")[i] {
+        if let Some(row) = &self.rows.read().expect("cache lock poisoned").rows[i] {
             return Arc::clone(row);
         }
         let a = self.attachments[i];
@@ -194,7 +248,10 @@ impl CachedDelays {
         let row = Arc::new(row);
         // A concurrent query may have raced us here; either result is
         // identical, so last write wins harmlessly.
-        self.rows.write().expect("cache lock poisoned")[i] = Some(Arc::clone(&row));
+        self.rows
+            .write()
+            .expect("cache lock poisoned")
+            .admit(i, Arc::clone(&row));
         row
     }
 
@@ -208,14 +265,15 @@ impl CachedDelays {
         self.attachments.is_empty()
     }
 
-    /// How many source rows have been computed so far.
+    /// How many source rows are currently resident.
     pub fn computed_rows(&self) -> usize {
-        self.rows
-            .read()
-            .expect("cache lock poisoned")
-            .iter()
-            .filter(|r| r.is_some())
-            .count()
+        self.rows.read().expect("cache lock poisoned").order.len()
+    }
+
+    /// How many rows the residency bound has evicted so far (always
+    /// zero for an unbounded cache).
+    pub fn evicted_rows(&self) -> u64 {
+        self.rows.read().expect("cache lock poisoned").evictions
     }
 
     /// Forces every row and densifies into a [`DelayMatrix`] (for
@@ -444,6 +502,68 @@ mod tests {
         let g = Graph::with_nodes(2);
         let cached = CachedDelays::new(g, vec![NodeId::new(0), NodeId::new(1)]);
         let _ = cached.delay(ProxyId::new(0), ProxyId::new(1));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_row_first() {
+        let mut g = Graph::with_nodes(5);
+        for i in 0..4 {
+            g.add_edge(NodeId::new(i), NodeId::new(i + 1), 1.0);
+        }
+        let attachments: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+        let reference = DelayMatrix::from_graph(&g, &attachments);
+        let cached = CachedDelays::bounded(g, attachments, 2);
+
+        let _ = cached.row(ProxyId::new(0));
+        let _ = cached.row(ProxyId::new(1));
+        assert_eq!((cached.computed_rows(), cached.evicted_rows()), (2, 0));
+
+        // Admitting a third row evicts the oldest (row 0).
+        let _ = cached.row(ProxyId::new(2));
+        assert_eq!((cached.computed_rows(), cached.evicted_rows()), (2, 1));
+
+        // Row 0 answers correctly again — recomputed, with row 1 now
+        // the eviction victim.
+        assert_eq!(
+            cached.delay(ProxyId::new(0), ProxyId::new(4)),
+            reference.delay(ProxyId::new(0), ProxyId::new(4))
+        );
+        assert_eq!(cached.evicted_rows(), 2);
+
+        // Re-querying a resident row evicts nothing.
+        let _ = cached.row(ProxyId::new(2));
+        assert_eq!(cached.evicted_rows(), 2);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let mut g = Graph::with_nodes(4);
+        for i in 0..3 {
+            g.add_edge(NodeId::new(i), NodeId::new(i + 1), 1.0);
+        }
+        let cached = CachedDelays::new(g, (0..4).map(NodeId::new).collect());
+        for i in 0..4 {
+            let _ = cached.row(ProxyId::new(i));
+        }
+        assert_eq!((cached.computed_rows(), cached.evicted_rows()), (4, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn zero_row_bound_panics() {
+        let _ = CachedDelays::bounded(Graph::with_nodes(1), vec![NodeId::new(0)], 0);
+    }
+
+    /// Routers are shared across serving workers, so every delay model
+    /// must be `Send + Sync`; this fails to compile if interior
+    /// mutability sneaks in unsynchronized.
+    #[test]
+    fn delay_models_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DelayMatrix>();
+        assert_send_sync::<CachedDelays>();
+        assert_send_sync::<CoordDelays>();
+        assert_send_sync::<HfcDelays<'_, DelayMatrix>>();
     }
 
     #[test]

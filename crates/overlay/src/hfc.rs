@@ -645,7 +645,10 @@ mod incremental_tests {
         let pair = hfc.border(ClusterId::new(0), ClusterId::new(1));
         assert_eq!(pair.local, ProxyId::new(1));
         assert_eq!(pair.remote, ProxyId::new(2));
-        assert_eq!(hfc.snapshot(), scratch(&[0, 0, 1, 1, 1], &delays).snapshot());
+        assert_eq!(
+            hfc.snapshot(),
+            scratch(&[0, 0, 1, 1, 1], &delays).snapshot()
+        );
     }
 
     #[test]
@@ -660,7 +663,10 @@ mod incremental_tests {
         assert_eq!(hfc.proxy_count(), 5);
         // Same world expressed as labels: [0,0,2,1,2] (old proxy 5 now
         // at id 2 belongs to the far cluster).
-        assert_eq!(hfc.snapshot(), scratch(&[0, 0, 2, 1, 2], &delays).snapshot());
+        assert_eq!(
+            hfc.snapshot(),
+            scratch(&[0, 0, 2, 1, 2], &delays).snapshot()
+        );
     }
 
     #[test]

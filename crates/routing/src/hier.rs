@@ -434,7 +434,6 @@ where
         dest_cluster: ClusterId,
         excluded: &[(StageId, ClusterId)],
     ) -> Result<(f64, Vec<(StageId, ClusterId)>), RouteError> {
-
         let graph = &request.graph;
         if graph.is_empty() {
             return Ok((
@@ -463,8 +462,7 @@ where
         let order = graph
             .topological_order()
             .expect("service graphs are validated acyclic at construction");
-        let mut states: Vec<StateMap> =
-            vec![BTreeMap::new(); graph.len()];
+        let mut states: Vec<StateMap> = vec![BTreeMap::new(); graph.len()];
 
         for &stage in &order {
             let si = stage.index();

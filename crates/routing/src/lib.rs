@@ -58,7 +58,7 @@ pub mod session;
 pub use flat::{FlatRouter, RouteError};
 pub use hier::{ChildSpec, HierConfig, HierRoute, HierarchicalRouter, RoutePlan};
 pub use path::{PathBuilder, PathHop, ServicePath, ValidatePathError};
-pub use router::Router;
 pub use providers::{ProviderIndex, ProviderLookup};
+pub use router::Router;
 pub use sdag::{solve_service_dag, Assignment};
 pub use session::{resolve_distributed, SessionReport};

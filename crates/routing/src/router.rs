@@ -81,8 +81,7 @@ mod tests {
 
         let providers = ProviderIndex::from_service_sets(&sets);
         let flat = FlatRouter::new(&providers, &delays);
-        let clustering =
-            son_clustering::Clustering::from_labels(&[0, 0, 0, 1, 1, 1]);
+        let clustering = son_clustering::Clustering::from_labels(&[0, 0, 0, 1, 1, 1]);
         let hfc = son_overlay::HfcTopology::build(&clustering, &delays);
         let hier = HierarchicalRouter::from_services(&hfc, &sets, &delays, HierConfig::default());
 
@@ -104,5 +103,20 @@ mod tests {
         for r in routers {
             assert!(r.route_path(&request).is_ok());
         }
+    }
+
+    /// Serving engines share routers' inputs across worker threads, so
+    /// every router (and the path builder workers use) must stay
+    /// `Send + Sync`. Adding unsynchronized interior mutability to any
+    /// of these types turns this test into a compile error.
+    #[test]
+    fn routers_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlatRouter<'_, ProviderIndex, DelayMatrix>>();
+        assert_send_sync::<FlatRouter<'_, &ProviderIndex, dyn DelayModel + Send + Sync>>();
+        assert_send_sync::<HierarchicalRouter<'_, DelayMatrix>>();
+        assert_send_sync::<crate::path::PathBuilder>();
+        assert_send_sync::<ServicePath>();
+        assert_send_sync::<RouteError>();
     }
 }

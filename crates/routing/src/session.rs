@@ -325,10 +325,7 @@ mod relay_tests {
         );
         let session = resolve_distributed(&router, &request, &delays).unwrap();
         assert_eq!(session.messages, 1);
-        assert_eq!(
-            session.route.path,
-            router.route(&request).unwrap().path
-        );
+        assert_eq!(session.route.path, router.route(&request).unwrap().path);
         use son_overlay::DelayModel as _;
         let issue = delays.delay(ProxyId::new(2), ProxyId::new(12));
         assert!((session.resolution_latency.as_ms() - issue).abs() < 1e-6);

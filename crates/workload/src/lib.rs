@@ -16,9 +16,11 @@
 
 pub mod env;
 pub mod generate;
+pub mod zipf;
 
 pub use env::{table1_environments, Environment};
 pub use generate::{
     assign_qos, assign_services, generate_requests, place_proxies, place_proxies_excluding,
     RequestProfile,
 };
+pub use zipf::{zipf_request_mix, Zipf};

@@ -1,0 +1,150 @@
+//! Zipf-skewed request popularity.
+//!
+//! Measured overlay and CDN traffic is never uniform: a few requests
+//! dominate (Gürsun's server-ranking work builds on exactly this
+//! locality). The serving benchmarks model it the standard way — a
+//! Zipf(s) distribution over a pool of distinct requests, so request
+//! rank `k` is drawn with probability proportional to `1/k^s`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use son_overlay::ServiceRequest;
+
+/// A Zipf(s) sampler over ranks `0..n` (rank 0 most popular):
+/// `P(rank k) ∝ 1/(k+1)^s`. Sampling is a binary search over the
+/// precomputed CDF, so draws cost `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks with exponent `s`.
+    /// `s = 0` degenerates to uniform; larger `s` skews harder
+    /// (web-style workloads are usually cited near `s ≈ 0.8–1.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "a Zipf distribution needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "exponent {s} invalid");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for w in &mut cdf {
+            *w /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the distribution has no ranks (never: `new`
+    /// rejects `n = 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Draws `count` requests from `pool` with Zipf(`s`) popularity: pool
+/// position is popularity rank (position 0 the most requested). This is
+/// the serving benchmark's request mix — repeated popular requests are
+/// exactly what a route cache is for.
+///
+/// # Panics
+///
+/// Panics if `pool` is empty (via [`Zipf::new`]).
+pub fn zipf_request_mix(
+    pool: &[ServiceRequest],
+    count: usize,
+    s: f64,
+    seed: u64,
+) -> Vec<ServiceRequest> {
+    let zipf = Zipf::new(pool.len(), s);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| pool[zipf.sample(&mut rng)].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_requests, RequestProfile};
+
+    fn histogram(n: usize, s: f64, draws: usize) -> Vec<usize> {
+        let zipf = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn samples_stay_in_range_and_skew_toward_low_ranks() {
+        let counts = histogram(50, 1.0, 20_000);
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+        // Rank 0 gets ~1/H_50 ≈ 22% of draws; the tail rank gets ~0.4%.
+        assert!(counts[0] > counts[49] * 10, "{counts:?}");
+        // Monotone-ish: the top rank beats the middle one.
+        assert!(counts[0] > counts[25]);
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let counts = histogram(10, 0.0, 20_000);
+        for &c in &counts {
+            assert!((1_600..=2_400).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn mix_repeats_popular_requests() {
+        let profile = RequestProfile::default();
+        let pool = generate_requests(40, 30, 60, &profile, 3);
+        let mix = zipf_request_mix(&pool, 400, 0.9, 4);
+        assert_eq!(mix.len(), 400);
+        // Every drawn request is from the pool, and the top-ranked one
+        // recurs far above its uniform share of 10.
+        let top = mix.iter().filter(|r| **r == pool[0]).count();
+        assert!(top > 30, "top request drawn only {top} times");
+        for r in &mix {
+            assert!(pool.contains(r));
+        }
+    }
+
+    #[test]
+    fn sampling_is_seeded() {
+        let profile = RequestProfile::default();
+        let pool = generate_requests(10, 10, 20, &profile, 1);
+        assert_eq!(
+            zipf_request_mix(&pool, 50, 1.0, 5),
+            zipf_request_mix(&pool, 50, 1.0, 5)
+        );
+        assert_ne!(
+            zipf_request_mix(&pool, 50, 1.0, 5),
+            zipf_request_mix(&pool, 50, 1.0, 6)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_pool_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -364,12 +364,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (left, right) = (&$left, &$right);
-        $crate::prop_assert!(
-            left != right,
-            "assertion failed: {:?} == {:?}",
-            left,
-            right
-        );
+        $crate::prop_assert!(left != right, "assertion failed: {:?} == {:?}", left, right);
     }};
 }
 

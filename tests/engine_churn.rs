@@ -1,0 +1,146 @@
+//! Churn during serving: the engine's epoch-invalidated route cache
+//! never returns a stale path.
+//!
+//! A [`DynamicOverlay`] takes join/leave events while an [`Engine`]
+//! keeps serving the same request batch. After every membership change
+//! the test installs a fresh snapshot (bumping the cache epoch) and
+//! requires each served path to equal what a router built directly on
+//! the *current* topology answers — if any pre-churn path survived in
+//! the cache, this comparison would expose it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use son_core::membership::DynamicOverlay;
+use son_core::{
+    CoordDelays, Coordinates, Engine, EngineConfig, EngineSnapshot, HierProvider, ProxyId,
+    RouterProvider, ServiceGraph, ServiceId, ServiceRequest, ServiceSet, ZahnConfig,
+};
+
+const START_PROXIES: usize = 60;
+const UNIVERSE: usize = 8;
+const COMMUNITIES: usize = 6;
+/// Requests only address proxies below this index so they stay valid
+/// while churn shrinks and regrows the overlay.
+const ADDRESSABLE: usize = 40;
+const ROUNDS: usize = 12;
+
+fn random_coord(rng: &mut StdRng) -> Coordinates {
+    let c = rng.gen_range(0..COMMUNITIES);
+    let (cx, cy) = ((c % 3) as f64 * 1_000.0, (c / 3) as f64 * 1_200.0);
+    Coordinates::new(vec![
+        cx + rng.gen::<f64>() * 100.0,
+        cy + rng.gen::<f64>() * 100.0,
+    ])
+}
+
+/// Deterministic service placement: proxy `i` carries `i mod UNIVERSE`
+/// and `(i * 3 + 1) mod UNIVERSE`, so every service has providers as
+/// long as the overlay keeps at least `UNIVERSE` proxies.
+fn service_sets(n: usize) -> Vec<ServiceSet> {
+    (0..n)
+        .map(|i| {
+            ServiceSet::from_iter([
+                ServiceId::new(i % UNIVERSE),
+                ServiceId::new((i * 3 + 1) % UNIVERSE),
+            ])
+        })
+        .collect()
+}
+
+fn snapshot_of(overlay: &DynamicOverlay) -> EngineSnapshot<CoordDelays> {
+    EngineSnapshot::new(
+        overlay.hfc().clone(),
+        service_sets(overlay.len()),
+        overlay.delays().clone(),
+    )
+}
+
+fn batch(rng: &mut StdRng, count: usize) -> Vec<ServiceRequest> {
+    (0..count)
+        .map(|_| {
+            let src = rng.gen_range(0..ADDRESSABLE);
+            let mut dst = rng.gen_range(0..ADDRESSABLE);
+            while dst == src {
+                dst = rng.gen_range(0..ADDRESSABLE);
+            }
+            let chain: Vec<ServiceId> = (0..rng.gen_range(1..4))
+                .map(|_| ServiceId::new(rng.gen_range(0..UNIVERSE)))
+                .collect();
+            ServiceRequest::new(
+                ProxyId::new(src),
+                ServiceGraph::linear(chain),
+                ProxyId::new(dst),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn serving_across_churn_returns_no_stale_paths() {
+    let mut rng = StdRng::seed_from_u64(2003);
+    let coords: Vec<Coordinates> = (0..START_PROXIES).map(|_| random_coord(&mut rng)).collect();
+    let mut overlay = DynamicOverlay::new(coords, ZahnConfig::default());
+
+    let provider = HierProvider::default();
+    let engine = Engine::new(
+        snapshot_of(&overlay),
+        HierProvider::default(),
+        EngineConfig {
+            workers: 3,
+            ..EngineConfig::default()
+        },
+    );
+    let requests = batch(&mut rng, 24);
+
+    let mut total_stale_drops = 0u64;
+    let mut repeat_hits = 0u64;
+    for round in 0..ROUNDS {
+        // Serve twice per round: the second pass must hit the cache
+        // (same epoch, same requests) and still agree with the fresh
+        // router below — hits are compared, not just misses.
+        let outcome = engine.serve(&requests);
+        let again = engine.serve(&requests);
+        assert_eq!(
+            outcome.paths, again.paths,
+            "round {round}: cache hit diverged"
+        );
+        repeat_hits += again.report.cache.hits;
+        total_stale_drops += outcome.report.cache.stale_drops;
+
+        // A router built directly on the current topology is ground
+        // truth; any stale cached path would disagree with it.
+        let current = snapshot_of(&overlay);
+        let fresh = provider.router(&current);
+        for (request, served) in requests.iter().zip(&outcome.paths) {
+            assert_eq!(
+                served,
+                &fresh.route_path(request),
+                "round {round}: served path is stale for {request:?}"
+            );
+            if let Ok(path) = served {
+                path.validate(request, |p, s| current.services()[p.index()].contains(s))
+                    .expect("served path must be walkable on the current overlay");
+            }
+        }
+
+        // Churn: a burst of joins and leaves, then a new snapshot. The
+        // floor keeps addressed proxies and service coverage intact.
+        for _ in 0..6 {
+            if overlay.len() <= (ADDRESSABLE + 4) || rng.gen_bool(0.5) {
+                overlay.join(random_coord(&mut rng));
+            } else {
+                overlay.leave(ProxyId::new(rng.gen_range(ADDRESSABLE..overlay.len())));
+            }
+        }
+        engine.install_snapshot(snapshot_of(&overlay));
+    }
+
+    assert!(
+        repeat_hits > 0,
+        "the repeat pass never hit the cache — the test is not exercising it"
+    );
+    assert!(
+        total_stale_drops > 0,
+        "churn never invalidated a cached entry — the test is not exercising epochs"
+    );
+}

@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use son_core::membership::DynamicOverlay;
 use son_core::{
-    Coordinates, HierConfig, HierarchicalRouter, ProxyId, ServiceGraph, ServiceId,
-    ServiceRequest, ServiceSet, ZahnConfig,
+    Coordinates, HierConfig, HierarchicalRouter, ProxyId, ServiceGraph, ServiceId, ServiceRequest,
+    ServiceSet, ZahnConfig,
 };
 
 /// Five planted communities plus per-proxy service sets.
@@ -25,7 +25,12 @@ fn world(seed: u64) -> (DynamicOverlay, Vec<ServiceSet>) {
     let n = coords.len();
     let overlay = DynamicOverlay::new(coords, ZahnConfig::default());
     let services: Vec<ServiceSet> = (0..n)
-        .map(|i| (0..10).filter(|s| (i + s) % 3 != 0).map(ServiceId::new).collect())
+        .map(|i| {
+            (0..10)
+                .filter(|s| (i + s) % 3 != 0)
+                .map(ServiceId::new)
+                .collect()
+        })
         .collect();
     (overlay, services)
 }
@@ -44,7 +49,9 @@ fn route_everything(overlay: &DynamicOverlay, services: &[ServiceSet], seed: u64
         let request = ServiceRequest::new(
             ProxyId::new(rng.gen_range(0..n)),
             ServiceGraph::linear(
-                (0..3).map(|_| ServiceId::new(rng.gen_range(0..10))).collect(),
+                (0..3)
+                    .map(|_| ServiceId::new(rng.gen_range(0..10)))
+                    .collect(),
             ),
             ProxyId::new(rng.gen_range(0..n)),
         );
@@ -71,7 +78,12 @@ fn routing_survives_joins_leaves_and_restructure() {
             rng.gen::<f64>() * 3_500.0,
             rng.gen::<f64>() * 700.0,
         ]));
-        services.push((0..10).filter(|s| (i + s) % 4 != 0).map(ServiceId::new).collect());
+        services.push(
+            (0..10)
+                .filter(|s| (i + s) % 4 != 0)
+                .map(ServiceId::new)
+                .collect(),
+        );
     }
     assert!(route_everything(&overlay, &services, 2) > 15);
 
