@@ -11,6 +11,12 @@
 //!                                                  run the state protocol
 //! son serve    [--proxies N] [--seed S] [--requests K] [--workers W]
 //!              [--router flat|hier|multilevel]      serve K requests in parallel
+//! son faults   [--proxies N] [--seed S] [--loss P] [--smoke]
+//!                                                  run the state protocol under a
+//!                                                  seeded fault plan (loss defaults
+//!                                                  to 20%, plus duplication, jitter
+//!                                                  and a crash/restart); exits
+//!                                                  non-zero unless it converges
 //! ```
 //!
 //! Sizes 250/500/750/1000 use the paper's Table 1 environments; other
@@ -18,9 +24,9 @@
 
 use son_core::export::{hfc_to_dot, hfc_to_text, physical_to_dot};
 use son_core::{
-    Engine, EngineConfig, Environment, FlatProvider, HierProvider, MultiLevelProvider,
-    OverheadKind, ProtocolConfig, RouterProvider, ServeOutcome, ServiceOverlay, SonConfig,
-    StateProtocol, ZahnConfig,
+    Engine, EngineConfig, Environment, FaultPlan, FlatProvider, HierProvider, MultiLevelProvider,
+    NodeId, OverheadKind, ProtocolConfig, RouterProvider, ServeOutcome, ServiceOverlay, SimTime,
+    SonConfig, StateProtocol, ZahnConfig,
 };
 use std::process::ExitCode;
 
@@ -33,6 +39,7 @@ struct Args {
     rounds: usize,
     workers: usize,
     router: String,
+    smoke: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -45,6 +52,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         rounds: 3,
         workers: 4,
         router: "hier".to_string(),
+        smoke: false,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -86,6 +94,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("--workers: {e}"))?
             }
             "--router" => args.router = value("--router")?,
+            "--smoke" => args.smoke = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -213,6 +222,61 @@ fn cmd_protocol(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_faults(args: &Args) -> Result<(), String> {
+    if !(0.0..=1.0).contains(&args.loss) {
+        return Err("--loss must be in [0, 1]".to_string());
+    }
+    // Smoke mode bounds runtime for CI; either way the run must
+    // converge or the process exits non-zero.
+    let proxies = if args.smoke {
+        args.proxies.min(60)
+    } else {
+        args.proxies
+    };
+    let overlay = ServiceOverlay::build(&SonConfig::from_environment(environment(
+        proxies, args.seed,
+    )));
+    let n = overlay.proxy_count();
+    let loss = if args.loss > 0.0 { args.loss } else { 0.2 };
+    // One proxy dies mid-protocol and returns with empty tables; the
+    // anti-entropy refresh must re-teach it.
+    let victim = NodeId::new(n - 1);
+    let plan = FaultPlan::new(args.seed)
+        .with_loss(loss)
+        .with_duplicate(0.02)
+        .with_jitter_ms(1.0)
+        .with_crash(
+            victim,
+            SimTime::from_ms(50.0),
+            Some(SimTime::from_ms(120.0)),
+        );
+    println!(
+        "fault plan : seed {}, loss {:.0}%, dup 2%, jitter <1ms, crash p{} @50ms, restart @120ms",
+        args.seed,
+        loss * 100.0,
+        n - 1
+    );
+    let report = overlay.run_state_protocol_faulty(plan, SimTime::from_ms(60_000.0));
+    println!("converged  : {}", report.converged);
+    println!("stale rows : {}", report.stale_entries);
+    println!("ended at   : {}", report.ended_at);
+    println!(
+        "messages   : {} local, {} aggregate, {} delivered, {} dropped",
+        report.local_messages,
+        report.aggregate_messages,
+        report.messages_delivered,
+        report.messages_dropped
+    );
+    println!("trace hash : {:016x}", report.trace_hash);
+    if !report.converged {
+        return Err(format!(
+            "state protocol failed to converge ({} stale rows)",
+            report.stale_entries
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
     if args.workers == 0 {
         return Err("--workers must be at least 1".to_string());
@@ -289,7 +353,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
-        eprintln!("usage: son <build|route|overhead|export|protocol|serve> [flags]");
+        eprintln!("usage: son <build|route|overhead|export|protocol|serve|faults> [flags]");
         return ExitCode::FAILURE;
     };
     let args = match parse_args(rest) {
@@ -315,6 +379,7 @@ fn main() -> ExitCode {
         "export" => cmd_export(&args),
         "protocol" => cmd_protocol(&args),
         "serve" => cmd_serve(&args),
+        "faults" => cmd_faults(&args),
         other => Err(format!("unknown command {other}")),
     };
     match result {

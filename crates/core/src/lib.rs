@@ -57,8 +57,8 @@ pub use son_engine::{
     RouteCache, RouteKey, RouterProvider, ServeOutcome, ServeReport,
 };
 pub use son_netsim::{
-    Actor, Ctx, DelayMeasurer, EventQueue, Graph, MeasureConfig, NodeId, NodeKind, PhysicalNetwork,
-    SimStats, SimTime, Simulator, TransitStubConfig,
+    Actor, CrashEvent, Ctx, DelayMeasurer, EventQueue, FaultPlan, Graph, MeasureConfig, NodeId,
+    NodeKind, Partition, PhysicalNetwork, SimStats, SimTime, Simulator, TransitStubConfig,
 };
 pub use son_overlay::{
     BorderPair, BorderSelection, CachedDelays, ClusterId, CoordDelays, DelayMatrix, DelayModel,
@@ -72,8 +72,8 @@ pub use son_routing::{
     RoutePlan, Router, ServicePath, SessionReport, ValidatePathError,
 };
 pub use son_state::{
-    flat_overhead, hfc_overhead, OverheadKind, OverheadReport, ProtocolConfig, SctC, SctP,
-    StateProtocol, StateReport,
+    flat_overhead, hfc_overhead, ConvergenceChecker, OverheadKind, OverheadReport, ProtocolConfig,
+    SctC, SctP, Staleness, StateProtocol, StateReport,
 };
 pub use son_workload::{
     assign_services, generate_requests, place_proxies, place_proxies_excluding,

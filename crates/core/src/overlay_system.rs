@@ -28,8 +28,10 @@
 
 use son_clustering::{mst_complete, Clustering, ZahnClusterer, ZahnConfig};
 use son_coords::{select_landmarks_maxmin, EmbeddingConfig, ErrorStats, GnpEmbedding};
+use son_netsim::faults::FaultPlan;
 use son_netsim::graph::NodeId;
 use son_netsim::topology::{PhysicalNetwork, TransitStubConfig};
+use son_netsim::SimTime;
 use son_overlay::{
     BorderSelection, CachedDelays, CoordDelays, DelayModel, HfcTopology, MeshConfig, MeshTopology,
     ProxyId, QosProfile, QosRequirement, ServiceId, ServiceRequest, ServiceSet,
@@ -747,7 +749,9 @@ impl ServiceOverlay {
 
     /// Runs the hierarchical state distribution protocol over this
     /// overlay (messages travel at true end-to-end delays) until
-    /// quiescence.
+    /// quiescence. The returned report re-checks the final tables
+    /// against ground truth, so `converged` and `stale_entries` are
+    /// trustworthy even if delivery was lossy.
     pub fn run_state_protocol(&self) -> StateReport {
         let mut protocol = StateProtocol::new(
             &self.hfc,
@@ -756,6 +760,46 @@ impl ServiceOverlay {
             self.config.protocol.clone(),
         );
         protocol.run_to_quiescence()
+    }
+
+    /// A [`StateProtocol`] over this overlay with `plan` installed and
+    /// anti-entropy refresh forced on (the configured
+    /// `refresh_period_ms` if positive, else the resilient preset's) —
+    /// without refresh, a single lost message could leave tables stale
+    /// forever. Run it with [`StateProtocol::run_until_converged`], or
+    /// use [`run_state_protocol_faulty`](Self::run_state_protocol_faulty)
+    /// for the one-call version.
+    pub fn faulty_state_protocol(&self, plan: FaultPlan) -> StateProtocol {
+        let mut config = self.config.protocol.clone();
+        if config.refresh_period_ms <= 0.0 {
+            config.refresh_period_ms = ProtocolConfig::resilient().refresh_period_ms;
+        }
+        let mut protocol =
+            StateProtocol::new(&self.hfc, self.services.clone(), &self.true_delays, config);
+        protocol.install_faults(plan);
+        protocol
+    }
+
+    /// Runs the state protocol under `plan` until every live proxy's
+    /// tables match ground truth or `deadline` passes.
+    pub fn run_state_protocol_faulty(&self, plan: FaultPlan, deadline: SimTime) -> StateReport {
+        self.faulty_state_protocol(plan)
+            .run_until_converged(deadline)
+    }
+
+    /// Engine snapshot with the `down` proxies' service sets emptied:
+    /// after [`son_engine::Engine::install_snapshot`], no route can
+    /// select a dead proxy as a service provider, and the epoch bump
+    /// evicts cached routes that did.
+    pub fn engine_snapshot_without(
+        &self,
+        down: &[ProxyId],
+    ) -> son_engine::EngineSnapshot<CoordDelays> {
+        let mut services = self.services.clone();
+        for &p in down {
+            services[p.index()] = ServiceSet::new();
+        }
+        son_engine::EngineSnapshot::new(self.hfc.clone(), services, self.predicted.clone())
     }
 
     /// Generates `count` random requests matching this overlay's

@@ -1,0 +1,148 @@
+//! After a faulty protocol run leaves a proxy dead, installing a
+//! snapshot without it must (a) bump the epoch so every cached route
+//! from the old world is dropped on lookup, and (b) never again serve
+//! a route that assigns a service to the dead proxy.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use son_clustering::Clustering;
+use son_engine::{Engine, EngineConfig, EngineSnapshot, HierProvider};
+use son_overlay::{
+    DelayMatrix, HfcTopology, ProxyId, ServiceGraph, ServiceId, ServiceRequest, ServiceSet,
+};
+
+const PROXIES: usize = 24;
+const CLUSTERS: usize = 4;
+const SERVICES: usize = 6;
+
+/// Same world as `cache_consistency`: random symmetric delays, four
+/// equal clusters, proxy `i` carrying service `i mod 6` — so every
+/// service keeps three providers after one proxy dies.
+fn snapshot(seed: u64, down: Option<ProxyId>) -> EngineSnapshot<DelayMatrix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = vec![0.0; PROXIES * PROXIES];
+    for i in 0..PROXIES {
+        for j in (i + 1)..PROXIES {
+            let d = rng.gen_range(1.0..50.0);
+            values[i * PROXIES + j] = d;
+            values[j * PROXIES + i] = d;
+        }
+    }
+    let delays = DelayMatrix::from_values(PROXIES, values);
+    let labels: Vec<usize> = (0..PROXIES).map(|i| i * CLUSTERS / PROXIES).collect();
+    let hfc = HfcTopology::build(&Clustering::from_labels(&labels), &delays);
+    let services: Vec<ServiceSet> = (0..PROXIES)
+        .map(|i| {
+            if down == Some(ProxyId::new(i)) {
+                ServiceSet::new()
+            } else {
+                ServiceSet::from_iter([ServiceId::new(i % SERVICES)])
+            }
+        })
+        .collect();
+    EngineSnapshot::new(hfc, services, delays)
+}
+
+/// A batch covering every (source, chain-head) pair often enough that
+/// some route assigns a service to most proxies.
+fn batch(seed: u64) -> Vec<ServiceRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..60)
+        .map(|_| {
+            let chain: Vec<ServiceId> = (0..rng.gen_range(1..4))
+                .map(|_| ServiceId::new(rng.gen_range(0..SERVICES)))
+                .collect();
+            ServiceRequest::new(
+                ProxyId::new(rng.gen_range(0..PROXIES)),
+                ServiceGraph::linear(chain),
+                ProxyId::new(rng.gen_range(0..PROXIES)),
+            )
+        })
+        .collect()
+}
+
+fn serving_proxies(outcome: &son_engine::ServeOutcome) -> Vec<ProxyId> {
+    outcome
+        .paths
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .flat_map(|p| p.hops())
+        .filter(|h| h.service.is_some())
+        .map(|h| h.proxy)
+        .collect()
+}
+
+#[test]
+fn crashed_proxy_snapshot_evicts_cache_and_reroutes_around_it() {
+    let engine = Engine::new(
+        snapshot(7, None),
+        HierProvider::default(),
+        EngineConfig::default(),
+    );
+    let requests = batch(11);
+
+    // Warm the cache on the healthy world and pick a victim that
+    // actually serves traffic.
+    let healthy = engine.serve(&requests);
+    let victim = *serving_proxies(&healthy)
+        .first()
+        .expect("some route must assign a service");
+
+    // The warm pass answers from the cache.
+    let warm = engine.serve(&requests);
+    assert!(warm.report.cache.hits > 0);
+    assert_eq!(warm.report.cache.stale_drops, 0);
+
+    // The victim crashes; the post-fault snapshot drops its services.
+    let old_epoch = engine.snapshot().epoch();
+    let new_epoch = engine.install_snapshot(snapshot(7, Some(victim)));
+    assert!(new_epoch > old_epoch, "install must bump the epoch");
+
+    // Every cached route is from the old epoch: the first pass after
+    // the install may only miss (stale entries are dropped on lookup,
+    // never served).
+    let after = engine.serve(&requests);
+    assert_eq!(after.report.cache.hits, 0);
+    assert!(
+        after.report.cache.stale_drops > 0,
+        "{:?}",
+        after.report.cache
+    );
+    assert!(
+        !serving_proxies(&after).contains(&victim),
+        "a route still assigns a service to the crashed {victim}"
+    );
+
+    // Routes stay feasible against the degraded service table...
+    let snap = engine.snapshot();
+    for (request, result) in requests.iter().zip(&after.paths) {
+        if let Ok(path) = result {
+            path.validate(request, |p, s| snap.services()[p.index()].contains(s))
+                .expect("rerouted path must be feasible");
+        }
+    }
+    // ...and the cache refills: a second pass hits again, still never
+    // naming the victim.
+    let refilled = engine.serve(&requests);
+    assert!(refilled.report.cache.hits > 0);
+    assert!(!serving_proxies(&refilled).contains(&victim));
+}
+
+#[test]
+fn reinstalling_the_healthy_snapshot_also_invalidates() {
+    // Epoch invalidation is not about content: even restoring the
+    // identical world must not serve entries cached under an old epoch.
+    let engine = Engine::new(
+        snapshot(3, None),
+        HierProvider::default(),
+        EngineConfig::default(),
+    );
+    let requests = batch(5);
+    let first = engine.serve(&requests);
+    engine.install_snapshot(snapshot(3, None));
+    let second = engine.serve(&requests);
+    assert_eq!(second.report.cache.hits, 0);
+    assert!(second.report.cache.stale_drops > 0);
+    // Same world, same routes.
+    assert_eq!(first.paths, second.paths);
+}

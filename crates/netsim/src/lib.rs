@@ -38,12 +38,14 @@
 //! ```
 
 pub mod event;
+pub mod faults;
 pub mod graph;
 pub mod measure;
 pub mod sim;
 pub mod topology;
 
 pub use event::{EventQueue, SimTime};
+pub use faults::{CrashEvent, FaultPlan, Partition};
 pub use graph::{Graph, NodeId};
 pub use measure::{DelayMeasurer, MeasureConfig};
 pub use sim::{Actor, Ctx, SimStats, Simulator, TraceEntry, TraceEvent};

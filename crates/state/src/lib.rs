@@ -19,10 +19,12 @@
 //! counts. [`overhead`] computes the per-proxy node-state counts the
 //! paper plots in Figure 9.
 
+pub mod checker;
 pub mod overhead;
 pub mod protocol;
 pub mod tables;
 
+pub use checker::{ConvergenceChecker, Staleness};
 pub use overhead::{flat_overhead, hfc_overhead, OverheadKind, OverheadReport};
 pub use protocol::{ProtocolConfig, StateProtocol, StateReport};
 pub use tables::{SctC, SctP};

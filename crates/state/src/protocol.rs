@@ -10,11 +10,14 @@
 //!    clusters. A border proxy receiving such a message updates its
 //!    `SCT_C` and forwards it to the other proxies of its own cluster.
 
+use crate::checker::{ConvergenceChecker, Staleness};
 use crate::tables::{SctC, SctP};
+use son_netsim::faults::FaultPlan;
 use son_netsim::graph::NodeId;
 use son_netsim::sim::{Actor, Ctx, Simulator};
 use son_netsim::SimTime;
 use son_overlay::{ClusterId, DelayModel, HfcTopology, ProxyId, ServiceSet};
+use std::collections::BTreeMap;
 
 /// Timing parameters of the protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +30,12 @@ pub struct ProtocolConfig {
     /// static services two rounds reach convergence; the default keeps
     /// one round of slack.
     pub rounds: usize,
+    /// Anti-entropy refresh period in milliseconds. When positive,
+    /// every proxy keeps re-broadcasting its local state (and borders
+    /// their aggregates) forever at this period, so any entry a lost
+    /// message left stale is repaired by a later refresh. `0.0`
+    /// disables it and preserves the legacy fixed-round quiescence.
+    pub refresh_period_ms: f64,
 }
 
 impl Default for ProtocolConfig {
@@ -35,17 +44,38 @@ impl Default for ProtocolConfig {
             local_period_ms: 10.0,
             aggregate_period_ms: 15.0,
             rounds: 3,
+            refresh_period_ms: 0.0,
         }
     }
 }
 
-/// Messages exchanged by the protocol.
+impl ProtocolConfig {
+    /// A fault-tolerant preset: anti-entropy refresh on, so the
+    /// protocol converges through message loss, partitions that heal,
+    /// and crash/restart cycles. Pair with
+    /// [`StateProtocol::run_until_converged`] — with refresh on, the
+    /// event queue never drains.
+    pub fn resilient() -> Self {
+        ProtocolConfig {
+            refresh_period_ms: 40.0,
+            ..ProtocolConfig::default()
+        }
+    }
+}
+
+/// Messages exchanged by the protocol. Every message carries the
+/// simulated time (in microseconds) at which its content was
+/// *produced*; receivers keep per-entry version maps and ignore
+/// messages older than what they already hold, so duplicated or
+/// reordered deliveries can never roll a table backwards.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StateMsg {
     /// A proxy's own service names, flooded within its cluster.
     Local {
         /// Installed services of the sender.
         services: ServiceSet,
+        /// Production time of this snapshot, in simulated µs.
+        version: u64,
     },
     /// A cluster's aggregate service set, exchanged between border
     /// proxies and forwarded within clusters.
@@ -54,11 +84,15 @@ pub enum StateMsg {
         cluster: ClusterId,
         /// Union of the cluster's service sets.
         services: ServiceSet,
+        /// Production time at the originating border, in simulated µs.
+        /// Intra-cluster forwards keep the original version.
+        version: u64,
     },
 }
 
 const LOCAL_TIMER: u64 = 1;
 const AGGREGATE_TIMER: u64 = 2;
+const REFRESH_TIMER: u64 = 3;
 
 /// One proxy's protocol state machine.
 #[derive(Debug)]
@@ -78,7 +112,12 @@ pub struct ProxyActor {
     pub sctp: SctP,
     /// Aggregate state of every cluster.
     pub sctc: SctC,
-    /// Local state messages sent.
+    /// Newest version (simulated µs) applied per `SCT_P` row.
+    sctp_versions: BTreeMap<ProxyId, u64>,
+    /// Newest version applied per `SCT_C` row.
+    sctc_versions: BTreeMap<ClusterId, u64>,
+    /// Local state messages sent. Survives restarts — the counters
+    /// account for total network overhead, not per-incarnation work.
     pub sent_local: u64,
     /// Aggregate state messages sent (including intra-cluster
     /// forwards).
@@ -87,11 +126,13 @@ pub struct ProxyActor {
 
 impl ProxyActor {
     fn broadcast_local(&mut self, ctx: &mut Ctx<'_, StateMsg>) {
+        let version = ctx.now().as_micros();
         for &peer in &self.peers {
             ctx.send(
                 NodeId::new(peer.index()),
                 StateMsg::Local {
                     services: self.services.clone(),
+                    version,
                 },
             );
             self.sent_local += 1;
@@ -100,13 +141,16 @@ impl ProxyActor {
 
     fn broadcast_aggregate(&mut self, ctx: &mut Ctx<'_, StateMsg>) {
         let aggregate = self.sctp.aggregate();
+        let version = ctx.now().as_micros();
         self.sctc.update(self.cluster, aggregate.clone());
+        self.sctc_versions.insert(self.cluster, version);
         for &remote in &self.border_duties {
             ctx.send(
                 NodeId::new(remote.index()),
                 StateMsg::Aggregate {
                     cluster: self.cluster,
                     services: aggregate.clone(),
+                    version,
                 },
             );
             self.sent_aggregate += 1;
@@ -118,31 +162,36 @@ impl ProxyActor {
     /// update of a table could ride a single (droppable) message once
     /// the advertisement rounds run out.
     fn reforward_known_aggregates(&mut self, ctx: &mut Ctx<'_, StateMsg>) {
-        let entries: Vec<(ClusterId, ServiceSet)> = self
+        let entries: Vec<(ClusterId, ServiceSet, u64)> = self
             .sctc
             .iter()
             .filter(|(c, _)| *c != self.cluster)
-            .map(|(c, s)| (c, s.clone()))
+            .map(|(c, s)| {
+                (
+                    c,
+                    s.clone(),
+                    self.sctc_versions.get(&c).copied().unwrap_or(0),
+                )
+            })
             .collect();
-        for (cluster, services) in entries {
+        for (cluster, services, version) in entries {
             for &peer in &self.peers {
                 ctx.send(
                     NodeId::new(peer.index()),
                     StateMsg::Aggregate {
                         cluster,
                         services: services.clone(),
+                        version,
                     },
                 );
                 self.sent_aggregate += 1;
             }
         }
     }
-}
 
-impl Actor for ProxyActor {
-    type Msg = StateMsg;
-
-    fn on_start(&mut self, ctx: &mut Ctx<'_, StateMsg>) {
+    /// Initial-knowledge seeding plus timer arming, shared by cold
+    /// start and post-crash restart.
+    fn boot(&mut self, ctx: &mut Ctx<'_, StateMsg>) {
         // A proxy always knows itself.
         self.sctp.update(self.id, self.services.clone());
         self.sctc.update(self.cluster, self.services.clone());
@@ -159,15 +208,40 @@ impl Actor for ProxyActor {
                 AGGREGATE_TIMER,
             );
         }
+        if self.config.refresh_period_ms > 0.0 {
+            ctx.set_timer(
+                SimTime::from_ms(self.config.refresh_period_ms),
+                REFRESH_TIMER,
+            );
+        }
+    }
+}
+
+impl Actor for ProxyActor {
+    type Msg = StateMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, StateMsg>) {
+        self.boot(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, StateMsg>, from: NodeId, msg: StateMsg) {
         match msg {
-            StateMsg::Local { services } => {
-                let changed = self.sctp.update(ProxyId::new(from.index()), services);
+            StateMsg::Local { services, version } => {
+                let sender = ProxyId::new(from.index());
+                // A duplicated or reordered delivery older than what we
+                // hold must not roll the row back.
+                if version < self.sctp_versions.get(&sender).copied().unwrap_or(0) {
+                    return;
+                }
+                self.sctp_versions.insert(sender, version);
+                let changed = self.sctp.update(sender, services);
                 // The local cluster's aggregate is derivable from SCT_P
                 // without any extra messages — keep it fresh.
                 let aggregate_changed = self.sctc.update(self.cluster, self.sctp.aggregate());
+                if aggregate_changed {
+                    self.sctc_versions
+                        .insert(self.cluster, ctx.now().as_micros());
+                }
                 // A border whose cluster aggregate just changed
                 // re-advertises immediately rather than waiting for the
                 // next period; otherwise slow local-state deliveries
@@ -176,11 +250,21 @@ impl Actor for ProxyActor {
                     self.broadcast_aggregate(ctx);
                 }
             }
-            StateMsg::Aggregate { cluster, services } => {
+            StateMsg::Aggregate {
+                cluster,
+                services,
+                version,
+            } => {
+                // Stale aggregate: a fresher snapshot of this cluster
+                // was already applied, so neither merge nor forward.
+                if version < self.sctc_versions.get(&cluster).copied().unwrap_or(0) {
+                    return;
+                }
                 // Merge (set union): services are static, so aggregates
                 // are monotone and merging makes delivery order and
                 // duplicate retransmissions harmless.
                 self.sctc.merge_update(cluster, &services);
+                self.sctc_versions.insert(cluster, version);
                 // A border proxy that received the message from outside
                 // its own cluster forwards it inward, unconditionally
                 // (Section 4 rule 2) — the repetition is what lets the
@@ -194,6 +278,7 @@ impl Actor for ProxyActor {
                             StateMsg::Aggregate {
                                 cluster,
                                 services: services.clone(),
+                                version,
                             },
                         );
                         self.sent_aggregate += 1;
@@ -219,26 +304,67 @@ impl Actor for ProxyActor {
                     AGGREGATE_TIMER,
                 );
             }
+            REFRESH_TIMER => {
+                // Anti-entropy: unconditionally re-flood everything we
+                // know, forever. Any row a lost message left stale is
+                // repaired at most one refresh period later.
+                self.broadcast_local(ctx);
+                if !self.border_duties.is_empty() {
+                    self.broadcast_aggregate(ctx);
+                }
+                self.reforward_known_aggregates(ctx);
+                ctx.set_timer(
+                    SimTime::from_ms(self.config.refresh_period_ms),
+                    REFRESH_TIMER,
+                );
+            }
             _ => {}
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, StateMsg>) {
+        // Volatile state dies with the crash: tables, versions and the
+        // round budget reset; the message counters survive because they
+        // account for network overhead, not per-incarnation work.
+        self.sctp = SctP::new();
+        self.sctc = SctC::new();
+        self.sctp_versions.clear();
+        self.sctc_versions.clear();
+        self.local_rounds_left = self.config.rounds;
+        self.aggregate_rounds_left = self.config.rounds;
+        self.boot(ctx);
     }
 }
 
 /// Outcome of a protocol run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StateReport {
-    /// `true` when every proxy reached full local state and correct
-    /// aggregates for all clusters.
+    /// `true` when every **live** proxy reached full local state and
+    /// correct aggregates for all clusters, re-checked against the
+    /// ground truth at the end of the run — never inferred from round
+    /// counts.
     pub converged: bool,
+    /// Stale table rows (missing, spurious or wrong-valued) summed
+    /// over all live proxies at the end of the run. Zero iff
+    /// `converged`.
+    pub stale_entries: usize,
+    /// Proxies down when the run ended.
+    pub crashed_proxies: usize,
     /// Simulated time when the run went quiescent (or hit the
     /// deadline).
     pub ended_at: SimTime,
     /// Total messages delivered.
     pub messages_delivered: u64,
+    /// Messages dropped by injected loss, partitions, or crashed
+    /// receivers.
+    pub messages_dropped: u64,
     /// Local state messages sent.
     pub local_messages: u64,
     /// Aggregate state messages sent (border exchange + forwards).
     pub aggregate_messages: u64,
+    /// FNV-1a digest of the full event trace — identical seeds and
+    /// fault plans reproduce identical hashes.
+    pub trace_hash: u64,
 }
 
 /// Drives the protocol for a whole overlay.
@@ -267,15 +393,14 @@ pub struct StateReport {
 /// ```
 pub struct StateProtocol {
     simulator: Simulator<ProxyActor, Box<dyn FnMut(NodeId, NodeId) -> SimTime>>,
-    expected_sctp: Vec<SctP>,
-    expected_sctc: SctC,
+    checker: ConvergenceChecker,
+    config: ProtocolConfig,
 }
 
 impl std::fmt::Debug for StateProtocol {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StateProtocol")
-            .field("proxies", &self.expected_sctp.len())
-            .field("clusters", &self.expected_sctc.len())
+            .field("proxies", &self.simulator.actors().len())
             .finish_non_exhaustive()
     }
 }
@@ -334,24 +459,14 @@ impl StateProtocol {
                 aggregate_rounds_left: config.rounds,
                 sctp: SctP::new(),
                 sctc: SctC::new(),
+                sctp_versions: BTreeMap::new(),
+                sctc_versions: BTreeMap::new(),
                 sent_local: 0,
                 sent_aggregate: 0,
             });
         }
 
-        // Expected converged state, for the convergence check.
-        let mut expected_sctp = vec![SctP::new(); n];
-        let mut expected_sctc = SctC::new();
-        for c in hfc.clusters() {
-            let mut cluster_table = SctP::new();
-            for &m in hfc.members(c) {
-                cluster_table.update(m, services[m.index()].clone());
-            }
-            expected_sctc.update(c, cluster_table.aggregate());
-            for &m in hfc.members(c) {
-                expected_sctp[m.index()] = cluster_table.clone();
-            }
-        }
+        let checker = ConvergenceChecker::new(hfc, &services);
 
         let delays = delays.clone();
         let delay_fn: Box<dyn FnMut(NodeId, NodeId) -> SimTime> = Box::new(move |a, b| {
@@ -360,8 +475,8 @@ impl StateProtocol {
 
         StateProtocol {
             simulator: Simulator::new(actors, delay_fn),
-            expected_sctp,
-            expected_sctc,
+            checker,
+            config,
         }
     }
 
@@ -383,8 +498,23 @@ impl StateProtocol {
             .set_loss(move |_, _| rng.gen_bool(probability));
     }
 
+    /// Installs a fault plan (seeded loss/duplication/jitter,
+    /// partitions, crash/restart events) on the underlying simulator.
+    /// Install before the first run call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan names a node the overlay doesn't have, or if
+    /// a node crashes more than once.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.simulator.install_faults(plan);
+    }
+
     /// Runs until all scheduled protocol rounds complete and the event
     /// queue drains.
+    ///
+    /// With anti-entropy refresh enabled the queue never drains — use
+    /// [`run_until_converged`](Self::run_until_converged) instead.
     pub fn run_to_quiescence(&mut self) -> StateReport {
         self.run_until(SimTime::from_ms(f64::MAX / 1e6))
     }
@@ -392,26 +522,75 @@ impl StateProtocol {
     /// Runs until `deadline` (or quiescence, whichever comes first).
     pub fn run_until(&mut self, deadline: SimTime) -> StateReport {
         let stats = self.simulator.run_until_quiescent(deadline);
-        let actors = self.simulator.actors();
-        StateReport {
-            converged: self.converged(),
-            ended_at: stats.ended_at,
-            messages_delivered: stats.messages_delivered,
-            local_messages: actors.iter().map(|a| a.sent_local).sum(),
-            aggregate_messages: actors.iter().map(|a| a.sent_aggregate).sum(),
+        self.report(stats)
+    }
+
+    /// Runs in slices until every live proxy's tables match the ground
+    /// truth, the queue drains, or `deadline` passes — whichever comes
+    /// first. Convergence is not declared before the fault plan's
+    /// [horizon](FaultPlan::horizon): a scheduled crash or partition
+    /// can still perturb tables that currently look converged.
+    pub fn run_until_converged(&mut self, deadline: SimTime) -> StateReport {
+        let horizon = self
+            .simulator
+            .fault_plan()
+            .map_or(SimTime::ZERO, FaultPlan::horizon);
+        let slice = SimTime::from_ms(
+            self.config
+                .local_period_ms
+                .max(self.config.aggregate_period_ms)
+                .max(self.config.refresh_period_ms)
+                .max(1.0),
+        );
+        let mut target = slice;
+        loop {
+            let bound = target.min(deadline);
+            let stats = self.simulator.run_until_quiescent(bound);
+            let settled = !self.simulator.has_pending();
+            if self.converged() && (self.simulator.now() >= horizon || settled) {
+                return self.report(stats);
+            }
+            if settled || bound >= deadline {
+                return self.report(stats);
+            }
+            target += slice;
         }
     }
 
-    /// Returns `true` if every proxy's tables match the expected
+    fn report(&self, stats: son_netsim::SimStats) -> StateReport {
+        let staleness = self.staleness();
+        let actors = self.simulator.actors();
+        StateReport {
+            converged: staleness.is_converged(),
+            stale_entries: staleness.total(),
+            crashed_proxies: self.simulator.crashed_nodes().len(),
+            ended_at: stats.ended_at,
+            messages_delivered: stats.messages_delivered,
+            messages_dropped: stats.messages_dropped,
+            local_messages: actors.iter().map(|a| a.sent_local).sum(),
+            aggregate_messages: actors.iter().map(|a| a.sent_aggregate).sum(),
+            trace_hash: stats.trace_hash,
+        }
+    }
+
+    /// Compares every live proxy's tables against the ground truth.
+    /// Crashed proxies are skipped; rows *about* them held by live
+    /// proxies must still be correct (installed services are static).
+    pub fn staleness(&self) -> Staleness {
+        self.checker.staleness(
+            self.simulator
+                .actors()
+                .iter()
+                .enumerate()
+                .filter(|(p, _)| !self.simulator.is_crashed(NodeId::new(*p)))
+                .map(|(p, a)| (ProxyId::new(p), &a.sctp, &a.sctc)),
+        )
+    }
+
+    /// Returns `true` if every live proxy's tables match the expected
     /// converged state.
     pub fn converged(&self) -> bool {
-        self.simulator.actors().iter().enumerate().all(|(p, a)| {
-            a.sctp == self.expected_sctp[p]
-                && self
-                    .expected_sctc
-                    .iter()
-                    .all(|(c, s)| a.sctc.services_of(c) == Some(s))
-        })
+        self.staleness().is_converged()
     }
 
     /// Read access to the converged actors (their tables feed the
@@ -614,5 +793,134 @@ mod loss_tests {
         let (hfc, delays, services) = world();
         let mut protocol = StateProtocol::new(&hfc, services, &delays, ProtocolConfig::default());
         protocol.inject_loss(1.5, 0);
+    }
+}
+
+#[cfg(test)]
+mod fault_tolerance_tests {
+    use super::*;
+    use son_clustering::Clustering;
+    use son_overlay::{DelayMatrix, ServiceId};
+
+    fn world() -> (HfcTopology, DelayMatrix, Vec<ServiceSet>) {
+        let n = 12;
+        let pos: Vec<f64> = (0..n)
+            .map(|i| (i / 4) as f64 * 200.0 + (i % 4) as f64 * 3.0)
+            .collect();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = (pos[i] - pos[j]).abs();
+            }
+        }
+        let delays = DelayMatrix::from_values(n, values);
+        let labels: Vec<usize> = (0..n).map(|i| i / 4).collect();
+        let hfc = HfcTopology::build(&Clustering::from_labels(&labels), &delays);
+        let services: Vec<ServiceSet> = (0..n)
+            .map(|i| ServiceSet::from_iter([ServiceId::new(i)]))
+            .collect();
+        (hfc, delays, services)
+    }
+
+    #[test]
+    fn anti_entropy_converges_through_heavy_loss() {
+        let (hfc, delays, services) = world();
+        let mut protocol = StateProtocol::new(&hfc, services, &delays, ProtocolConfig::resilient());
+        protocol.install_faults(FaultPlan::new(3).with_loss(0.3));
+        let report = protocol.run_until_converged(SimTime::from_ms(5_000.0));
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.stale_entries, 0);
+        assert!(report.messages_dropped > 0, "loss must actually bite");
+    }
+
+    #[test]
+    fn converges_after_a_partition_heals() {
+        let (hfc, delays, services) = world();
+        let mut protocol = StateProtocol::new(&hfc, services, &delays, ProtocolConfig::resilient());
+        // Cluster 0 (proxies 0-3) is cut off for the first 100ms.
+        protocol.install_faults(FaultPlan::new(1).with_partition(
+            SimTime::ZERO,
+            SimTime::from_ms(100.0),
+            (0..4).map(NodeId::new).collect(),
+        ));
+        let report = protocol.run_until_converged(SimTime::from_ms(5_000.0));
+        assert!(report.converged, "{report:?}");
+        assert!(
+            report.ended_at >= SimTime::from_ms(100.0),
+            "cannot converge while the partition still hides cluster 0"
+        );
+    }
+
+    #[test]
+    fn restarted_proxy_relearns_everything() {
+        let (hfc, delays, services) = world();
+        let mut protocol = StateProtocol::new(&hfc, services, &delays, ProtocolConfig::resilient());
+        // Proxy 5 crashes after the initial rounds converged and comes
+        // back with empty tables; anti-entropy must re-teach it.
+        protocol.install_faults(FaultPlan::new(1).with_crash(
+            NodeId::new(5),
+            SimTime::from_ms(60.0),
+            Some(SimTime::from_ms(90.0)),
+        ));
+        let report = protocol.run_until_converged(SimTime::from_ms(5_000.0));
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.crashed_proxies, 0);
+        let (sctp, sctc) = protocol.tables_of(ProxyId::new(5));
+        assert_eq!(sctp.len(), 4, "full cluster relearned");
+        assert_eq!(sctc.len(), 3, "all aggregates relearned");
+    }
+
+    #[test]
+    fn permanently_crashed_proxy_is_excluded_from_the_check() {
+        let (hfc, delays, services) = world();
+        let mut protocol = StateProtocol::new(&hfc, services, &delays, ProtocolConfig::resilient());
+        // Proxy 1 is not a border (borders connect nearest pairs of
+        // clusters; interior members carry no duties) and never comes
+        // back.
+        protocol.install_faults(FaultPlan::new(1).with_crash(
+            NodeId::new(1),
+            SimTime::from_ms(5.0),
+            None,
+        ));
+        let report = protocol.run_until_converged(SimTime::from_ms(5_000.0));
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.crashed_proxies, 1);
+        let staleness = protocol.staleness();
+        assert_eq!(staleness.checked_proxies, 11);
+        // Live proxies still hold correct rows about the dead one.
+        let (sctp, _) = protocol.tables_of(ProxyId::new(0));
+        assert_eq!(
+            sctp.services_of(ProxyId::new(1)),
+            Some(&ServiceSet::from_iter([ServiceId::new(1)]))
+        );
+    }
+
+    #[test]
+    fn unconverged_report_counts_stale_entries() {
+        let (hfc, delays, services) = world();
+        let mut protocol = StateProtocol::new(&hfc, services, &delays, ProtocolConfig::default());
+        protocol.inject_loss(1.0, 1);
+        let report = protocol.run_to_quiescence();
+        assert!(!report.converged);
+        assert!(report.stale_entries > 0, "{report:?}");
+    }
+
+    #[test]
+    fn same_plan_same_trace_hash() {
+        let (hfc, delays, services) = world();
+        let run = |seed: u64| {
+            let mut protocol =
+                StateProtocol::new(&hfc, services.clone(), &delays, ProtocolConfig::resilient());
+            protocol.install_faults(
+                FaultPlan::new(seed)
+                    .with_loss(0.15)
+                    .with_duplicate(0.05)
+                    .with_jitter_ms(1.0),
+            );
+            protocol.run_until_converged(SimTime::from_ms(5_000.0))
+        };
+        let (a, b) = (run(42), run(42));
+        assert_eq!(a, b);
+        assert_ne!(a.trace_hash, run(43).trace_hash);
     }
 }

@@ -142,6 +142,47 @@ mod tests {
         );
     }
 
+    /// Pearson's χ² statistic of an observed histogram against the
+    /// sampler's own CDF-derived expected counts.
+    fn chi_square(counts: &[usize], n: usize, s: f64, draws: usize) -> f64 {
+        let zipf = Zipf::new(n, s);
+        let mut chi2 = 0.0;
+        let mut prev = 0.0;
+        for (k, &observed) in counts.iter().enumerate() {
+            let p = zipf.cdf[k] - prev;
+            prev = zipf.cdf[k];
+            let expected = p * draws as f64;
+            chi2 += (observed as f64 - expected).powi(2) / expected;
+        }
+        chi2
+    }
+
+    #[test]
+    fn frequency_distribution_matches_the_zipf_pmf() {
+        // χ² goodness-of-fit against the exact PMF. With n−1 = 19
+        // degrees of freedom the 99.9th percentile is ≈ 43.8; a correct
+        // sampler lands far below, a rank-shifted or un-normalized one
+        // blows past it (tested below). Bound kept loose so the test is
+        // seed-robust, tight enough to catch real bias.
+        for s in [0.0, 0.5, 0.9, 1.2] {
+            let draws = 200_000;
+            let counts = histogram(20, s, draws);
+            let chi2 = chi_square(&counts, 20, s, draws);
+            assert!(chi2 < 43.8, "s={s}: chi2={chi2:.1}, counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn chi_square_detects_a_wrong_distribution() {
+        // Sanity-check the statistic itself: samples drawn from
+        // Zipf(1.2) compared against Zipf(0.0) expectations must fail
+        // the same bound by a wide margin.
+        let draws = 200_000;
+        let counts = histogram(20, 1.2, draws);
+        let chi2 = chi_square(&counts, 20, 0.0, draws);
+        assert!(chi2 > 1_000.0, "mismatched PMF only scored {chi2:.1}");
+    }
+
     #[test]
     #[should_panic(expected = "at least one rank")]
     fn empty_pool_panics() {
