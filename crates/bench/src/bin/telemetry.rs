@@ -1,0 +1,158 @@
+//! Instrumentation overhead on the warm-cache serve path.
+//!
+//! The telemetry layer promises to be effectively free: counters are
+//! relaxed atomics, histogram handles are fetched once per batch, and
+//! everything is gated on one atomic load when disabled. This bin
+//! measures that promise where it matters most — the engine's
+//! warm-cache serve path, where per-request work is smallest and any
+//! fixed cost looms largest — at 1 and 4 workers.
+//!
+//! Each cell interleaves uninstrumented and instrumented trials and
+//! keeps the best wall time per mode (minimum is the standard
+//! noise-robust estimator for "how fast can this go"). Overhead is
+//! `(1 - instrumented_rps / baseline_rps) * 100`, expected under 3%
+//! at full scale. The smoke batch finishes in well under a
+//! millisecond, so its ratio cannot resolve 3% against scheduler
+//! noise — smoke only checks the bin end to end against a loose
+//! sanity budget.
+//!
+//! ```sh
+//! cargo run --release -p son-bench --bin telemetry
+//! cargo run --release -p son-bench --bin telemetry -- --smoke   # CI-sized
+//! ```
+//!
+//! Writes `results/BENCH_telemetry.json`.
+
+use son_bench::environment_for;
+use son_bench::{bench_artifact, write_bench_artifact, Json};
+use son_core::{Engine, EngineConfig, HierProvider, ServiceOverlay, SonConfig};
+use std::time::Instant;
+
+const SEED: u64 = 42;
+
+struct Scale {
+    proxies: usize,
+    requests: usize,
+    trials: usize,
+}
+
+const FULL: Scale = Scale {
+    proxies: 250,
+    requests: 2_000,
+    trials: 9,
+};
+
+const SMOKE: Scale = Scale {
+    proxies: 60,
+    requests: 1_000,
+    trials: 5,
+};
+
+/// Overhead budget in percent: the documented promise at full scale,
+/// a noise-tolerant sanity bound for the CI smoke run.
+fn budget(smoke: bool) -> f64 {
+    if smoke {
+        15.0
+    } else {
+        3.0
+    }
+}
+
+/// Serves `batch` once and returns the wall time in seconds.
+fn timed_pass(
+    engine: &Engine<son_core::CoordDelays, HierProvider>,
+    batch: &[son_core::ServiceRequest],
+) -> f64 {
+    let start = Instant::now();
+    let outcome = engine.serve(batch);
+    assert_eq!(outcome.report.errors, 0, "bench batch must route cleanly");
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { SMOKE } else { FULL };
+    let overlay = ServiceOverlay::build(&SonConfig::from_environment(environment_for(
+        scale.proxies,
+        SEED,
+    )));
+    let batch = overlay.generate_client_requests(scale.requests, SEED ^ 0xF00D);
+
+    let mut rows = Vec::new();
+    let mut worst_overhead: f64 = 0.0;
+    for workers in [1usize, 4] {
+        let engine = Engine::new(
+            overlay.engine_snapshot(),
+            HierProvider {
+                config: overlay.config().hier,
+            },
+            EngineConfig {
+                workers,
+                ..EngineConfig::default()
+            },
+        );
+        // Fill the cache so every measured pass is pure warm-path.
+        son_core::set_telemetry_enabled(false);
+        engine.serve(&batch);
+        // One untimed instrumented pass: the first enabled serve pays
+        // the one-time metric registration (a mutexed map insert per
+        // handle), which is setup cost, not per-request overhead.
+        son_core::set_telemetry_enabled(true);
+        engine.serve(&batch);
+
+        let mut best_off = f64::INFINITY;
+        let mut best_on = f64::INFINITY;
+        for _ in 0..scale.trials {
+            son_core::set_telemetry_enabled(false);
+            best_off = best_off.min(timed_pass(&engine, &batch));
+            son_core::set_telemetry_enabled(true);
+            best_on = best_on.min(timed_pass(&engine, &batch));
+        }
+        son_core::set_telemetry_enabled(false);
+
+        let baseline_rps = scale.requests as f64 / best_off;
+        let instrumented_rps = scale.requests as f64 / best_on;
+        let overhead_pct = (1.0 - instrumented_rps / baseline_rps) * 100.0;
+        worst_overhead = worst_overhead.max(overhead_pct);
+        println!(
+            "workers={workers} | baseline {baseline_rps:.0} req/s | instrumented \
+             {instrumented_rps:.0} req/s | overhead {overhead_pct:+.2}%",
+        );
+        rows.push(Json::obj([
+            ("workers", Json::from(workers)),
+            ("requests", Json::from(scale.requests)),
+            ("trials", Json::from(scale.trials)),
+            ("baseline_rps", Json::from(baseline_rps)),
+            ("instrumented_rps", Json::from(instrumented_rps)),
+            ("overhead_pct", Json::from(overhead_pct)),
+        ]));
+    }
+
+    let budget = budget(smoke);
+    let overhead_ok = worst_overhead < budget;
+    println!(
+        "worst overhead {worst_overhead:+.2}% -> {}",
+        if overhead_ok {
+            format!("OK (<{budget}%)")
+        } else {
+            "TOO HIGH".to_string()
+        }
+    );
+    let artifact = bench_artifact(
+        "telemetry",
+        Json::obj([
+            ("proxies", Json::from(scale.proxies)),
+            ("seed", Json::from(SEED)),
+            ("smoke", Json::Bool(smoke)),
+            ("budget_pct", Json::from(budget)),
+            ("worst_overhead_pct", Json::from(worst_overhead)),
+            ("overhead_ok", Json::Bool(overhead_ok)),
+        ]),
+        rows,
+    );
+    write_bench_artifact("telemetry", &artifact).expect("write results/BENCH_telemetry.json");
+    assert!(
+        overhead_ok,
+        "instrumentation overhead {worst_overhead:.2}% exceeds the {budget}% budget"
+    );
+}

@@ -1,147 +1,19 @@
-//! Minimal JSON emission for benchmark artifacts.
+//! Benchmark artifact emission.
 //!
 //! The harness keeps machine-readable copies of benchmark runs under
 //! `results/BENCH_<name>.json` so regressions can be diffed without
-//! parsing the human-readable tables. The workspace carries no JSON
-//! dependency, and the values we emit are flat (numbers, strings,
-//! shallow objects), so a small writer is all that's needed.
-//!
-//! Every artifact has the same top-level shape:
+//! parsing the human-readable tables. The JSON writer itself is the
+//! workspace's canonical emitter in [`son_telemetry::json`] (shared
+//! with the telemetry snapshot exporter); this module re-exports it and
+//! keeps only the bench-artifact shape:
 //!
 //! ```json
 //! { "bench": "<name>", "config": { ... }, "rows": [ { ... }, ... ] }
 //! ```
 
-use std::fmt::Write as _;
 use std::path::PathBuf;
 
-/// A JSON value. Object keys keep insertion order so emitted files are
-/// stable across runs and diff cleanly.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    Null,
-    Bool(bool),
-    /// Finite numbers only; NaN and infinities render as `null`
-    /// (JSON has no spelling for them).
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience constructor for an object from `(key, value)` pairs.
-    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// Renders the value as pretty-printed JSON (two-space indent,
-    /// trailing newline).
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => {
-                if !n.is_finite() {
-                    out.push_str("null");
-                } else if *n == n.trunc() && n.abs() < 1e15 {
-                    let _ = write!(out, "{}", *n as i64);
-                } else {
-                    let _ = write!(out, "{n}");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => write_seq(out, indent, '[', ']', items.len(), |out, i| {
-                items[i].write(out, indent + 1);
-            }),
-            Json::Obj(pairs) => write_seq(out, indent, '{', '}', pairs.len(), |out, i| {
-                write_escaped(out, &pairs[i].0);
-                out.push_str(": ");
-                pairs[i].1.write(out, indent + 1);
-            }),
-        }
-    }
-}
-
-impl From<f64> for Json {
-    fn from(n: f64) -> Json {
-        Json::Num(n)
-    }
-}
-
-impl From<usize> for Json {
-    fn from(n: usize) -> Json {
-        Json::Num(n as f64)
-    }
-}
-
-impl From<u64> for Json {
-    fn from(n: u64) -> Json {
-        Json::Num(n as f64)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(s: &str) -> Json {
-        Json::Str(s.to_string())
-    }
-}
-
-fn write_seq(
-    out: &mut String,
-    indent: usize,
-    open: char,
-    close: char,
-    len: usize,
-    mut item: impl FnMut(&mut String, usize),
-) {
-    if len == 0 {
-        out.push(open);
-        out.push(close);
-        return;
-    }
-    out.push(open);
-    for i in 0..len {
-        out.push('\n');
-        for _ in 0..=indent {
-            out.push_str("  ");
-        }
-        item(out, i);
-        if i + 1 < len {
-            out.push(',');
-        }
-    }
-    out.push('\n');
-    for _ in 0..indent {
-        out.push_str("  ");
-    }
-    out.push(close);
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
+pub use son_telemetry::Json;
 
 /// Assembles the standard artifact shape:
 /// `{"bench": name, "config": ..., "rows": [...]}`.
@@ -182,31 +54,5 @@ mod tests {
         assert!(text.contains("\"proxies\": 500"));
         assert!(text.contains("\"rps\": 1234.5"));
         assert!(text.ends_with("}\n"));
-    }
-
-    #[test]
-    fn integral_floats_render_without_fraction() {
-        assert_eq!(Json::Num(42.0).render(), "42\n");
-        assert_eq!(Json::Num(0.5).render(), "0.5\n");
-    }
-
-    #[test]
-    fn non_finite_numbers_become_null() {
-        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
-        assert_eq!(Json::Num(f64::INFINITY).render(), "null\n");
-    }
-
-    #[test]
-    fn strings_are_escaped() {
-        assert_eq!(
-            Json::Str("a\"b\\c\nd".to_string()).render(),
-            "\"a\\\"b\\\\c\\nd\"\n"
-        );
-    }
-
-    #[test]
-    fn empty_collections_stay_inline() {
-        assert_eq!(Json::Arr(vec![]).render(), "[]\n");
-        assert_eq!(Json::Obj(vec![]).render(), "{}\n");
     }
 }

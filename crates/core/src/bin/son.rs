@@ -17,7 +17,20 @@
 //!                                                  to 20%, plus duplication, jitter
 //!                                                  and a crash/restart); exits
 //!                                                  non-zero unless it converges
+//! son metrics  [--proxies N] [--seed S] [--requests K] [--workers W]
+//!                                                  build, serve and run the state
+//!                                                  protocol with telemetry on, then
+//!                                                  print the registry as
+//!                                                  Prometheus-style text
+//! son trace    [--proxies N] [--seed S] [--request I] [--smoke]
+//!                                                  print the route-provenance trace
+//!                                                  of one request, cold (cache
+//!                                                  miss) and warm (cache hit)
 //! ```
+//!
+//! Any subcommand also accepts `--metrics <path>`: telemetry is
+//! enabled for the run and a JSON snapshot of every counter, gauge and
+//! histogram is written to `<path>` on exit.
 //!
 //! Sizes 250/500/750/1000 use the paper's Table 1 environments; other
 //! sizes get a proportionally scaled world.
@@ -40,6 +53,8 @@ struct Args {
     workers: usize,
     router: String,
     smoke: bool,
+    request: usize,
+    metrics: Option<std::path::PathBuf>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -53,6 +68,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         workers: 4,
         router: "hier".to_string(),
         smoke: false,
+        request: 0,
+        metrics: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -95,6 +112,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--router" => args.router = value("--router")?,
             "--smoke" => args.smoke = true,
+            "--request" => {
+                args.request = value("--request")?
+                    .parse()
+                    .map_err(|e| format!("--request: {e}"))?
+            }
+            "--metrics" => args.metrics = Some(value("--metrics")?.into()),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -281,7 +304,24 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if args.workers == 0 {
         return Err("--workers must be at least 1".to_string());
     }
-    let overlay = build(args);
+    // Smoke mode bounds runtime for CI and runs the state protocol
+    // too, so a `--metrics` snapshot carries every subsystem's
+    // counters in one invocation.
+    let proxies = if args.smoke {
+        args.proxies.min(60)
+    } else {
+        args.proxies
+    };
+    let overlay = ServiceOverlay::build(&SonConfig::from_environment(environment(
+        proxies, args.seed,
+    )));
+    if args.smoke {
+        let report = overlay.run_state_protocol();
+        println!(
+            "state pass : converged={} in {} ({} local, {} aggregate messages)",
+            report.converged, report.ended_at, report.local_messages, report.aggregate_messages
+        );
+    }
     let batch = overlay.generate_client_requests(args.requests, args.seed ^ 0xF00D);
     let config = EngineConfig {
         workers: args.workers,
@@ -350,10 +390,99 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_metrics(args: &Args) -> Result<(), String> {
+    // Exercise every instrumented subsystem — staged build, parallel
+    // serving (cold + warm so cache hits register), state protocol —
+    // then print whatever landed in the registry.
+    let overlay = build(args);
+    let engine = Engine::new(
+        overlay.engine_snapshot(),
+        HierProvider {
+            config: overlay.config().hier,
+        },
+        EngineConfig {
+            workers: args.workers,
+            ..EngineConfig::default()
+        },
+    );
+    let batch = overlay.generate_client_requests(args.requests, args.seed ^ 0xF00D);
+    engine.serve(&batch);
+    engine.serve(&batch);
+    overlay.run_state_protocol();
+    print!("{}", son_core::render_prometheus(son_core::telemetry()));
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let proxies = if args.smoke {
+        args.proxies.min(60)
+    } else {
+        args.proxies
+    };
+    let overlay = ServiceOverlay::build(&SonConfig::from_environment(environment(
+        proxies, args.seed,
+    )));
+    let engine = Engine::new(
+        overlay.engine_snapshot(),
+        HierProvider {
+            config: overlay.config().hier,
+        },
+        EngineConfig::default(),
+    );
+    let batch =
+        overlay.generate_client_requests(args.requests.max(args.request + 1), args.seed ^ 0xF00D);
+    // Smoke mode needs a routable request; interactively the user asked
+    // for a specific one and gets its trace even if it's infeasible.
+    // The first trace of the chosen request is the cold pass — tracing
+    // installs the path, so probing again would always hit the cache.
+    let (index, cold_result, cold) = if args.smoke {
+        (0..batch.len())
+            .find_map(|i| {
+                let (result, trace) = engine.trace_request(&batch[i]);
+                result.is_ok().then_some((i, result, trace))
+            })
+            .ok_or("no routable request in the smoke batch")?
+    } else {
+        let (result, trace) = engine.trace_request(&batch[args.request]);
+        (args.request, result, trace)
+    };
+    let request = &batch[index];
+    println!("request #{index} (cold, then warm):");
+    println!("{}", cold.render());
+    let (warm_result, warm) = engine.trace_request(request);
+    println!();
+    println!("{}", warm.render());
+    if args.smoke {
+        let cold_text = cold.render();
+        let warm_text = warm.render();
+        for (what, ok) in [
+            ("cold request routes", cold_result.is_ok()),
+            ("warm request routes", warm_result.is_ok()),
+            (
+                "cold pass is a cache miss",
+                cold_text.contains("cache=miss"),
+            ),
+            ("warm pass is a cache hit", warm_text.contains("cache=hit")),
+            ("trace names the router", cold_text.contains("router=hier")),
+            ("trace shows the path", cold_text.contains("path")),
+            ("trace shows the cost", cold_text.contains("cost")),
+        ] {
+            if !ok {
+                return Err(format!("trace smoke check failed: {what}"));
+            }
+        }
+        println!();
+        println!("smoke checks passed");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
-        eprintln!("usage: son <build|route|overhead|export|protocol|serve|faults> [flags]");
+        eprintln!(
+            "usage: son <build|route|overhead|export|protocol|serve|faults|metrics|trace> [flags]"
+        );
         return ExitCode::FAILURE;
     };
     let args = match parse_args(rest) {
@@ -363,6 +492,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // `--metrics` (and `son metrics` itself) turn instrumentation on
+    // before any subsystem runs; everything else stays zero-overhead.
+    if args.metrics.is_some() || command == "metrics" {
+        son_core::set_telemetry_enabled(true);
+    }
     let result = match command.as_str() {
         "build" => {
             cmd_build(&args);
@@ -380,8 +514,18 @@ fn main() -> ExitCode {
         "protocol" => cmd_protocol(&args),
         "serve" => cmd_serve(&args),
         "faults" => cmd_faults(&args),
+        "metrics" => cmd_metrics(&args),
+        "trace" => cmd_trace(&args),
         other => Err(format!("unknown command {other}")),
     };
+    // Snapshot even on failure — a failing run's metrics are exactly
+    // the ones worth inspecting.
+    let result = result.and(match &args.metrics {
+        Some(path) => son_core::write_json_snapshot(son_core::telemetry(), path)
+            .map(|()| println!("metrics snapshot written to {}", path.display()))
+            .map_err(|e| format!("writing {}: {e}", path.display())),
+        None => Ok(()),
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -54,7 +54,7 @@ pub use son_coords::{
 };
 pub use son_engine::{
     CacheStats, Engine, EngineConfig, EngineSnapshot, FlatProvider, HierProvider, LatencySummary,
-    RouteCache, RouteKey, RouterProvider, ServeOutcome, ServeReport,
+    LookupOutcome, RouteCache, RouteKey, RouterProvider, ServeOutcome, ServeReport,
 };
 pub use son_netsim::{
     Actor, CrashEvent, Ctx, DelayMeasurer, EventQueue, FaultPlan, Graph, MeasureConfig, NodeId,
@@ -67,13 +67,19 @@ pub use son_overlay::{
 };
 pub use son_routing::fixtures;
 pub use son_routing::{
-    resolve_distributed, solve_service_dag, Assignment, ChildSpec, FlatRouter, HierConfig,
-    HierRoute, HierarchicalRouter, PathBuilder, PathHop, ProviderIndex, ProviderLookup, RouteError,
-    RoutePlan, Router, ServicePath, SessionReport, ValidatePathError,
+    request_trace, resolve_distributed, solve_service_dag, trace_hops, Assignment, BasicTraced,
+    ChildSpec, FlatRouter, HierConfig, HierRoute, HierarchicalRouter, PathBuilder, PathHop,
+    ProviderIndex, ProviderLookup, RouteError, RoutePlan, Router, ServicePath, SessionReport,
+    TraceRouter, Traced, ValidatePathError,
 };
 pub use son_state::{
     flat_overhead, hfc_overhead, ConvergenceChecker, OverheadKind, OverheadReport, ProtocolConfig,
     SctC, SctP, Staleness, StateProtocol, StateReport,
+};
+pub use son_telemetry::{
+    enabled as telemetry_enabled, global as telemetry, render_prometheus,
+    set_enabled as set_telemetry_enabled, snapshot_json, write_json_snapshot, CacheOutcome,
+    Histogram, Json, LocalHistogram, Registry, RouteTrace, Span,
 };
 pub use son_workload::{
     assign_services, generate_requests, place_proxies, place_proxies_excluding,

@@ -145,6 +145,20 @@ impl BuildStage {
     fn index(self) -> usize {
         self as usize
     }
+
+    /// Stable lowercase stage name, used as the telemetry span name
+    /// (`span.build.<name>_us`) and in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BuildStage::Topology => "topology",
+            BuildStage::Landmarks => "landmarks",
+            BuildStage::Embedding => "embedding",
+            BuildStage::Distances => "distances",
+            BuildStage::Clustering => "clustering",
+            BuildStage::Hfc => "hfc",
+            BuildStage::State => "state",
+        }
+    }
 }
 
 /// Wall time each pipeline stage took on its most recent run.
@@ -335,12 +349,16 @@ impl OverlayBuilder {
     /// Panics if the environment is inconsistent (e.g. more proxies
     /// than stub nodes).
     pub fn run(&mut self) -> &mut Self {
+        let _build = son_telemetry::span!("build");
         for stage in BuildStage::ALL {
             if !self.dirty[stage.index()] {
                 continue;
             }
             let start = Instant::now();
-            self.run_stage(stage);
+            {
+                let _stage = son_telemetry::span!(stage.name());
+                self.run_stage(stage);
+            }
             self.timings.times[stage.index()] = start.elapsed();
             self.run_counts[stage.index()] += 1;
             self.dirty[stage.index()] = false;
@@ -841,6 +859,27 @@ mod tests {
         // Landmarks and proxies are disjoint.
         for a in o.attachments() {
             assert!(!o.landmarks().contains(a));
+        }
+    }
+
+    #[test]
+    fn build_records_per_stage_spans() {
+        son_telemetry::set_enabled(true);
+        let registry = son_telemetry::global();
+        let build_before = registry.histogram("span.build_us").count();
+        let stage_before: Vec<u64> = BuildStage::ALL
+            .iter()
+            .map(|s| {
+                registry
+                    .histogram(&format!("span.build.{}_us", s.name()))
+                    .count()
+            })
+            .collect();
+        let _ = overlay();
+        assert!(registry.histogram("span.build_us").count() > build_before);
+        for (stage, before) in BuildStage::ALL.iter().zip(stage_before) {
+            let hist = registry.histogram(&format!("span.build.{}_us", stage.name()));
+            assert!(hist.count() > before, "no span for stage {stage:?}");
         }
     }
 

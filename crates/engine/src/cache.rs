@@ -83,6 +83,18 @@ impl RouteKey {
     }
 }
 
+/// How the cache participated in one lookup (see
+/// [`RouteCache::lookup_explain`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// Entry present at the serving epoch.
+    Hit,
+    /// No entry for the key.
+    Miss,
+    /// Entry present but stamped with another epoch; dropped.
+    StaleDrop,
+}
+
 #[derive(Debug)]
 struct Entry {
     epoch: u64,
@@ -176,25 +188,36 @@ impl RouteCache {
     /// Looks `key` up for a batch serving snapshot `epoch`. An entry
     /// from a different epoch is dropped and reported as a miss.
     pub fn lookup(&self, key: &RouteKey, epoch: u64) -> Option<ServicePath> {
+        self.lookup_explain(key, epoch).0
+    }
+
+    /// Like [`RouteCache::lookup`], but also reports *how* the cache
+    /// participated — hit, plain miss, or stale drop — for route
+    /// provenance.
+    pub fn lookup_explain(
+        &self,
+        key: &RouteKey,
+        epoch: u64,
+    ) -> (Option<ServicePath>, LookupOutcome) {
         let mut shard = self.shard(key).lock().expect("cache shard poisoned");
         match shard.entries.get(key) {
             Some(entry) if entry.epoch == epoch => {
                 let path = entry.path.clone();
                 drop(shard);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(path)
+                (Some(path), LookupOutcome::Hit)
             }
             Some(_) => {
                 shard.entries.remove(key);
                 drop(shard);
                 self.stale_drops.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                (None, LookupOutcome::StaleDrop)
             }
             None => {
                 drop(shard);
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                (None, LookupOutcome::Miss)
             }
         }
     }

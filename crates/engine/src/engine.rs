@@ -25,11 +25,12 @@
 //! thread count matter even on a single core. Set it to 0 to benchmark
 //! pure route computation.
 
-use crate::cache::{CacheStats, RouteCache, RouteKey};
+use crate::cache::{CacheStats, LookupOutcome, RouteCache, RouteKey};
 use crate::report::{LatencySummary, ServeReport};
 use crate::snapshot::{EngineSnapshot, RouterProvider};
 use son_overlay::{DelayModel, ServiceRequest};
-use son_routing::{RouteError, ServicePath};
+use son_routing::{trace_hops, RouteError, ServicePath};
+use son_telemetry::{CacheOutcome, Histogram, LocalHistogram, RouteTrace};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -139,6 +140,7 @@ where
     /// Serves a batch of requests and reports what happened. Paths come
     /// back in request order and are independent of the worker count.
     pub fn serve(&self, requests: &[ServiceRequest]) -> ServeOutcome {
+        let _span = son_telemetry::span!("engine.serve");
         let snapshot = self.snapshot();
         let snap: &EngineSnapshot<D> = &snapshot;
         let epoch = snap.epoch();
@@ -149,12 +151,36 @@ where
             assigned[snap.ingress(request).index() % workers].push(i);
         }
 
+        // Per-worker registry handles are fetched once per batch so the
+        // per-request hot path stays lock-free; when telemetry is off
+        // the whole block reduces to `None`s.
+        let telemetry_on = son_telemetry::enabled();
+        let worker_hists: Vec<Option<Histogram>> = if telemetry_on {
+            let registry = son_telemetry::global();
+            (0..workers)
+                .map(|w| {
+                    let worker = w.to_string();
+                    registry
+                        .gauge_with("engine.queue_depth", &[("worker", &worker)])
+                        .set(assigned[w].len() as f64);
+                    Some(registry.histogram_with("engine.serve_us", &[("worker", &worker)]))
+                })
+                .collect()
+        } else {
+            vec![None; workers]
+        };
+
         let stats_before = self.cache.stats();
         let started = Instant::now();
         let produced: Vec<Vec<WorkerItem>> = thread::scope(|scope| {
             let handles: Vec<_> = assigned
                 .iter()
-                .map(|indices| scope.spawn(move || self.run_worker(snap, epoch, requests, indices)))
+                .zip(&worker_hists)
+                .map(|(indices, hist)| {
+                    scope.spawn(move || {
+                        self.run_worker(snap, epoch, requests, indices, hist.as_ref())
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -166,11 +192,11 @@ where
         // Merge back into request order; tally errors, latencies, and
         // border-proxy load.
         let mut paths: Vec<Option<Result<ServicePath, RouteError>>> = vec![None; requests.len()];
-        let mut latencies = Vec::with_capacity(requests.len());
+        let batch_latency = Histogram::new();
         let mut border_load = vec![0u64; snap.proxy_count()];
         let mut errors = 0;
         for (i, result, latency_us) in produced.into_iter().flatten() {
-            latencies.push(latency_us);
+            batch_latency.record(latency_us);
             match &result {
                 Ok(path) => {
                     for hop in path.hops() {
@@ -196,10 +222,30 @@ where
             } else {
                 0.0
             },
-            latency: LatencySummary::from_samples(&latencies),
+            latency: LatencySummary::from_histogram(&batch_latency),
             cache: self.cache.stats().since(&stats_before),
             border_load,
         };
+        if telemetry_on {
+            let registry = son_telemetry::global();
+            registry.counter("engine.cache.hits").add(report.cache.hits);
+            registry
+                .counter("engine.cache.misses")
+                .add(report.cache.misses);
+            registry
+                .counter("engine.cache.stale_drops")
+                .add(report.cache.stale_drops);
+            registry
+                .counter("engine.cache.insertions")
+                .add(report.cache.insertions);
+            registry
+                .counter("engine.cache.evictions")
+                .add(report.cache.evictions);
+            registry
+                .counter("engine.requests")
+                .add(requests.len() as u64);
+            registry.counter("engine.errors").add(errors as u64);
+        }
         ServeOutcome {
             paths: paths
                 .into_iter()
@@ -217,8 +263,13 @@ where
         epoch: u64,
         requests: &[ServiceRequest],
         indices: &[usize],
+        latency_hist: Option<&Histogram>,
     ) -> Vec<WorkerItem> {
         let router = self.provider.router(snap);
+        // Latencies accumulate in a plain local histogram and fold into
+        // the shared per-worker one once per batch, so the per-request
+        // cost of instrumentation is three plain writes, not atomics.
+        let mut local_latency = latency_hist.map(|_| LocalHistogram::new());
         let mut out = Vec::with_capacity(indices.len());
         for &i in indices {
             let request = &requests[i];
@@ -240,9 +291,61 @@ where
                     thread::sleep(Duration::from_micros(hold as u64));
                 }
             }
-            out.push((i, result, begun.elapsed().as_secs_f64() * 1e6));
+            let latency_us = begun.elapsed().as_secs_f64() * 1e6;
+            if let Some(local) = local_latency.as_mut() {
+                local.record(latency_us);
+            }
+            out.push((i, result, latency_us));
+        }
+        if let (Some(local), Some(hist)) = (local_latency.as_mut(), latency_hist) {
+            local.flush_into(hist);
         }
         out
+    }
+
+    /// Routes one request through the full serving path — cache lookup,
+    /// router, cache fill — and returns its provenance record alongside
+    /// the answer. The cache is consulted and populated exactly as in
+    /// [`Engine::serve`], so tracing the same request twice shows a miss
+    /// followed by a hit.
+    pub fn trace_request(
+        &self,
+        request: &ServiceRequest,
+    ) -> (Result<ServicePath, RouteError>, RouteTrace) {
+        let snapshot = self.snapshot();
+        let snap: &EngineSnapshot<D> = &snapshot;
+        let epoch = snap.epoch();
+        let key = RouteKey::encode(snap.ingress(request), request);
+        let started = Instant::now();
+        let (cached, outcome) = self.cache.lookup_explain(&key, epoch);
+        match cached {
+            Some(path) => {
+                let mut trace = son_routing::request_trace(self.provider.name(), request);
+                trace.epoch = Some(epoch);
+                trace.cache = Some(CacheOutcome::Hit);
+                trace.hops = trace_hops(&path);
+                trace.cost = Some(path.length(snap.delays()));
+                trace.elapsed_us = started.elapsed().as_secs_f64() * 1e6;
+                (Ok(path), trace)
+            }
+            None => {
+                let router = self.provider.traced_router(snap);
+                let (result, mut trace) = router.route_with_trace(request);
+                trace.epoch = Some(epoch);
+                trace.cache = Some(match outcome {
+                    LookupOutcome::StaleDrop => CacheOutcome::StaleDrop,
+                    _ => CacheOutcome::Miss,
+                });
+                if let Ok(path) = &result {
+                    if trace.cost.is_none() {
+                        trace.cost = Some(path.length(snap.delays()));
+                    }
+                    self.cache.insert(key, epoch, path.clone());
+                }
+                trace.elapsed_us = started.elapsed().as_secs_f64() * 1e6;
+                (result, trace)
+            }
+        }
     }
 }
 
@@ -360,6 +463,53 @@ mod tests {
         }
         // Cross-cluster requests exist, so some border carried load.
         assert!(outcome.report.busiest_borders().iter().any(|&(_, l)| l > 0));
+    }
+
+    #[test]
+    fn trace_request_shows_miss_then_hit() {
+        let eng = engine(1);
+        let batch = requests(12, 1);
+        let (first, miss_trace) = eng.trace_request(&batch[0]);
+        let first = first.unwrap();
+        assert_eq!(miss_trace.cache, Some(CacheOutcome::Miss));
+        assert_eq!(miss_trace.epoch, Some(0));
+        assert_eq!(miss_trace.router, "hier");
+        assert!(!miss_trace.hops.is_empty());
+        assert!(miss_trace.cost.is_some());
+
+        let (second, hit_trace) = eng.trace_request(&batch[0]);
+        assert_eq!(second.unwrap(), first);
+        assert_eq!(hit_trace.cache, Some(CacheOutcome::Hit));
+        assert_eq!(hit_trace.cost, miss_trace.cost);
+
+        // Epoch bump turns the cached entry into a stale drop.
+        eng.install_snapshot(line_snapshot(12, 3));
+        let (_, stale_trace) = eng.trace_request(&batch[0]);
+        assert_eq!(stale_trace.cache, Some(CacheOutcome::StaleDrop));
+        assert_eq!(stale_trace.epoch, Some(1));
+    }
+
+    #[test]
+    fn serve_folds_cache_counters_into_the_registry() {
+        let registry = son_telemetry::global();
+        let hits_before = registry.counter("engine.cache.hits").get();
+        let misses_before = registry.counter("engine.cache.misses").get();
+        let eng = engine(2);
+        let batch = requests(12, 12); // all distinct
+        let cold = eng.serve(&batch);
+        let warm = eng.serve(&batch);
+        // Registry counters are global and only grow; other tests may
+        // add more, so assert at-least the two batches' deltas.
+        assert!(
+            registry.counter("engine.cache.hits").get() >= hits_before + warm.report.cache.hits
+        );
+        assert!(
+            registry.counter("engine.cache.misses").get()
+                >= misses_before + cold.report.cache.misses
+        );
+        // Per-worker latency histograms exist and saw this batch.
+        let h0 = registry.histogram_with("engine.serve_us", &[("worker", "0")]);
+        assert!(h0.count() > 0);
     }
 
     #[test]

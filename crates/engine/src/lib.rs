@@ -58,7 +58,7 @@ pub mod engine;
 pub mod report;
 pub mod snapshot;
 
-pub use cache::{CacheStats, RouteCache, RouteKey};
+pub use cache::{CacheStats, LookupOutcome, RouteCache, RouteKey};
 pub use engine::{Engine, EngineConfig, ServeOutcome};
 pub use report::{LatencySummary, ServeReport};
 pub use snapshot::{EngineSnapshot, FlatProvider, HierProvider, RouterProvider};

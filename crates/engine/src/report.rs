@@ -5,6 +5,12 @@ use crate::cache::CacheStats;
 use son_overlay::ProxyId;
 
 /// Request-latency summary in microseconds.
+///
+/// Batch summaries come from the telemetry histogram (see
+/// [`LatencySummary::from_histogram`]): percentiles are log-bucketed,
+/// so each may read up to one bucket width — `2^(1/8) − 1 ≈ 9.05%` —
+/// above the exact sorted-sample value, while `max_us` is exact and
+/// `p50 ≤ p90 ≤ p99 ≤ max` always holds.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencySummary {
     /// Median.
@@ -36,6 +42,24 @@ impl LatencySummary {
             p99_us: rank(0.99),
             mean_us: sorted.iter().sum::<f64>() / sorted.len() as f64,
             max_us: sorted[sorted.len() - 1],
+        }
+    }
+
+    /// Summarizes a telemetry histogram — the engine's batch path.
+    ///
+    /// Unlike [`LatencySummary::from_samples`] (exact, needs the full
+    /// sample vector), this reads the log-bucketed histogram workers
+    /// already filled, with the bucket error bound documented on the
+    /// type: percentiles overestimate by at most `2^(1/8) − 1 ≈ 9.05%`
+    /// ([`son_telemetry::RELATIVE_ERROR_BOUND`]); mean and max are
+    /// exact.
+    pub fn from_histogram(hist: &son_telemetry::Histogram) -> Self {
+        LatencySummary {
+            p50_us: hist.quantile(0.50),
+            p90_us: hist.quantile(0.90),
+            p99_us: hist.quantile(0.99),
+            mean_us: hist.mean(),
+            max_us: hist.max(),
         }
     }
 }
@@ -100,6 +124,49 @@ mod tests {
     #[test]
     fn latency_summary_of_nothing_is_zero() {
         assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn histogram_percentiles_are_ordered_and_bounded() {
+        let hist = son_telemetry::Histogram::new();
+        // Heavy-tailed sample: mostly fast, occasional slow requests.
+        let samples: Vec<f64> = (1..=500)
+            .map(|i| {
+                if i % 50 == 0 {
+                    i as f64 * 37.0
+                } else {
+                    i as f64
+                }
+            })
+            .collect();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let summary = LatencySummary::from_histogram(&hist);
+        assert!(
+            summary.p50_us <= summary.p90_us
+                && summary.p90_us <= summary.p99_us
+                && summary.p99_us <= summary.max_us,
+            "percentiles out of order: {summary:?}"
+        );
+        // Against exact nearest-rank values: within one bucket width.
+        let exact = LatencySummary::from_samples(&samples);
+        for (bucketed, exact) in [
+            (summary.p50_us, exact.p50_us),
+            (summary.p90_us, exact.p90_us),
+            (summary.p99_us, exact.p99_us),
+        ] {
+            assert!(
+                bucketed >= exact - 1e-9,
+                "bucketed {bucketed} < exact {exact}"
+            );
+            assert!(
+                bucketed <= exact * (1.0 + son_telemetry::RELATIVE_ERROR_BOUND) + 1.0,
+                "bucketed {bucketed} too far above exact {exact}"
+            );
+        }
+        assert_eq!(summary.max_us, exact.max_us);
+        assert!((summary.mean_us - exact.mean_us).abs() < 1e-6 * exact.mean_us);
     }
 
     #[test]

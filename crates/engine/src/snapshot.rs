@@ -17,7 +17,9 @@
 //! three-level `MultiLevelRouter` the same way.
 
 use son_overlay::{ClusterId, DelayModel, HfcTopology, ProxyId, ServiceRequest, ServiceSet};
-use son_routing::{FlatRouter, HierConfig, HierarchicalRouter, ProviderIndex, Router};
+use son_routing::{
+    BasicTraced, FlatRouter, HierConfig, HierarchicalRouter, ProviderIndex, Router, TraceRouter,
+};
 
 /// One immutable, epoch-stamped view of the overlay: everything a
 /// worker needs to answer requests.
@@ -105,6 +107,16 @@ pub trait RouterProvider<D: DelayModel>: Sync {
 
     /// A short human-readable strategy name for reports.
     fn name(&self) -> &'static str;
+
+    /// Constructs a provenance-capable router for `Engine::trace_request`.
+    ///
+    /// The default wraps [`RouterProvider::router`] in [`BasicTraced`],
+    /// which reports the request, resulting hops, and timing; providers
+    /// whose routers expose richer decisions (the hierarchical router's
+    /// CSP dissection) override this to surface them.
+    fn traced_router<'a>(&'a self, snapshot: &'a EngineSnapshot<D>) -> Box<dyn TraceRouter + 'a> {
+        Box::new(BasicTraced::new(self.router(snapshot), self.name()))
+    }
 }
 
 /// Provider of the paper's hierarchical (divide-and-conquer) router —
@@ -128,6 +140,15 @@ impl<D: DelayModel> RouterProvider<D> for HierProvider {
     fn name(&self) -> &'static str {
         "hier"
     }
+
+    fn traced_router<'a>(&'a self, snapshot: &'a EngineSnapshot<D>) -> Box<dyn TraceRouter + 'a> {
+        Box::new(HierarchicalRouter::from_services(
+            &snapshot.hfc,
+            &snapshot.services,
+            &snapshot.delays,
+            self.config,
+        ))
+    }
 }
 
 /// Provider of the flat global-view router (the mesh-free baseline).
@@ -142,6 +163,11 @@ impl<D: DelayModel> RouterProvider<D> for FlatProvider {
 
     fn name(&self) -> &'static str {
         "flat"
+    }
+
+    fn traced_router<'a>(&'a self, snapshot: &'a EngineSnapshot<D>) -> Box<dyn TraceRouter + 'a> {
+        let providers = ProviderIndex::from_service_sets(&snapshot.services);
+        Box::new(FlatRouter::new(providers, &snapshot.delays))
     }
 }
 

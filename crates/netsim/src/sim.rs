@@ -253,6 +253,10 @@ pub struct Simulator<A: Actor, D> {
     now: SimTime,
     started: bool,
     stats: SimStats,
+    /// Stats already folded into the telemetry registry. `stats` is
+    /// cumulative across run calls while registry counters only grow,
+    /// so each run folds the delta since the previous one.
+    folded: SimStats,
 }
 
 impl<A: Actor + std::fmt::Debug, D> std::fmt::Debug for Simulator<A, D> {
@@ -287,6 +291,7 @@ where
                 trace_hash: FNV_OFFSET,
                 ..SimStats::default()
             },
+            folded: SimStats::default(),
         }
     }
 
@@ -515,7 +520,52 @@ where
             }
         }
         self.stats.ended_at = self.now;
+        self.fold_into_registry();
         self.stats
+    }
+
+    /// Folds the event-counter deltas since the previous run into the
+    /// global telemetry registry (the trace hash and timestamps are not
+    /// counters and stay out). The baseline always advances so a later
+    /// `enabled()` flip does not replay history.
+    fn fold_into_registry(&mut self) {
+        let prev = self.folded;
+        self.folded = self.stats;
+        if !son_telemetry::enabled() {
+            return;
+        }
+        let registry = son_telemetry::global();
+        for (name, now, before) in [
+            (
+                "netsim.messages_delivered",
+                self.stats.messages_delivered,
+                prev.messages_delivered,
+            ),
+            (
+                "netsim.messages_dropped",
+                self.stats.messages_dropped,
+                prev.messages_dropped,
+            ),
+            (
+                "netsim.messages_duplicated",
+                self.stats.messages_duplicated,
+                prev.messages_duplicated,
+            ),
+            (
+                "netsim.timers_fired",
+                self.stats.timers_fired,
+                prev.timers_fired,
+            ),
+            (
+                "netsim.timers_suppressed",
+                self.stats.timers_suppressed,
+                prev.timers_suppressed,
+            ),
+            ("netsim.crashes", self.stats.crashes, prev.crashes),
+            ("netsim.restarts", self.stats.restarts, prev.restarts),
+        ] {
+            registry.counter(name).add(now.saturating_sub(before));
+        }
     }
 
     fn flush(&mut self, source: NodeId, outbox: &mut Vec<Effect<A::Msg>>) {
@@ -736,6 +786,27 @@ pub(crate) mod tests {
         let stats = sim.run_until_quiescent(SimTime::from_ms(1_000.0));
         assert!(stats.messages_dropped > 0);
         assert!(stats.messages_delivered > 0);
+    }
+
+    #[test]
+    fn run_folds_event_counters_into_the_registry() {
+        son_telemetry::set_enabled(true);
+        let registry = son_telemetry::global();
+        let before = registry.counter("netsim.messages_delivered").get();
+        let mut sim = Simulator::new(gossip_net(5), |_, _| SimTime::from_ms(1.0));
+        let stats = sim.run_until_quiescent(SimTime::from_ms(1_000.0));
+        // The registry is global and parallel tests may fold too, so
+        // the delta is at least — not exactly — this run's count.
+        let after = registry.counter("netsim.messages_delivered").get();
+        assert!(
+            after >= before + stats.messages_delivered,
+            "counter moved {before} -> {after}, run delivered {}",
+            stats.messages_delivered
+        );
+        // Resuming a quiescent run delivers nothing new, and the fold
+        // is a delta — cumulative stats are never re-added.
+        let again = sim.run_until_quiescent(SimTime::from_ms(2_000.0));
+        assert_eq!(again.messages_delivered, stats.messages_delivered);
     }
 
     #[test]

@@ -61,6 +61,11 @@ where
         &self.providers
     }
 
+    /// The delay model this router judges paths by.
+    pub fn delays(&self) -> &'a D {
+        self.delays
+    }
+
     /// Computes the optimal service path for `request` under this
     /// router's delay model. Consecutive logical hops are adjacent in
     /// the result (no relays inserted).

@@ -195,6 +195,11 @@ where
         self.hfc.proxy_count()
     }
 
+    /// The known distance map this router judges paths by.
+    pub fn known_delays(&self) -> &'a D {
+        self.delays
+    }
+
     /// Routes `request` hierarchically.
     ///
     /// # Errors

@@ -54,6 +54,7 @@ pub mod providers;
 pub mod router;
 pub mod sdag;
 pub mod session;
+pub mod trace;
 
 pub use flat::{FlatRouter, RouteError};
 pub use hier::{ChildSpec, HierConfig, HierRoute, HierarchicalRouter, RoutePlan};
@@ -62,3 +63,4 @@ pub use providers::{ProviderIndex, ProviderLookup};
 pub use router::Router;
 pub use sdag::{solve_service_dag, Assignment};
 pub use session::{resolve_distributed, SessionReport};
+pub use trace::{request_trace, trace_hops, BasicTraced, TraceRouter, Traced};

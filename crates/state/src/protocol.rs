@@ -122,6 +122,13 @@ pub struct ProxyActor {
     /// Aggregate state messages sent (including intra-cluster
     /// forwards).
     pub sent_aggregate: u64,
+    /// Deliveries ignored because a fresher version of the same row was
+    /// already applied — the version guard firing on duplicated or
+    /// reordered messages. Survives restarts like the sent counters.
+    pub ignored_stale: u64,
+    /// Anti-entropy refresh rounds executed (one per `REFRESH_TIMER`
+    /// firing). Survives restarts.
+    pub refresh_rounds: u64,
 }
 
 impl ProxyActor {
@@ -231,6 +238,7 @@ impl Actor for ProxyActor {
                 // A duplicated or reordered delivery older than what we
                 // hold must not roll the row back.
                 if version < self.sctp_versions.get(&sender).copied().unwrap_or(0) {
+                    self.ignored_stale += 1;
                     return;
                 }
                 self.sctp_versions.insert(sender, version);
@@ -258,6 +266,7 @@ impl Actor for ProxyActor {
                 // Stale aggregate: a fresher snapshot of this cluster
                 // was already applied, so neither merge nor forward.
                 if version < self.sctc_versions.get(&cluster).copied().unwrap_or(0) {
+                    self.ignored_stale += 1;
                     return;
                 }
                 // Merge (set union): services are static, so aggregates
@@ -308,6 +317,7 @@ impl Actor for ProxyActor {
                 // Anti-entropy: unconditionally re-flood everything we
                 // know, forever. Any row a lost message left stale is
                 // repaired at most one refresh period later.
+                self.refresh_rounds += 1;
                 self.broadcast_local(ctx);
                 if !self.border_duties.is_empty() {
                     self.broadcast_aggregate(ctx);
@@ -362,6 +372,13 @@ pub struct StateReport {
     pub local_messages: u64,
     /// Aggregate state messages sent (border exchange + forwards).
     pub aggregate_messages: u64,
+    /// Extra deliveries created by injected duplication.
+    pub messages_duplicated: u64,
+    /// Deliveries ignored by receivers because a fresher version of the
+    /// same table row was already applied.
+    pub stale_ignored: u64,
+    /// Anti-entropy refresh rounds executed across all proxies.
+    pub refresh_rounds: u64,
     /// FNV-1a digest of the full event trace — identical seeds and
     /// fault plans reproduce identical hashes.
     pub trace_hash: u64,
@@ -395,6 +412,24 @@ pub struct StateProtocol {
     simulator: Simulator<ProxyActor, Box<dyn FnMut(NodeId, NodeId) -> SimTime>>,
     checker: ConvergenceChecker,
     config: ProtocolConfig,
+    /// Counter values already folded into the telemetry registry.
+    /// Simulator and actor counters are cumulative over the protocol's
+    /// lifetime while registry counters only grow, so each report folds
+    /// the delta since the previous one.
+    folded: FoldedCounters,
+}
+
+/// Baseline for delta-folding cumulative protocol counters into the
+/// global telemetry registry (see [`StateProtocol::report`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct FoldedCounters {
+    delivered: u64,
+    dropped: u64,
+    duplicated: u64,
+    local: u64,
+    aggregate: u64,
+    stale: u64,
+    refresh: u64,
 }
 
 impl std::fmt::Debug for StateProtocol {
@@ -463,6 +498,8 @@ impl StateProtocol {
                 sctc_versions: BTreeMap::new(),
                 sent_local: 0,
                 sent_aggregate: 0,
+                ignored_stale: 0,
+                refresh_rounds: 0,
             });
         }
 
@@ -477,6 +514,7 @@ impl StateProtocol {
             simulator: Simulator::new(actors, delay_fn),
             checker,
             config,
+            folded: FoldedCounters::default(),
         }
     }
 
@@ -557,10 +595,10 @@ impl StateProtocol {
         }
     }
 
-    fn report(&self, stats: son_netsim::SimStats) -> StateReport {
+    fn report(&mut self, stats: son_netsim::SimStats) -> StateReport {
         let staleness = self.staleness();
         let actors = self.simulator.actors();
-        StateReport {
+        let report = StateReport {
             converged: staleness.is_converged(),
             stale_entries: staleness.total(),
             crashed_proxies: self.simulator.crashed_nodes().len(),
@@ -569,8 +607,74 @@ impl StateProtocol {
             messages_dropped: stats.messages_dropped,
             local_messages: actors.iter().map(|a| a.sent_local).sum(),
             aggregate_messages: actors.iter().map(|a| a.sent_aggregate).sum(),
+            messages_duplicated: stats.messages_duplicated,
+            stale_ignored: actors.iter().map(|a| a.ignored_stale).sum(),
+            refresh_rounds: actors.iter().map(|a| a.refresh_rounds).sum(),
             trace_hash: stats.trace_hash,
+        };
+        self.fold_into_registry(&report);
+        report
+    }
+
+    /// Folds the counter deltas since the previous report into the
+    /// global telemetry registry, and updates the run-level gauges.
+    /// The baseline always advances so a later `enabled()` flip does not
+    /// replay history; registry writes happen only while telemetry is
+    /// on.
+    fn fold_into_registry(&mut self, report: &StateReport) {
+        let prev = self.folded;
+        self.folded = FoldedCounters {
+            delivered: report.messages_delivered,
+            dropped: report.messages_dropped,
+            duplicated: report.messages_duplicated,
+            local: report.local_messages,
+            aggregate: report.aggregate_messages,
+            stale: report.stale_ignored,
+            refresh: report.refresh_rounds,
+        };
+        if !son_telemetry::enabled() {
+            return;
         }
+        let registry = son_telemetry::global();
+        for (name, now, before) in [
+            (
+                "state.messages_delivered",
+                report.messages_delivered,
+                prev.delivered,
+            ),
+            (
+                "state.messages_dropped",
+                report.messages_dropped,
+                prev.dropped,
+            ),
+            (
+                "state.messages_duplicated",
+                report.messages_duplicated,
+                prev.duplicated,
+            ),
+            ("state.local_sent", report.local_messages, prev.local),
+            (
+                "state.aggregate_sent",
+                report.aggregate_messages,
+                prev.aggregate,
+            ),
+            ("state.stale_ignored", report.stale_ignored, prev.stale),
+            ("state.refresh_rounds", report.refresh_rounds, prev.refresh),
+        ] {
+            registry.counter(name).add(now.saturating_sub(before));
+        }
+        registry
+            .gauge("state.convergence_ms")
+            .set(report.ended_at.as_micros() as f64 / 1e3);
+        registry
+            .gauge("state.stale_entries")
+            .set(report.stale_entries as f64);
+        registry
+            .gauge("state.converged")
+            .set(if report.converged { 1.0 } else { 0.0 });
+        registry
+            .gauge("state.crashed_proxies")
+            .set(report.crashed_proxies as f64);
     }
 
     /// Compares every live proxy's tables against the ground truth.
@@ -903,6 +1007,54 @@ mod fault_tolerance_tests {
         let report = protocol.run_to_quiescence();
         assert!(!report.converged);
         assert!(report.stale_entries > 0, "{report:?}");
+    }
+
+    #[test]
+    fn duplication_and_refresh_are_counted() {
+        let (hfc, delays, services) = world();
+        let mut protocol = StateProtocol::new(&hfc, services, &delays, ProtocolConfig::resilient());
+        protocol.install_faults(
+            FaultPlan::new(11)
+                .with_loss(0.1)
+                .with_duplicate(0.2)
+                .with_jitter_ms(2.0),
+        );
+        let report = protocol.run_until_converged(SimTime::from_ms(5_000.0));
+        assert!(report.converged, "{report:?}");
+        assert!(report.messages_duplicated > 0, "duplication must bite");
+        assert!(report.refresh_rounds > 0, "anti-entropy must have run");
+        // With duplication and jitter, some deliveries arrive after a
+        // fresher version was applied and hit the version guard.
+        assert!(report.stale_ignored > 0, "{report:?}");
+    }
+
+    #[test]
+    fn report_folds_protocol_counters_into_the_registry() {
+        let (hfc, delays, services) = world();
+        son_telemetry::set_enabled(true);
+        let registry = son_telemetry::global();
+        let before = registry.counter("state.local_sent").get();
+        let mut protocol = StateProtocol::new(&hfc, services, &delays, ProtocolConfig::default());
+        let report = protocol.run_to_quiescence();
+        // The registry is global and other tests may fold too, so the
+        // delta is at least — not exactly — this run's contribution.
+        let after = registry.counter("state.local_sent").get();
+        assert!(
+            after >= before + report.local_messages,
+            "local_sent counter moved {before} -> {after}, report says {}",
+            report.local_messages
+        );
+        assert!(registry.counter("state.messages_delivered").get() >= report.messages_delivered);
+        assert!(registry.gauge("state.converged").get() == 1.0);
+        // Re-reporting must not double-count: a second zero-progress run
+        // adds a zero delta, never the cumulative totals again.
+        let mid = registry.counter("state.local_sent").get();
+        let again = protocol.run_until(report.ended_at);
+        assert_eq!(again.local_messages, report.local_messages);
+        let end = registry.counter("state.local_sent").get();
+        // Other parallel tests may add their own local_sent, but this
+        // protocol instance contributed nothing new.
+        assert!(end >= mid);
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Log-bucketed histogram with cheap concurrent recording.
+//!
+//! Buckets grow geometrically by `2^(1/8)` per step (eight buckets per
+//! octave), so any recorded value lands in a bucket whose upper bound is
+//! at most `2^(1/8) - 1 ≈ 9.05%` above the value. Quantile extraction
+//! therefore carries a **relative error bound of one bucket width
+//! (≤ 9.05%)**; the tracked exact maximum additionally clamps every
+//! quantile so `p50 ≤ p90 ≤ p99 ≤ max` holds exactly.
+//!
+//! Recording is lock-free: one relaxed fetch-add on the bucket and the
+//! count, a CAS loop folding the value into an `f64`-bit sum, and a CAS
+//! loop raising the `f64`-bit maximum (valid because non-negative finite
+//! doubles order the same as their bit patterns).
+//!
+//! For per-item recording inside hot loops, [`LocalHistogram`] is a
+//! single-thread accumulator with plain (non-atomic) fields that folds
+//! into a shared [`Histogram`] in one `flush_into` call, so the atomic
+//! traffic is paid once per batch instead of once per record.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sub-buckets per power of two. Growth factor is `2^(1/8)`.
+const BUCKETS_PER_OCTAVE: usize = 8;
+/// Octaves covered above 1.0. `2^40 µs ≈ 12.7 days` — ample for latency.
+const OCTAVES: usize = 40;
+/// `[0, 1)` underflow bucket + log buckets + overflow bucket.
+const BUCKETS: usize = 2 + OCTAVES * BUCKETS_PER_OCTAVE;
+
+/// Worst-case relative quantile error introduced by bucketing:
+/// the growth factor minus one, `2^(1/8) - 1`.
+pub const RELATIVE_ERROR_BOUND: f64 = 0.090_507_732_665_257_66;
+
+struct Core {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of recorded values, stored as `f64` bits and folded via CAS.
+    sum_bits: AtomicU64,
+    /// Exact maximum recorded value, stored as `f64` bits.
+    max_bits: AtomicU64,
+}
+
+/// A concurrent log-bucketed histogram handle. Clones share storage.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<Core>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        let buckets = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            core: Arc::new(Core {
+                buckets,
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+                max_bits: AtomicU64::new(0f64.to_bits()),
+            }),
+        }
+    }
+
+    /// Index of the bucket that holds `value`.
+    fn bucket_index(value: f64) -> usize {
+        if value < 1.0 {
+            return 0;
+        }
+        let idx = 1 + (value.log2() * BUCKETS_PER_OCTAVE as f64).floor() as usize;
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Upper bound of bucket `idx` (inclusive enough for quantiles).
+    fn bucket_upper(idx: usize) -> f64 {
+        if idx == 0 {
+            return 1.0;
+        }
+        2f64.powf(idx as f64 / BUCKETS_PER_OCTAVE as f64)
+    }
+
+    /// Records a single non-negative value. Negative or non-finite
+    /// values are clamped to zero so quantiles stay well-defined.
+    pub fn record(&self, value: f64) {
+        let value = if value.is_finite() && value > 0.0 {
+            value
+        } else {
+            0.0
+        };
+        let idx = Self::bucket_index(value);
+        self.core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.core.count.fetch_add(1, Ordering::Relaxed);
+        self.add_sum(value);
+        // Raise the exact maximum. Non-negative doubles order by bits.
+        let bits = value.to_bits();
+        self.core.max_bits.fetch_max(bits, Ordering::Relaxed);
+    }
+
+    /// Folds `value` into the f64-bit sum.
+    fn add_sum(&self, value: f64) {
+        let mut cur = self.core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.core.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean of recorded values (zero when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Exact maximum recorded value (zero when empty).
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.core.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Nearest-rank quantile estimate for `q` in `[0, 1]`.
+    ///
+    /// Returns the upper bound of the bucket containing the ranked
+    /// sample, clamped to the exact tracked maximum, so the result
+    /// overestimates by at most one bucket width (≤ 9.05%) and the
+    /// quantile sequence is monotone up to `max()`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * (n as f64 - 1.0)).round() as u64).min(n - 1);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.core.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen > rank {
+                return Self::bucket_upper(idx).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Captures count/sum/quantiles in one pass.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+/// A single-thread accumulator for hot loops.
+///
+/// Recording here is a bucket computation plus three plain writes — no
+/// atomic read-modify-write — and [`LocalHistogram::flush_into`] folds
+/// everything accumulated into a shared [`Histogram`] with one atomic
+/// operation per touched bucket. Use it when instrumenting per-item
+/// work measured in nanoseconds; the flushed result is identical to
+/// calling [`Histogram::record`] per item.
+#[derive(Clone)]
+pub struct LocalHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        LocalHistogram::new()
+    }
+}
+
+impl LocalHistogram {
+    /// Creates an empty accumulator.
+    pub fn new() -> LocalHistogram {
+        LocalHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// Records a single value under the same clamping rules as
+    /// [`Histogram::record`].
+    pub fn record(&mut self, value: f64) {
+        let value = if value.is_finite() && value > 0.0 {
+            value
+        } else {
+            0.0
+        };
+        self.buckets[Histogram::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of values recorded since the last flush.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds everything recorded so far into `target` and resets this
+    /// accumulator so it can be reused for the next batch.
+    pub fn flush_into(&mut self, target: &Histogram) {
+        if self.count == 0 {
+            return;
+        }
+        for (idx, n) in self.buckets.iter_mut().enumerate() {
+            if *n > 0 {
+                target.core.buckets[idx].fetch_add(*n, Ordering::Relaxed);
+                *n = 0;
+            }
+        }
+        target.core.count.fetch_add(self.count, Ordering::Relaxed);
+        target.add_sum(self.sum);
+        target
+            .core
+            .max_bits
+            .fetch_max(self.max.to_bits(), Ordering::Relaxed);
+        self.count = 0;
+        self.sum = 0.0;
+        self.max = 0.0;
+    }
+}
+
+/// A point-in-time view of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Median estimate (bucketed, ≤ 9.05% high).
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+    /// Exact maximum.
+    pub max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact nearest-rank quantile over a sorted slice, mirroring the
+    /// engine's `LatencySummary::from_samples` convention.
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = (q * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    #[test]
+    fn quantiles_match_known_distribution_within_a_bucket() {
+        // Deterministic skewed distribution: 1..=1000 squared, scaled.
+        let h = Histogram::new();
+        let mut values: Vec<f64> = (1..=1000).map(|i| (i * i) as f64 / 37.0).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.5, 0.9, 0.99] {
+            let exact = exact_quantile(&values, q);
+            let bucketed = h.quantile(q);
+            assert!(
+                bucketed >= exact * (1.0 - 1e-9),
+                "q{q}: bucketed {bucketed} below exact {exact}"
+            );
+            assert!(
+                bucketed <= exact * (1.0 + RELATIVE_ERROR_BOUND) + 1.0,
+                "q{q}: bucketed {bucketed} more than one bucket above exact {exact}"
+            );
+        }
+        assert_eq!(h.count(), 1000);
+        let exact_sum: f64 = values.iter().sum();
+        assert!((h.sum() - exact_sum).abs() < 1e-6 * exact_sum);
+        assert_eq!(h.max(), *values.last().unwrap());
+    }
+
+    #[test]
+    fn quantile_sequence_is_monotone_and_clamped_to_max() {
+        let h = Histogram::new();
+        for v in [3.0, 3.0, 3.0, 3.1] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        assert_eq!(s.max, 3.1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.p50, s.max), (0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn negative_and_non_finite_values_clamp_to_zero() {
+        let h = Histogram::new();
+        h.record(-5.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn local_flush_is_identical_to_direct_records() {
+        let direct = Histogram::new();
+        let shared = Histogram::new();
+        let mut local = LocalHistogram::new();
+        let values: Vec<f64> = (1..=500).map(|i| (i * 13 % 997) as f64 / 3.0).collect();
+        for &v in &values {
+            direct.record(v);
+            local.record(v);
+        }
+        assert_eq!(local.count(), 500);
+        local.flush_into(&shared);
+        assert_eq!(shared.count(), direct.count());
+        assert_eq!(shared.sum(), direct.sum());
+        assert_eq!(shared.max(), direct.max());
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(shared.quantile(q), direct.quantile(q));
+        }
+        // The accumulator resets: a second flush adds nothing.
+        assert_eq!(local.count(), 0);
+        local.flush_into(&shared);
+        assert_eq!(shared.count(), direct.count());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record((t * 10_000 + i) as f64 % 977.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+    }
+}

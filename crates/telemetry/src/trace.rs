@@ -1,0 +1,299 @@
+//! Route-provenance records.
+//!
+//! A [`RouteTrace`] explains *why* one routed request took the path it
+//! did: which router answered, whether the answer came from the route
+//! cache (and at which epoch), how the hierarchical planner dissected
+//! the constrained shortest path across clusters, what each cluster's
+//! child solver returned, where the path crossed borders, and what the
+//! final cost was. The record uses only plain ids (`usize`) and strings
+//! so `son-telemetry` stays below every other crate in the dependency
+//! graph; `son-routing` fills it in from its own types.
+
+use std::fmt::Write as _;
+
+/// How the route cache participated in answering a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served straight from the cache at the current epoch.
+    Hit,
+    /// Not cached; a router computed the path.
+    Miss,
+    /// A cached entry existed but belonged to an older epoch and was
+    /// dropped before recomputing.
+    StaleDrop,
+}
+
+impl CacheOutcome {
+    /// Short lowercase label (`hit` / `miss` / `stale-drop`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::StaleDrop => "stale-drop",
+        }
+    }
+}
+
+/// One hop of a service path: the proxy visited and the service it
+/// executes there, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHop {
+    /// Proxy id.
+    pub proxy: usize,
+    /// Service executed at this proxy (`None` for pure relay hops).
+    pub service: Option<usize>,
+}
+
+/// One stage of the constrained-shortest-path dissection: which cluster
+/// the planner pinned a service-graph stage to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CspStage {
+    /// Stage index in the service graph.
+    pub stage: usize,
+    /// Cluster chosen for this stage.
+    pub cluster: usize,
+}
+
+/// One per-cluster child subproblem and the assignment it produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChildTrace {
+    /// Cluster the child subproblem was confined to.
+    pub cluster: usize,
+    /// Proxy acting as the child solver for that cluster.
+    pub solver: usize,
+    /// Entry proxy of the child segment.
+    pub source: usize,
+    /// Exit proxy of the child segment.
+    pub dest: usize,
+    /// Services the child had to place, in order.
+    pub services: Vec<usize>,
+    /// Proxies the child assigned those services to (empty if the child
+    /// was never solved, e.g. on failure).
+    pub assigned: Vec<usize>,
+}
+
+/// A border crossing between two clusters on the composed path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BorderHop {
+    /// Exit proxy in the first cluster.
+    pub from_proxy: usize,
+    /// Entry proxy in the next cluster.
+    pub to_proxy: usize,
+}
+
+/// Full provenance of one routed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteTrace {
+    /// Router that answered (`hier`, `flat`, ...).
+    pub router: String,
+    /// Engine snapshot epoch at the time of routing, when known.
+    pub epoch: Option<u64>,
+    /// Route-cache participation, when the engine was involved.
+    pub cache: Option<CacheOutcome>,
+    /// Requested source proxy.
+    pub source: usize,
+    /// Requested destination proxy.
+    pub destination: usize,
+    /// Requested service chain.
+    pub services: Vec<usize>,
+    /// CSP dissection: stage → cluster choices made by the planner.
+    pub csp: Vec<CspStage>,
+    /// Per-cluster child subproblems.
+    pub children: Vec<ChildTrace>,
+    /// Border crossings stitched in by composition.
+    pub border_hops: Vec<BorderHop>,
+    /// The final composed path.
+    pub hops: Vec<TraceHop>,
+    /// Path cost under the snapshot's delay model, when computed.
+    pub cost: Option<f64>,
+    /// Planner's cost estimate before child solving, when available.
+    pub estimate: Option<f64>,
+    /// Wall-clock time spent producing the answer, in microseconds.
+    pub elapsed_us: f64,
+    /// `"ok"` or a routing error description.
+    pub outcome: String,
+}
+
+impl RouteTrace {
+    /// Starts an empty trace for `router`.
+    pub fn new(router: &str) -> RouteTrace {
+        RouteTrace {
+            router: router.to_string(),
+            epoch: None,
+            cache: None,
+            source: 0,
+            destination: 0,
+            services: Vec::new(),
+            csp: Vec::new(),
+            children: Vec::new(),
+            border_hops: Vec::new(),
+            hops: Vec::new(),
+            cost: None,
+            estimate: None,
+            elapsed_us: 0.0,
+            outcome: "ok".to_string(),
+        }
+    }
+
+    fn fmt_hop(hop: &TraceHop) -> String {
+        match hop.service {
+            Some(s) => format!("s{}@p{}", s, hop.proxy),
+            None => format!("p{}", hop.proxy),
+        }
+    }
+
+    /// Renders the trace as an indented human-readable block — the
+    /// output of `son trace`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "route provenance: router={}", self.router);
+        if let Some(epoch) = self.epoch {
+            let _ = write!(out, " epoch={epoch}");
+        }
+        if let Some(cache) = self.cache {
+            let _ = write!(out, " cache={}", cache.label());
+        }
+        out.push('\n');
+        let services: Vec<String> = self.services.iter().map(|s| format!("s{s}")).collect();
+        let _ = writeln!(
+            out,
+            "  request : p{} -> p{} via [{}]",
+            self.source,
+            self.destination,
+            services.join(", ")
+        );
+        if !self.csp.is_empty() {
+            let stages: Vec<String> = self
+                .csp
+                .iter()
+                .map(|c| format!("stage{}->C{}", c.stage, c.cluster))
+                .collect();
+            let _ = writeln!(out, "  csp     : {}", stages.join("  "));
+        }
+        for (i, child) in self.children.iter().enumerate() {
+            let services: Vec<String> = child.services.iter().map(|s| format!("s{s}")).collect();
+            let assigned: Vec<String> = child.assigned.iter().map(|p| format!("p{p}")).collect();
+            let _ = writeln!(
+                out,
+                "  child #{i}: C{} solver=p{} p{}->p{} places [{}] on [{}]",
+                child.cluster,
+                child.solver,
+                child.source,
+                child.dest,
+                services.join(", "),
+                assigned.join(", ")
+            );
+        }
+        for hop in &self.border_hops {
+            let _ = writeln!(out, "  border  : p{} => p{}", hop.from_proxy, hop.to_proxy);
+        }
+        if !self.hops.is_empty() {
+            let hops: Vec<String> = self.hops.iter().map(Self::fmt_hop).collect();
+            let _ = writeln!(out, "  path    : {}", hops.join(" -> "));
+        }
+        match self.cost {
+            Some(cost) => {
+                let _ = write!(out, "  cost    : {cost:.3}");
+                if let Some(est) = self.estimate {
+                    let _ = write!(out, " (planner estimate {est:.3})");
+                }
+                out.push('\n');
+            }
+            None => {
+                if let Some(est) = self.estimate {
+                    let _ = writeln!(out, "  cost    : planner estimate {est:.3}");
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  outcome : {} in {:.1} us",
+            self.outcome, self.elapsed_us
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shows_every_section() {
+        let mut trace = RouteTrace::new("hier");
+        trace.epoch = Some(3);
+        trace.cache = Some(CacheOutcome::Miss);
+        trace.source = 0;
+        trace.destination = 9;
+        trace.services = vec![2, 5];
+        trace.csp = vec![
+            CspStage {
+                stage: 0,
+                cluster: 1,
+            },
+            CspStage {
+                stage: 1,
+                cluster: 4,
+            },
+        ];
+        trace.children = vec![ChildTrace {
+            cluster: 1,
+            solver: 7,
+            source: 0,
+            dest: 3,
+            services: vec![2],
+            assigned: vec![2],
+        }];
+        trace.border_hops = vec![BorderHop {
+            from_proxy: 3,
+            to_proxy: 4,
+        }];
+        trace.hops = vec![
+            TraceHop {
+                proxy: 0,
+                service: None,
+            },
+            TraceHop {
+                proxy: 2,
+                service: Some(2),
+            },
+            TraceHop {
+                proxy: 9,
+                service: Some(5),
+            },
+        ];
+        trace.cost = Some(12.5);
+        trace.estimate = Some(11.0);
+        trace.elapsed_us = 42.0;
+        let text = trace.render();
+        for needle in [
+            "router=hier",
+            "epoch=3",
+            "cache=miss",
+            "p0 -> p9 via [s2, s5]",
+            "stage0->C1",
+            "stage1->C4",
+            "child #0: C1 solver=p7",
+            "border  : p3 => p4",
+            "p0 -> s2@p2 -> s5@p9",
+            "cost    : 12.500 (planner estimate 11.000)",
+            "outcome : ok",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn cache_hit_render_omits_planner_sections() {
+        let mut trace = RouteTrace::new("hier");
+        trace.cache = Some(CacheOutcome::Hit);
+        trace.hops = vec![TraceHop {
+            proxy: 1,
+            service: None,
+        }];
+        let text = trace.render();
+        assert!(text.contains("cache=hit"));
+        assert!(!text.contains("csp"));
+        assert!(!text.contains("child #"));
+    }
+}
