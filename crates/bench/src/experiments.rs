@@ -1,6 +1,6 @@
 //! Experiment drivers for the paper's Section 6.
 
-use son_core::{BorderSelection, Environment, OverheadKind, RouteError, ServiceOverlay, SonConfig};
+use son_core::{BorderSelection, Environment, OverheadKind, ServiceOverlay, SonConfig};
 
 /// The environment used for a given overlay size: the exact Table 1
 /// row when one exists, otherwise a proportionally scaled world
@@ -156,7 +156,7 @@ pub fn figure10(
                 for request in &requests {
                     let mesh_path = match overlay.route_mesh(&mesh, request) {
                         Ok(p) => p,
-                        Err(RouteError::NoProvider(_)) | Err(RouteError::Infeasible) => continue,
+                        Err(_) => continue,
                     };
                     let Ok(hier) = router.route(request) else {
                         continue;

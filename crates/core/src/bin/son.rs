@@ -17,6 +17,16 @@
 //!                                                  to 20%, plus duplication, jitter
 //!                                                  and a crash/restart); exits
 //!                                                  non-zero unless it converges
+//! son overload [--proxies N] [--seed S] [--requests K] [--workers W] [--smoke]
+//!                                                  crash 5% of the proxies via a
+//!                                                  fault plan, detect them through
+//!                                                  the state protocol, then serve a
+//!                                                  flash crowd with capacities and
+//!                                                  admission on; exits non-zero if
+//!                                                  a served path traverses a Down
+//!                                                  proxy, a proxy exceeds its
+//!                                                  capacity, or the degradation
+//!                                                  accounting does not sum up
 //! son metrics  [--proxies N] [--seed S] [--requests K] [--workers W]
 //!                                                  build, serve and run the state
 //!                                                  protocol with telemetry on, then
@@ -37,9 +47,10 @@
 
 use son_core::export::{hfc_to_dot, hfc_to_text, physical_to_dot};
 use son_core::{
-    Engine, EngineConfig, Environment, FaultPlan, FlatProvider, HierProvider, MultiLevelProvider,
-    NodeId, OverheadKind, ProtocolConfig, RouterProvider, ServeOutcome, ServiceOverlay, SimTime,
-    SonConfig, StateProtocol, ZahnConfig,
+    AdmissionConfig, CostConfig, Engine, EngineConfig, Environment, FaultPlan, FlatProvider,
+    Health, HierProvider, MultiLevelProvider, NodeId, OverheadKind, ProtocolConfig, ProxyId,
+    RouterProvider, Scenario, ServeOutcome, ServiceOverlay, SimTime, SonConfig, StateProtocol,
+    ZahnConfig,
 };
 use std::process::ExitCode;
 
@@ -390,6 +401,148 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_overload(args: &Args) -> Result<(), String> {
+    if args.workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    let proxies = if args.smoke {
+        args.proxies.min(60)
+    } else {
+        args.proxies
+    };
+    let overlay = ServiceOverlay::build(&SonConfig::from_environment(environment(
+        proxies, args.seed,
+    )));
+    let n = overlay.proxy_count();
+
+    // One proxy in twenty crashes permanently; the crashes reach the
+    // serving layer the honest way — the state protocol's
+    // missed-refresh detector classifies every proxy from its own run.
+    let mut plan = FaultPlan::new(args.seed);
+    for v in (0..n).step_by(20) {
+        plan = plan.with_crash(NodeId::new(v), SimTime::from_ms(150.0), None);
+    }
+    let mut protocol = overlay.faulty_state_protocol(plan);
+    // Two simulated seconds: permanent crashes never fully converge,
+    // and the missed-refresh detector is stable long before this.
+    protocol.run_until_converged(SimTime::from_ms(2_000.0));
+    let mut statuses = protocol.health_view();
+    let capacities: Vec<u32> = (0..n).map(|p| 24 + ((p as u32 * 13) % 49)).collect();
+    for (p, &cap) in capacities.iter().enumerate() {
+        statuses.set_capacity(ProxyId::new(p), cap);
+    }
+    let down: Vec<bool> = (0..n)
+        .map(|p| statuses.health(ProxyId::new(p)) == Health::Down)
+        .collect();
+    println!(
+        "world      : {} proxies, {} crashed (detected {} Down), capacities 24..72",
+        n,
+        n.div_ceil(20),
+        down.iter().filter(|&&d| d).count()
+    );
+
+    let engine = Engine::new(
+        overlay.engine_snapshot_with(statuses, CostConfig::balanced()),
+        HierProvider {
+            config: overlay.config().hier,
+        },
+        EngineConfig {
+            workers: args.workers,
+            admission: AdmissionConfig {
+                enabled: true,
+                ..AdmissionConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    );
+
+    // A flash crowd out of the largest cluster's live members.
+    let pool = overlay.generate_requests(64, args.seed ^ 0xF00D);
+    let hfc = overlay.hfc();
+    let region: Vec<ProxyId> = hfc
+        .clusters()
+        .map(|c| hfc.members(c))
+        .max_by_key(|m| m.len())
+        .ok_or("overlay has no clusters")?
+        .iter()
+        .copied()
+        .filter(|p| !down[p.index()])
+        .collect();
+    let baseline = args.requests.max(100);
+    let scenario = Scenario::regional_surge(&pool, &region, baseline, baseline * 3, 0.9, args.seed);
+
+    let mut total = 0u64;
+    let mut optimal = 0u64;
+    let mut degraded = 0u64;
+    let mut rejected = 0u64;
+    let mut down_traversals = 0usize;
+    let mut over_capacity = 0usize;
+    let mut accounting_ok = true;
+    for phase in &scenario.phases {
+        let outcome = engine.serve(&phase.requests);
+        let a = outcome.report.admission;
+        println!(
+            "{:<9}: {} req | optimal {:.1}% degraded {:.1}% rejected {:.1}% \
+             (no-ingress {}, overloaded {}, unroutable {}) | p99 {:.0}us, {} retries",
+            phase.name,
+            phase.requests.len(),
+            100.0 * a.optimal as f64 / phase.requests.len() as f64,
+            100.0 * a.degraded as f64 / phase.requests.len() as f64,
+            100.0 * a.rejected as f64 / phase.requests.len() as f64,
+            a.rejected_no_ingress,
+            a.rejected_overloaded,
+            a.rejected_unroutable,
+            outcome.report.latency.p99_us,
+            a.retries,
+        );
+        total += phase.requests.len() as u64;
+        optimal += a.optimal;
+        degraded += a.degraded;
+        rejected += a.rejected;
+        accounting_ok &= a.total() == phase.requests.len() as u64;
+        down_traversals += outcome
+            .paths
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .flat_map(|p| p.hops().iter())
+            .filter(|h| down[h.proxy.index()])
+            .count();
+        over_capacity += outcome
+            .report
+            .admitted_load
+            .iter()
+            .enumerate()
+            .filter(|&(p, &load)| load > capacities[p] as u64)
+            .count();
+    }
+    println!(
+        "accounting : optimal {optimal} + degraded {degraded} + rejected {rejected} \
+         = {} of {total}",
+        optimal + degraded + rejected
+    );
+    for (what, ok) in [
+        (
+            "degradation accounting sums to the batch sizes",
+            accounting_ok && optimal + degraded + rejected == total,
+        ),
+        (
+            "no served path traverses a Down proxy",
+            down_traversals == 0,
+        ),
+        (
+            "no proxy admitted more than its capacity",
+            over_capacity == 0,
+        ),
+        ("some requests were served", optimal + degraded > 0),
+    ] {
+        if !ok {
+            return Err(format!("overload invariant failed: {what}"));
+        }
+        println!("check      : {what} — ok");
+    }
+    Ok(())
+}
+
 fn cmd_metrics(args: &Args) -> Result<(), String> {
     // Exercise every instrumented subsystem — staged build, parallel
     // serving (cold + warm so cache hits register), state protocol —
@@ -481,7 +634,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
         eprintln!(
-            "usage: son <build|route|overhead|export|protocol|serve|faults|metrics|trace> [flags]"
+            "usage: son <build|route|overhead|export|protocol|serve|faults|overload|metrics|trace> [flags]"
         );
         return ExitCode::FAILURE;
     };
@@ -514,6 +667,7 @@ fn main() -> ExitCode {
         "protocol" => cmd_protocol(&args),
         "serve" => cmd_serve(&args),
         "faults" => cmd_faults(&args),
+        "overload" => cmd_overload(&args),
         "metrics" => cmd_metrics(&args),
         "trace" => cmd_trace(&args),
         other => Err(format!("unknown command {other}")),

@@ -53,8 +53,9 @@ pub use son_coords::{
     ErrorStats, GnpEmbedding, NelderMeadConfig,
 };
 pub use son_engine::{
-    CacheStats, Engine, EngineConfig, EngineSnapshot, FlatProvider, HierProvider, LatencySummary,
-    LookupOutcome, RouteCache, RouteKey, RouterProvider, ServeOutcome, ServeReport,
+    AdmissionConfig, AdmissionStats, CacheStats, Disposition, Engine, EngineConfig, EngineSnapshot,
+    FlatProvider, HierProvider, LatencySummary, LookupOutcome, RejectReason, RouteCache, RouteKey,
+    RouterProvider, ServeOutcome, ServeReport,
 };
 pub use son_netsim::{
     Actor, CrashEvent, Ctx, DelayMeasurer, EventQueue, FaultPlan, Graph, MeasureConfig, NodeId,
@@ -62,19 +63,20 @@ pub use son_netsim::{
 };
 pub use son_overlay::{
     BorderPair, BorderSelection, CachedDelays, ClusterId, CoordDelays, DelayMatrix, DelayModel,
-    HfcDelays, HfcSnapshot, HfcTopology, MeshConfig, MeshTopology, Proxy, ProxyId, QosProfile,
-    QosRequirement, ServiceGraph, ServiceId, ServiceRegistry, ServiceRequest, ServiceSet, StageId,
+    Health, HfcDelays, HfcSnapshot, HfcTopology, MeshConfig, MeshTopology, Proxy, ProxyId,
+    ProxyStatus, QosProfile, QosRequirement, ServiceGraph, ServiceId, ServiceRegistry,
+    ServiceRequest, ServiceSet, StageId, StatusMap, UNCAPPED,
 };
 pub use son_routing::fixtures;
 pub use son_routing::{
     request_trace, resolve_distributed, solve_service_dag, trace_hops, Assignment, BasicTraced,
-    ChildSpec, FlatRouter, HierConfig, HierRoute, HierarchicalRouter, PathBuilder, PathHop,
-    ProviderIndex, ProviderLookup, RouteError, RoutePlan, Router, ServicePath, SessionReport,
-    TraceRouter, Traced, ValidatePathError,
+    ChildSpec, CostConfig, CostModel, FlatRouter, HierConfig, HierRoute, HierarchicalRouter,
+    LoadAwareDelays, PathBuilder, PathHop, ProviderIndex, ProviderLookup, RouteError, RoutePlan,
+    Router, ServicePath, SessionReport, TraceRouter, Traced, ValidatePathError,
 };
 pub use son_state::{
-    flat_overhead, hfc_overhead, ConvergenceChecker, OverheadKind, OverheadReport, ProtocolConfig,
-    SctC, SctP, Staleness, StateProtocol, StateReport,
+    flat_overhead, hfc_overhead, ClusterLoad, ClusterLoadRow, ConvergenceChecker, OverheadKind,
+    OverheadReport, ProtocolConfig, SctC, SctP, Staleness, StateProtocol, StateReport,
 };
 pub use son_telemetry::{
     enabled as telemetry_enabled, global as telemetry, render_prometheus,
@@ -83,5 +85,6 @@ pub use son_telemetry::{
 };
 pub use son_workload::{
     assign_services, generate_requests, place_proxies, place_proxies_excluding,
-    table1_environments, zipf_request_mix, Environment, RequestProfile, Zipf,
+    table1_environments, zipf_request_mix, Environment, RequestProfile, Scenario, ScenarioPhase,
+    Zipf,
 };

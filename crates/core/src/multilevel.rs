@@ -317,7 +317,7 @@ mod tests {
 pub struct MultiLevelRouter<'a, D> {
     hfc: &'a son_overlay::HfcTopology,
     ml: &'a MultiLevelHfc,
-    delays: &'a D,
+    delays: D,
     sub_routers: Vec<son_routing::HierarchicalRouter<'a, D>>,
     super_aggregates: Vec<son_overlay::ServiceSet>,
 }
@@ -328,6 +328,10 @@ where
 {
     /// Builds the three-level router from installed services.
     ///
+    /// The delay model is held by value and handed to every
+    /// per-supercluster sub-router, hence `Copy` — satisfied by the
+    /// usual `&DelayMatrix` and by `LoadAwareDelays`.
+    ///
     /// # Panics
     ///
     /// Panics if `services.len()` differs from the proxy count.
@@ -335,9 +339,12 @@ where
         hfc: &'a son_overlay::HfcTopology,
         ml: &'a MultiLevelHfc,
         services: &'a [son_overlay::ServiceSet],
-        delays: &'a D,
+        delays: D,
         config: son_routing::HierConfig,
-    ) -> Self {
+    ) -> Self
+    where
+        D: Copy,
+    {
         use son_state::{SctC, SctP};
         assert_eq!(
             services.len(),
@@ -638,7 +645,7 @@ impl<D: DelayModel> son_engine::RouterProvider<D> for MultiLevelProvider {
             snapshot.hfc(),
             &self.ml,
             snapshot.services(),
-            snapshot.delays(),
+            snapshot.route_delays(),
             self.config,
         ))
     }

@@ -34,7 +34,7 @@ use son_netsim::topology::{PhysicalNetwork, TransitStubConfig};
 use son_netsim::SimTime;
 use son_overlay::{
     BorderSelection, CachedDelays, CoordDelays, DelayModel, HfcTopology, MeshConfig, MeshTopology,
-    ProxyId, QosProfile, QosRequirement, ServiceId, ServiceRequest, ServiceSet,
+    ProxyId, QosProfile, QosRequirement, ServiceId, ServiceRequest, ServiceSet, StatusMap,
 };
 use son_routing::{
     FlatRouter, HierConfig, HierarchicalRouter, ProviderIndex, RouteError, ServicePath,
@@ -682,7 +682,7 @@ impl ServiceOverlay {
     /// A hierarchical router that only maps services onto proxies
     /// admissible under `req` (QoS-constrained routing — the §7
     /// extension).
-    pub fn qos_router(&self, req: &QosRequirement) -> HierarchicalRouter<'_, CoordDelays> {
+    pub fn qos_router(&self, req: &QosRequirement) -> HierarchicalRouter<'_, &CoordDelays> {
         HierarchicalRouter::from_services(
             &self.hfc,
             &self.admissible_services(req),
@@ -692,7 +692,7 @@ impl ServiceOverlay {
     }
 
     /// A hierarchical router over this overlay's converged state.
-    pub fn hier_router(&self) -> HierarchicalRouter<'_, CoordDelays> {
+    pub fn hier_router(&self) -> HierarchicalRouter<'_, &CoordDelays> {
         HierarchicalRouter::from_services(
             &self.hfc,
             &self.services,
@@ -805,19 +805,33 @@ impl ServiceOverlay {
             .run_until_converged(deadline)
     }
 
-    /// Engine snapshot with the `down` proxies' service sets emptied:
+    /// Engine snapshot with `down` proxies marked [`Health::Down`]:
     /// after [`son_engine::Engine::install_snapshot`], no route can
-    /// select a dead proxy as a service provider, and the epoch bump
-    /// evicts cached routes that did.
+    /// select a dead proxy as provider *or relay* (its service set is
+    /// emptied and its traversal cost is `+∞`), and the epoch bump
+    /// evicts cached routes that did. Equivalent to
+    /// [`engine_snapshot_with`](Self::engine_snapshot_with) over
+    /// [`StatusMap::from_down`] — health is the one mechanism for
+    /// excluding a proxy.
     pub fn engine_snapshot_without(
         &self,
         down: &[ProxyId],
     ) -> son_engine::EngineSnapshot<CoordDelays> {
-        let mut services = self.services.clone();
-        for &p in down {
-            services[p.index()] = ServiceSet::new();
-        }
-        son_engine::EngineSnapshot::new(self.hfc.clone(), services, self.predicted.clone())
+        self.engine_snapshot_with(
+            StatusMap::from_down(self.proxy_count(), down),
+            son_routing::CostConfig::default(),
+        )
+    }
+
+    /// Engine snapshot carrying per-proxy health/capacity/load statuses
+    /// and cost weights — the input to overload- and failure-aware
+    /// serving.
+    pub fn engine_snapshot_with(
+        &self,
+        statuses: StatusMap,
+        cost: son_routing::CostConfig,
+    ) -> son_engine::EngineSnapshot<CoordDelays> {
+        self.engine_snapshot().with_statuses(statuses, cost)
     }
 
     /// Generates `count` random requests matching this overlay's
@@ -910,15 +924,12 @@ mod tests {
         let requests = o.generate_requests(30, 5);
         let mut routed = 0;
         for request in &requests {
-            match router.route(request) {
-                Ok(route) => {
-                    route
-                        .path
-                        .validate(request, |p, s| o.carries(p, s))
-                        .unwrap();
-                    routed += 1;
-                }
-                Err(RouteError::NoProvider(_)) | Err(RouteError::Infeasible) => {}
+            if let Ok(route) = router.route(request) {
+                route
+                    .path
+                    .validate(request, |p, s| o.carries(p, s))
+                    .unwrap();
+                routed += 1;
             }
         }
         assert!(routed > 15, "only {routed}/30 requests routable");

@@ -247,6 +247,16 @@ impl RouteCache {
         self.insertions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Drops the entry under `key` regardless of its epoch, reporting
+    /// whether one was resident. Used when live health information
+    /// invalidates a cached path that epoch checks alone would keep
+    /// serving (the entry's epoch is still current — the *world*
+    /// changed, not the snapshot).
+    pub fn remove(&self, key: &RouteKey) -> bool {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        shard.entries.remove(key).is_some()
+    }
+
     /// Number of resident entries (all epochs).
     pub fn len(&self) -> usize {
         self.shards

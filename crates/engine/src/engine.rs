@@ -26,15 +26,44 @@
 //! pure route computation.
 
 use crate::cache::{CacheStats, LookupOutcome, RouteCache, RouteKey};
-use crate::report::{LatencySummary, ServeReport};
+use crate::report::{AdmissionStats, LatencySummary, ServeReport};
 use crate::snapshot::{EngineSnapshot, RouterProvider};
-use son_overlay::{DelayModel, ServiceRequest};
-use son_routing::{trace_hops, RouteError, ServicePath};
+use son_overlay::{DelayModel, Health, ProxyId, ServiceRequest};
+use son_routing::{
+    trace_hops, CostModel, FlatRouter, LoadAwareDelays, ProviderIndex, RouteError, Router,
+    ServicePath,
+};
 use son_telemetry::{CacheOutcome, Histogram, LocalHistogram, RouteTrace};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Overload/failover tuning: token-bucket admission and bounded
+/// re-routing. Disabled by default — the engine then behaves exactly
+/// as before (deterministic across worker counts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Master switch for per-proxy token-bucket admission and retry.
+    pub enabled: bool,
+    /// Re-route attempts after a failed attempt (dead or saturated
+    /// proxies from the failure join the avoid set).
+    pub max_retries: u32,
+    /// Backoff added to the recorded latency of attempt `k` (1-based):
+    /// `backoff_base_us * 2^(k-1)` — accounted, not slept, so benches
+    /// measure the client-visible penalty without wasting wall-clock.
+    pub backoff_base_us: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            enabled: false,
+            max_retries: 2,
+            backoff_base_us: 50.0,
+        }
+    }
+}
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +78,8 @@ pub struct EngineConfig {
     /// delay, modeling synchronous data dispatch along the path.
     /// 0 disables the hold and measures pure route computation.
     pub dispatch_us_per_delay: f64,
+    /// Admission control and failover retry.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for EngineConfig {
@@ -58,7 +89,40 @@ impl Default for EngineConfig {
             cache_shards: 16,
             cache_capacity: 65_536,
             dispatch_us_per_delay: 0.0,
+            admission: AdmissionConfig::default(),
         }
+    }
+}
+
+/// Why a request was shed instead of served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The ingress cluster has no `Up` proxy to accept the session.
+    NoIngress,
+    /// Admission ran out of capacity on every viable path.
+    Overloaded,
+    /// No feasible path exists (missing provider, infeasible graph, or
+    /// everything viable is `Down`).
+    Unroutable,
+}
+
+/// How the engine disposed of one request — the degradation taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Served on the first attempt through healthy, unsaturated
+    /// proxies.
+    Optimal,
+    /// Served, but not cleanly: the path needed a retry/re-route or
+    /// traverses a `Draining` proxy.
+    Degraded,
+    /// Shed; the matching entry in `paths` is the `Err`.
+    Rejected(RejectReason),
+}
+
+impl Disposition {
+    /// `true` for both served classes.
+    pub fn is_served(self) -> bool {
+        matches!(self, Disposition::Optimal | Disposition::Degraded)
     }
 }
 
@@ -68,13 +132,85 @@ impl Default for EngineConfig {
 pub struct ServeOutcome {
     /// One result per request, same order as the input batch.
     pub paths: Vec<Result<ServicePath, RouteError>>,
+    /// How each request was disposed of, same order as the input batch.
+    pub dispositions: Vec<Disposition>,
     /// Batch metrics.
     pub report: ServeReport,
 }
 
-/// What a worker hands back for one request: its batch index, the
-/// routing answer, and the observed service latency in microseconds.
-type WorkerItem = (usize, Result<ServicePath, RouteError>, f64);
+/// What a worker hands back for one request.
+#[derive(Debug)]
+struct WorkerItem {
+    index: usize,
+    result: Result<ServicePath, RouteError>,
+    latency_us: f64,
+    retries: u32,
+    degraded: bool,
+    health_drops: u64,
+}
+
+/// The per-batch context shared by every worker when health or
+/// admission constraints are active. `None` means the fully
+/// unconstrained fast path — bit-identical to the engine before
+/// admission existed.
+struct BatchConstraints {
+    /// Snapshot statuses merged with live health overrides.
+    model: CostModel,
+    admission: AdmissionConfig,
+    /// Per-proxy remaining admission tokens (admission enabled only).
+    buckets: Option<Vec<AtomicU32>>,
+    /// Per-proxy admitted-request counters (admission enabled only).
+    admitted: Option<Vec<AtomicU64>>,
+}
+
+impl BatchConstraints {
+    /// Takes one token per distinct proxy of `path`, all or nothing.
+    /// On failure returns the saturated proxy; nothing stays acquired.
+    fn try_admit(&self, path: &ServicePath) -> Result<(), ProxyId> {
+        let Some(buckets) = &self.buckets else {
+            return Ok(());
+        };
+        let mut taken: Vec<ProxyId> = Vec::new();
+        for hop in path.hops() {
+            let p = hop.proxy;
+            if taken.contains(&p) {
+                continue;
+            }
+            let ok = buckets[p.index()]
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+                .is_ok();
+            if !ok {
+                for q in taken {
+                    buckets[q.index()].fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(p);
+            }
+            taken.push(p);
+        }
+        if let Some(admitted) = &self.admitted {
+            for p in taken {
+                admitted[p.index()].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// The first hop the live health view forbids, if any.
+    fn first_down_hop(&self, path: &ServicePath) -> Option<ProxyId> {
+        path.hops()
+            .iter()
+            .map(|h| h.proxy)
+            .find(|&p| !self.model.is_routable(p))
+    }
+
+    /// Whether the path touches a `Draining` proxy (served, but
+    /// degraded).
+    fn touches_draining(&self, path: &ServicePath) -> bool {
+        path.hops()
+            .iter()
+            .any(|h| self.model.statuses().health(h.proxy) == Health::Draining)
+    }
+}
 
 /// The multi-threaded request-serving runtime. See the module docs.
 #[derive(Debug)]
@@ -84,6 +220,11 @@ pub struct Engine<D, P> {
     snapshot: Mutex<Arc<EngineSnapshot<D>>>,
     cache: RouteCache,
     epoch: AtomicU64,
+    /// Live health overrides (`set_health`), consulted on every cache
+    /// hit *independently of epochs*: a proxy that turns `Down` after a
+    /// path was cached invalidates that path immediately, no snapshot
+    /// install required.
+    live: RwLock<Vec<Option<Health>>>,
 }
 
 impl<D, P> Engine<D, P>
@@ -101,7 +242,69 @@ where
             snapshot: Mutex::new(Arc::new(snapshot)),
             cache: RouteCache::new(config.cache_shards, config.cache_capacity),
             epoch: AtomicU64::new(0),
+            live: RwLock::new(Vec::new()),
         }
+    }
+
+    /// Overrides one proxy's health *live* — between snapshot installs.
+    /// Cached routes through a proxy set `Down` are dropped on their
+    /// next lookup regardless of epoch, and new routes avoid it via the
+    /// retry pipeline. Overrides reset when a new snapshot is installed
+    /// (its statuses are authoritative again).
+    pub fn set_health(&self, proxy: ProxyId, health: Health) {
+        let mut live = self.live.write().expect("live health lock poisoned");
+        if live.len() <= proxy.index() {
+            live.resize(proxy.index() + 1, None);
+        }
+        live[proxy.index()] = Some(health);
+    }
+
+    /// The live health override for `proxy`, if one is set.
+    pub fn live_health(&self, proxy: ProxyId) -> Option<Health> {
+        self.live
+            .read()
+            .expect("live health lock poisoned")
+            .get(proxy.index())
+            .copied()
+            .flatten()
+    }
+
+    /// Builds the batch constraints: snapshot statuses merged with live
+    /// overrides, plus admission buckets. `None` when nothing
+    /// constrains this batch (no statuses, no overrides, admission
+    /// off) — the serve path is then exactly the legacy one.
+    fn constraints(&self, snap: &EngineSnapshot<D>) -> Option<BatchConstraints> {
+        let live = self.live.read().expect("live health lock poisoned").clone();
+        let admission = self.config.admission;
+        let overridden = live.iter().any(Option::is_some);
+        if !admission.enabled && !overridden && snap.statuses().is_empty() {
+            return None;
+        }
+        let mut statuses = snap.statuses().clone();
+        for (i, h) in live.iter().enumerate() {
+            if let Some(h) = h {
+                statuses.set_health(ProxyId::new(i), *h);
+            }
+        }
+        let (buckets, admitted) = if admission.enabled {
+            let n = snap.proxy_count();
+            (
+                Some(
+                    (0..n)
+                        .map(|i| AtomicU32::new(statuses.capacity(ProxyId::new(i))))
+                        .collect(),
+                ),
+                Some((0..n).map(|_| AtomicU64::new(0)).collect()),
+            )
+        } else {
+            (None, None)
+        };
+        Some(BatchConstraints {
+            model: CostModel::new(*snap.cost_model().config(), statuses),
+            admission,
+            buckets,
+            admitted,
+        })
     }
 
     /// The current epoch (bumped by every snapshot install).
@@ -134,21 +337,52 @@ where
         let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
         snapshot.stamp(epoch);
         *slot = Arc::new(snapshot);
+        // The new snapshot's statuses are authoritative; stale live
+        // overrides must not shadow them.
+        self.live
+            .write()
+            .expect("live health lock poisoned")
+            .clear();
         epoch
     }
 
     /// Serves a batch of requests and reports what happened. Paths come
-    /// back in request order and are independent of the worker count.
+    /// back in request order; without admission control they are
+    /// independent of the worker count (admission buckets are shared
+    /// across workers, so under contention the interleaving decides who
+    /// is shed — the *invariants* hold for every interleaving).
     pub fn serve(&self, requests: &[ServiceRequest]) -> ServeOutcome {
         let _span = son_telemetry::span!("engine.serve");
         let snapshot = self.snapshot();
         let snap: &EngineSnapshot<D> = &snapshot;
         let epoch = snap.epoch();
         let workers = self.config.workers.max(1);
+        let constraints = self.constraints(snap);
 
+        // Shard by ingress cluster — but shed requests whose ingress
+        // cluster has no `Up` member before any worker sees them: they
+        // are `Rejected(NoIngress)`, never silently dropped.
+        let mut pre_rejected: Vec<usize> = Vec::new();
         let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); workers];
+        let cluster_has_up: Option<Vec<bool>> = constraints.as_ref().map(|ctx| {
+            snap.hfc()
+                .clusters()
+                .map(|c| {
+                    snap.hfc()
+                        .members(c)
+                        .iter()
+                        .any(|&p| ctx.model.statuses().health(p) == Health::Up)
+                })
+                .collect()
+        });
         for (i, request) in requests.iter().enumerate() {
-            assigned[snap.ingress(request).index() % workers].push(i);
+            let ingress = snap.ingress(request);
+            let up = cluster_has_up.as_ref().is_none_or(|up| up[ingress.index()]);
+            if up {
+                assigned[ingress.index() % workers].push(i);
+            } else {
+                pre_rejected.push(i);
+            }
         }
 
         // Per-worker registry handles are fetched once per batch so the
@@ -172,13 +406,14 @@ where
 
         let stats_before = self.cache.stats();
         let started = Instant::now();
+        let ctx = constraints.as_ref();
         let produced: Vec<Vec<WorkerItem>> = thread::scope(|scope| {
             let handles: Vec<_> = assigned
                 .iter()
                 .zip(&worker_hists)
                 .map(|(indices, hist)| {
                     scope.spawn(move || {
-                        self.run_worker(snap, epoch, requests, indices, hist.as_ref())
+                        self.run_worker(snap, epoch, requests, indices, hist.as_ref(), ctx)
                     })
                 })
                 .collect();
@@ -189,26 +424,68 @@ where
         });
         let elapsed = started.elapsed().as_secs_f64();
 
-        // Merge back into request order; tally errors, latencies, and
-        // border-proxy load.
+        // Merge back into request order; tally errors, latencies,
+        // dispositions, and border-proxy load.
         let mut paths: Vec<Option<Result<ServicePath, RouteError>>> = vec![None; requests.len()];
+        let mut dispositions: Vec<Disposition> = vec![Disposition::Optimal; requests.len()];
         let batch_latency = Histogram::new();
         let mut border_load = vec![0u64; snap.proxy_count()];
         let mut errors = 0;
-        for (i, result, latency_us) in produced.into_iter().flatten() {
-            batch_latency.record(latency_us);
-            match &result {
+        let mut admission = AdmissionStats::default();
+        for &i in &pre_rejected {
+            paths[i] = Some(Err(RouteError::NoIngress));
+            dispositions[i] = Disposition::Rejected(RejectReason::NoIngress);
+            errors += 1;
+            admission.rejected += 1;
+            admission.rejected_no_ingress += 1;
+        }
+        for item in produced.into_iter().flatten() {
+            batch_latency.record(item.latency_us);
+            admission.retries += u64::from(item.retries);
+            admission.health_drops += item.health_drops;
+            let disposition = match &item.result {
                 Ok(path) => {
                     for hop in path.hops() {
                         if snap.is_border(hop.proxy) {
                             border_load[hop.proxy.index()] += 1;
                         }
                     }
+                    if item.degraded {
+                        admission.degraded += 1;
+                        Disposition::Degraded
+                    } else {
+                        admission.optimal += 1;
+                        Disposition::Optimal
+                    }
                 }
-                Err(_) => errors += 1,
-            }
-            paths[i] = Some(result);
+                Err(err) => {
+                    errors += 1;
+                    admission.rejected += 1;
+                    let reason = match err {
+                        RouteError::NoIngress => {
+                            admission.rejected_no_ingress += 1;
+                            RejectReason::NoIngress
+                        }
+                        RouteError::Overloaded => {
+                            admission.rejected_overloaded += 1;
+                            RejectReason::Overloaded
+                        }
+                        _ => {
+                            admission.rejected_unroutable += 1;
+                            RejectReason::Unroutable
+                        }
+                    };
+                    Disposition::Rejected(reason)
+                }
+            };
+            dispositions[item.index] = disposition;
+            paths[item.index] = Some(item.result);
         }
+        let admitted_load: Vec<u64> = constraints
+            .as_ref()
+            .and_then(|c| c.admitted.as_ref())
+            .map(|admitted| admitted.iter().map(|a| a.load(Ordering::Relaxed)).collect())
+            .unwrap_or_default();
 
         let report = ServeReport {
             router: self.provider.name(),
@@ -225,6 +502,8 @@ where
             latency: LatencySummary::from_histogram(&batch_latency),
             cache: self.cache.stats().since(&stats_before),
             border_load,
+            admission,
+            admitted_load,
         };
         if telemetry_on {
             let registry = son_telemetry::global();
@@ -245,12 +524,45 @@ where
                 .counter("engine.requests")
                 .add(requests.len() as u64);
             registry.counter("engine.errors").add(errors as u64);
+            let a = &report.admission;
+            for (name, value) in [
+                ("engine.admission.optimal", a.optimal),
+                ("engine.admission.degraded", a.degraded),
+                ("engine.admission.rejected", a.rejected),
+                (
+                    "engine.admission.rejected_no_ingress",
+                    a.rejected_no_ingress,
+                ),
+                (
+                    "engine.admission.rejected_overloaded",
+                    a.rejected_overloaded,
+                ),
+                (
+                    "engine.admission.rejected_unroutable",
+                    a.rejected_unroutable,
+                ),
+                ("engine.admission.retries", a.retries),
+                ("engine.admission.health_drops", a.health_drops),
+            ] {
+                registry.counter(name).add(value);
+            }
+            // The live-load gauges: how much admitted traffic each
+            // proxy carried in this batch.
+            for (i, &load) in report.admitted_load.iter().enumerate() {
+                if load > 0 {
+                    let proxy = i.to_string();
+                    registry
+                        .gauge_with("engine.proxy.load", &[("proxy", &proxy)])
+                        .set(load as f64);
+                }
+            }
         }
         ServeOutcome {
             paths: paths
                 .into_iter()
                 .map(|p| p.expect("every request is assigned to exactly one worker"))
                 .collect(),
+            dispositions,
             report,
         }
     }
@@ -264,8 +576,13 @@ where
         requests: &[ServiceRequest],
         indices: &[usize],
         latency_hist: Option<&Histogram>,
+        ctx: Option<&BatchConstraints>,
     ) -> Vec<WorkerItem> {
         let router = self.provider.router(snap);
+        // Retry re-routes go through a flat fallback router — complete
+        // over the full topology, so with the avoid-set folded into its
+        // cost model it finds whatever healthy path remains.
+        let fallback = ctx.map(|_| ProviderIndex::from_service_sets(snap.services()));
         // Latencies accumulate in a plain local histogram and fold into
         // the shared per-worker one once per batch, so the per-request
         // cost of instrumentation is three plain writes, not atomics.
@@ -275,15 +592,29 @@ where
             let request = &requests[i];
             let begun = Instant::now();
             let key = RouteKey::encode(snap.ingress(request), request);
-            let result = match self.cache.lookup(&key, epoch) {
-                Some(path) => Ok(path),
-                None => match router.route_path(request) {
-                    Ok(path) => {
-                        self.cache.insert(key, epoch, path.clone());
-                        Ok(path)
-                    }
-                    Err(err) => Err(err),
-                },
+            let (result, retries, degraded, health_drops, backoff_us) = match ctx {
+                None => {
+                    let result = match self.cache.lookup(&key, epoch) {
+                        Some(path) => Ok(path),
+                        None => match router.route_path(request) {
+                            Ok(path) => {
+                                self.cache.insert(key.clone(), epoch, path.clone());
+                                Ok(path)
+                            }
+                            Err(err) => Err(err),
+                        },
+                    };
+                    (result, 0, false, 0, 0.0)
+                }
+                Some(ctx) => self.serve_constrained(
+                    snap,
+                    epoch,
+                    request,
+                    &key,
+                    router.as_ref(),
+                    fallback.as_ref().expect("fallback built with ctx"),
+                    ctx,
+                ),
             };
             if self.config.dispatch_us_per_delay > 0.0 {
                 if let Ok(path) = &result {
@@ -291,16 +622,127 @@ where
                     thread::sleep(Duration::from_micros(hold as u64));
                 }
             }
-            let latency_us = begun.elapsed().as_secs_f64() * 1e6;
+            // Backoff is *accounted* into the client-visible latency
+            // rather than slept — benches see the penalty without the
+            // harness wasting wall-clock.
+            let latency_us = begun.elapsed().as_secs_f64() * 1e6 + backoff_us;
             if let Some(local) = local_latency.as_mut() {
                 local.record(latency_us);
             }
-            out.push((i, result, latency_us));
+            out.push(WorkerItem {
+                index: i,
+                result,
+                latency_us,
+                retries,
+                degraded,
+                health_drops,
+            });
         }
         if let (Some(local), Some(hist)) = (local_latency.as_mut(), latency_hist) {
             local.flush_into(hist);
         }
         out
+    }
+
+    /// The admission/failover pipeline for one request:
+    ///
+    /// 1. cache-first, with **epoch-independent health validation** —
+    ///    a hit through a proxy the live view says is `Down` is dropped
+    ///    from the cache and recomputed;
+    /// 2. the primary router answers over the snapshot's load-aware
+    ///    cost model;
+    /// 3. the answer is checked against live health and charged against
+    ///    per-proxy admission tokens (all hops or nothing);
+    /// 4. on failure, the offending proxy joins the avoid set and a
+    ///    bounded exponential-backoff retry re-routes around it via the
+    ///    flat fallback router.
+    ///
+    /// Every *served* path is health-checked here, which is what makes
+    /// "no served route traverses a `Down` proxy" structural rather
+    /// than statistical.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_constrained(
+        &self,
+        snap: &EngineSnapshot<D>,
+        epoch: u64,
+        request: &ServiceRequest,
+        key: &RouteKey,
+        router: &dyn Router,
+        fallback: &ProviderIndex,
+        ctx: &BatchConstraints,
+    ) -> (Result<ServicePath, RouteError>, u32, bool, u64, f64) {
+        let mut health_drops = 0u64;
+        let mut retries = 0u32;
+        let mut backoff_us = 0.0f64;
+        let mut avoid: Vec<ProxyId> = Vec::new();
+        let mut overloaded = false;
+
+        let mut candidate: Result<(ServicePath, bool), RouteError> =
+            match self.cache.lookup(key, epoch) {
+                Some(path) => {
+                    if ctx.first_down_hop(&path).is_some() {
+                        self.cache.remove(key);
+                        health_drops += 1;
+                        router.route_path(request).map(|p| (p, false))
+                    } else {
+                        Ok((path, true))
+                    }
+                }
+                None => router.route_path(request).map(|p| (p, false)),
+            };
+
+        let mut attempt = 0u32;
+        loop {
+            let mut route_error = None;
+            match candidate {
+                Ok((path, from_cache)) => {
+                    if let Some(p) = ctx.first_down_hop(&path) {
+                        if !avoid.contains(&p) {
+                            avoid.push(p);
+                        }
+                        overloaded = false;
+                    } else {
+                        match ctx.try_admit(&path) {
+                            Ok(()) => {
+                                if !from_cache && attempt == 0 {
+                                    self.cache.insert(key.clone(), epoch, path.clone());
+                                }
+                                let degraded = attempt > 0 || ctx.touches_draining(&path);
+                                return (Ok(path), retries, degraded, health_drops, backoff_us);
+                            }
+                            Err(p) => {
+                                if !avoid.contains(&p) {
+                                    avoid.push(p);
+                                }
+                                overloaded = true;
+                            }
+                        }
+                    }
+                }
+                Err(err) => route_error = Some(err),
+            }
+            if attempt >= ctx.admission.max_retries {
+                let err = match route_error {
+                    Some(err) => err,
+                    None if overloaded => RouteError::Overloaded,
+                    None => RouteError::Infeasible,
+                };
+                return (Err(err), retries, false, health_drops, backoff_us);
+            }
+            attempt += 1;
+            retries += 1;
+            backoff_us += ctx.admission.backoff_base_us * 2f64.powi(attempt as i32 - 1);
+            // Re-route with dead and saturated proxies priced out.
+            let mut statuses = ctx.model.statuses().clone();
+            for &p in &avoid {
+                statuses.set_health(p, Health::Down);
+            }
+            let model = CostModel::new(*ctx.model.config(), statuses);
+            let delays = LoadAwareDelays::new(snap.delays(), &model);
+            candidate = FlatRouter::new(fallback, delays)
+                .route(request)
+                .map(|p| (p, false));
+        }
     }
 
     /// Routes one request through the full serving path — cache lookup,
@@ -317,7 +759,17 @@ where
         let epoch = snap.epoch();
         let key = RouteKey::encode(snap.ingress(request), request);
         let started = Instant::now();
-        let (cached, outcome) = self.cache.lookup_explain(&key, epoch);
+        let (mut cached, mut outcome) = self.cache.lookup_explain(&key, epoch);
+        // Same epoch-independent health validation as the serve path: a
+        // hit through a live-`Down` proxy is dropped, not traced as
+        // served.
+        if let (Some(path), Some(ctx)) = (&cached, self.constraints(snap)) {
+            if ctx.first_down_hop(path).is_some() {
+                self.cache.remove(&key);
+                cached = None;
+                outcome = LookupOutcome::StaleDrop;
+            }
+        }
         match cached {
             Some(path) => {
                 let mut trace = son_routing::request_trace(self.provider.name(), request);
@@ -330,17 +782,42 @@ where
             }
             None => {
                 let router = self.provider.traced_router(snap);
-                let (result, mut trace) = router.route_with_trace(request);
+                let (mut result, mut trace) = router.route_with_trace(request);
                 trace.epoch = Some(epoch);
                 trace.cache = Some(match outcome {
                     LookupOutcome::StaleDrop => CacheOutcome::StaleDrop,
                     _ => CacheOutcome::Miss,
                 });
+                // The provider router only knows the snapshot statuses;
+                // when a live override forbids a hop of the fresh
+                // route, fail over exactly as the serve path does:
+                // re-route flat with `Down` proxies priced out.
+                let mut failover = false;
+                if let Some(ctx) = self.constraints(snap) {
+                    if result
+                        .as_ref()
+                        .is_ok_and(|path| ctx.first_down_hop(path).is_some())
+                    {
+                        failover = true;
+                        let index = ProviderIndex::from_service_sets(snap.services());
+                        let delays = LoadAwareDelays::new(snap.delays(), &ctx.model);
+                        result = FlatRouter::new(&index, delays).route(request);
+                        trace.router = "flat-failover".to_string();
+                        if let Ok(path) = &result {
+                            trace.hops = trace_hops(path);
+                        }
+                        trace.cost = None;
+                    }
+                }
                 if let Ok(path) = &result {
                     if trace.cost.is_none() {
                         trace.cost = Some(path.length(snap.delays()));
                     }
-                    self.cache.insert(key, epoch, path.clone());
+                    // Failover paths are valid only while the override
+                    // holds, so (as in `serve`) they are not cached.
+                    if !failover {
+                        self.cache.insert(key, epoch, path.clone());
+                    }
                 }
                 trace.elapsed_us = started.elapsed().as_secs_f64() * 1e6;
                 (result, trace)
@@ -510,6 +987,208 @@ mod tests {
         // Per-worker latency histograms exist and saw this batch.
         let h0 = registry.histogram_with("engine.serve_us", &[("worker", "0")]);
         assert!(h0.count() > 0);
+    }
+
+    fn served_proxies(outcome: &ServeOutcome) -> Vec<ProxyId> {
+        outcome
+            .paths
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .flat_map(|p| p.hops().iter())
+            .map(|h| h.proxy)
+            .collect()
+    }
+
+    #[test]
+    fn admission_sheds_and_never_exceeds_capacity() {
+        use son_overlay::StatusMap;
+        use son_routing::CostConfig;
+        let mut statuses = StatusMap::all_up(12);
+        for i in 0..12 {
+            statuses.set_capacity(ProxyId::new(i), 3);
+        }
+        let snapshot = line_snapshot(12, 3).with_statuses(statuses, CostConfig::balanced());
+        let eng = Engine::new(
+            snapshot,
+            HierProvider::default(),
+            EngineConfig {
+                workers: 2,
+                admission: AdmissionConfig {
+                    enabled: true,
+                    ..AdmissionConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+        );
+        let batch = requests(12, 60);
+        let outcome = eng.serve(&batch);
+        let a = outcome.report.admission;
+        // Accounting: every request lands in exactly one class.
+        assert_eq!(a.total(), 60, "{a:?}");
+        assert_eq!(outcome.dispositions.len(), 60);
+        // 60 requests × ≥2 hops over 12 proxies × 3 tokens each must
+        // saturate: some requests are shed as overloaded.
+        assert!(a.rejected_overloaded > 0, "{a:?}");
+        assert!(a.served() > 0, "{a:?}");
+        // The hard invariant: no proxy admits more than its capacity.
+        for (i, &load) in outcome.report.admitted_load.iter().enumerate() {
+            assert!(load <= 3, "proxy {i} admitted {load} > capacity 3");
+        }
+        // Dispositions agree with the per-request results.
+        for (d, p) in outcome.dispositions.iter().zip(&outcome.paths) {
+            assert_eq!(d.is_served(), p.is_ok(), "{d:?} vs {p:?}");
+        }
+    }
+
+    /// Like [`line_snapshot`] but only the middle cluster (proxies
+    /// 4..8) carries service 0 — forcing provider hops onto interior
+    /// proxies.
+    fn middle_provider_snapshot() -> EngineSnapshot<DelayMatrix> {
+        let n = 12;
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = (i as f64 - j as f64).abs();
+            }
+        }
+        let delays = DelayMatrix::from_values(n, values);
+        let labels: Vec<usize> = (0..n).map(|i| i * 3 / n).collect();
+        let hfc = HfcTopology::build(&Clustering::from_labels(&labels), &delays);
+        let services = (0..n)
+            .map(|i| {
+                if (4..8).contains(&i) {
+                    ServiceSet::from_iter([ServiceId::new(0)])
+                } else {
+                    ServiceSet::new()
+                }
+            })
+            .collect();
+        EngineSnapshot::new(hfc, services, delays)
+    }
+
+    #[test]
+    fn live_down_invalidates_cache_and_reroutes() {
+        let eng = Engine::new(
+            middle_provider_snapshot(),
+            HierProvider::default(),
+            EngineConfig {
+                workers: 2,
+                admission: AdmissionConfig {
+                    enabled: true,
+                    ..AdmissionConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+        );
+        // Only the middle cluster (proxies 4..8) carries the service,
+        // while sources sit in cluster 0 and destinations in cluster 2:
+        // every path's provider hop is nobody's endpoint, so rerouting
+        // around a dead provider can succeed.
+        let batch: Vec<ServiceRequest> = (0..8)
+            .map(|k| {
+                ServiceRequest::new(
+                    ProxyId::new(k % 4),
+                    ServiceGraph::linear(vec![ServiceId::new(0)]),
+                    ProxyId::new(8 + (k % 4)),
+                )
+            })
+            .collect();
+        let clean = eng.serve(&batch);
+        assert_eq!(clean.report.admission.rejected, 0);
+        let victim = clean
+            .paths
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .flat_map(|p| p.hops().iter())
+            .filter(|h| h.service.is_some())
+            .map(|h| h.proxy)
+            .find(|&p| batch.iter().all(|r| r.source != p && r.destination != p))
+            .expect("some interior proxy serves");
+        assert!((4..8).contains(&victim.index()), "{victim}");
+
+        eng.set_health(victim, Health::Down);
+        let after = eng.serve(&batch);
+        let a = after.report.admission;
+        // Cached routes through the victim are dropped on hit — no
+        // epoch bump needed — and the requests re-route around it.
+        assert!(a.health_drops > 0, "{a:?}");
+        assert!(a.retries > 0, "{a:?}");
+        assert!(a.degraded > 0, "{a:?}");
+        assert!(
+            !served_proxies(&after).contains(&victim),
+            "a served path still traverses the Down {victim}"
+        );
+        assert_eq!(a.total(), 8, "{a:?}");
+        // The override is live state: installing a fresh snapshot
+        // clears it and the victim serves again.
+        eng.install_snapshot(middle_provider_snapshot());
+        let restored = eng.serve(&batch);
+        assert!(served_proxies(&restored).contains(&victim));
+    }
+
+    #[test]
+    fn fully_down_ingress_cluster_rejects_no_ingress() {
+        let eng = engine(2);
+        // Cluster 0 is proxies 0..4; take them all down live.
+        for i in 0..4 {
+            eng.set_health(ProxyId::new(i), Health::Down);
+        }
+        let batch = requests(12, 12);
+        let outcome = eng.serve(&batch);
+        for (request, (disposition, path)) in batch
+            .iter()
+            .zip(outcome.dispositions.iter().zip(&outcome.paths))
+        {
+            if request.source.index() < 4 {
+                // No Up proxy can accept the session: a distinct,
+                // audited rejection — never a silent drop or panic.
+                assert_eq!(
+                    *disposition,
+                    Disposition::Rejected(RejectReason::NoIngress),
+                    "{request:?}"
+                );
+                assert!(matches!(path, Err(RouteError::NoIngress)), "{path:?}");
+            } else if request.destination.index() < 4 {
+                // The mandatory egress hop is Down: unroutable, not
+                // NoIngress.
+                assert!(!disposition.is_served(), "{disposition:?}");
+            } else {
+                assert!(disposition.is_served(), "{disposition:?} {request:?}");
+            }
+        }
+        assert!(outcome.report.admission.rejected_no_ingress > 0);
+        assert!(!served_proxies(&outcome).iter().any(|p| p.index() < 4));
+    }
+
+    #[test]
+    fn draining_proxies_still_serve_but_degraded() {
+        use son_overlay::StatusMap;
+        use son_routing::CostConfig;
+        // Cluster 2 (proxies 8..12) drains. Requests from cluster 0 to
+        // a draining destination must still be served — the mandatory
+        // egress hop touches a Draining proxy — but classed Degraded,
+        // never Rejected.
+        let mut statuses = StatusMap::all_up(12);
+        for i in 8..12 {
+            statuses.set_health(ProxyId::new(i), Health::Draining);
+        }
+        let snapshot = line_snapshot(12, 3).with_statuses(statuses, CostConfig::balanced());
+        let eng = Engine::new(snapshot, HierProvider::default(), EngineConfig::default());
+        let batch: Vec<ServiceRequest> = (0..12)
+            .map(|k| {
+                ServiceRequest::new(
+                    ProxyId::new(k % 4),
+                    ServiceGraph::linear(vec![ServiceId::new(k % 4)]),
+                    ProxyId::new(8 + (k % 4)),
+                )
+            })
+            .collect();
+        let outcome = eng.serve(&batch);
+        let a = outcome.report.admission;
+        assert_eq!(a.rejected, 0, "{a:?}");
+        assert_eq!(a.optimal, 0, "{a:?}");
+        assert_eq!(a.degraded, 12, "{a:?}");
+        assert!(outcome.dispositions.iter().all(|d| d.is_served()));
     }
 
     #[test]

@@ -59,8 +59,8 @@ pub mod report;
 pub mod snapshot;
 
 pub use cache::{CacheStats, LookupOutcome, RouteCache, RouteKey};
-pub use engine::{Engine, EngineConfig, ServeOutcome};
-pub use report::{LatencySummary, ServeReport};
+pub use engine::{AdmissionConfig, Disposition, Engine, EngineConfig, RejectReason, ServeOutcome};
+pub use report::{AdmissionStats, LatencySummary, ServeReport};
 pub use snapshot::{EngineSnapshot, FlatProvider, HierProvider, RouterProvider};
 
 #[cfg(test)]
@@ -83,5 +83,7 @@ mod send_sync {
         assert_send_sync::<Engine<CoordDelays, FlatProvider>>();
         assert_send_sync::<ServeReport>();
         assert_send_sync::<ServeOutcome>();
+        assert_send_sync::<AdmissionStats>();
+        assert_send_sync::<Disposition>();
     }
 }

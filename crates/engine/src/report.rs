@@ -4,6 +4,45 @@
 use crate::cache::CacheStats;
 use son_overlay::ProxyId;
 
+/// Admission/degradation accounting for one batch.
+///
+/// `optimal + degraded + rejected` always equals the batch size, and
+/// `rejected` equals the sum of its three reason counters — every
+/// request is disposed of exactly once, never silently dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Served on the first attempt through healthy, unsaturated
+    /// proxies.
+    pub optimal: u64,
+    /// Served after a retry/re-route or across a `Draining` proxy.
+    pub degraded: u64,
+    /// Shed (all reasons).
+    pub rejected: u64,
+    /// Shed: ingress cluster had no `Up` proxy.
+    pub rejected_no_ingress: u64,
+    /// Shed: out of capacity on every viable path.
+    pub rejected_overloaded: u64,
+    /// Shed: no feasible healthy path.
+    pub rejected_unroutable: u64,
+    /// Re-route attempts across the batch.
+    pub retries: u64,
+    /// Cache hits dropped because live health forbade a hop
+    /// (epoch-independent invalidation).
+    pub health_drops: u64,
+}
+
+impl AdmissionStats {
+    /// Requests served (either class).
+    pub fn served(&self) -> u64 {
+        self.optimal + self.degraded
+    }
+
+    /// `optimal + degraded + rejected` — must equal the batch size.
+    pub fn total(&self) -> u64 {
+        self.optimal + self.degraded + self.rejected
+    }
+}
+
 /// Request-latency summary in microseconds.
 ///
 /// Batch summaries come from the telemetry histogram (see
@@ -88,6 +127,12 @@ pub struct ServeReport {
     /// How many served paths crossed each border proxy, indexed by
     /// proxy. Non-border proxies always read zero.
     pub border_load: Vec<u64>,
+    /// Admission/degradation accounting (all zeros when the batch ran
+    /// unconstrained).
+    pub admission: AdmissionStats,
+    /// Admitted requests per proxy (empty unless admission control ran;
+    /// each entry is ≤ the proxy's capacity by construction).
+    pub admitted_load: Vec<u64>,
 }
 
 impl ServeReport {
@@ -182,6 +227,8 @@ mod tests {
             latency: LatencySummary::default(),
             cache: CacheStats::default(),
             border_load: vec![0, 5, 0, 9, 5],
+            admission: AdmissionStats::default(),
+            admitted_load: Vec::new(),
         };
         assert_eq!(
             report.busiest_borders(),

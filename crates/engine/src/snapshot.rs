@@ -16,24 +16,40 @@
 //! routers living in `son-routing`; son-core adds a provider for its
 //! three-level `MultiLevelRouter` the same way.
 
-use son_overlay::{ClusterId, DelayModel, HfcTopology, ProxyId, ServiceRequest, ServiceSet};
-use son_routing::{
-    BasicTraced, FlatRouter, HierConfig, HierarchicalRouter, ProviderIndex, Router, TraceRouter,
+use son_overlay::{
+    ClusterId, DelayModel, Health, HfcTopology, ProxyId, ServiceRequest, ServiceSet, StatusMap,
 };
+use son_routing::{
+    BasicTraced, CostConfig, CostModel, FlatRouter, HierConfig, HierarchicalRouter,
+    LoadAwareDelays, ProviderIndex, Router, TraceRouter,
+};
+use son_state::ClusterLoad;
 
 /// One immutable, epoch-stamped view of the overlay: everything a
 /// worker needs to answer requests.
+///
+/// Beyond topology, services, and delays, a snapshot may carry a
+/// [`StatusMap`] (health, capacity, utilization per proxy) and a
+/// [`CostConfig`]. Attaching statuses via
+/// [`EngineSnapshot::with_statuses`] is the one way to exclude a proxy
+/// from serving: `Down` proxies lose their service sets (never chosen
+/// as providers) and cost `+∞` to traverse (never chosen as relays),
+/// while `Draining` and loaded proxies shift route cost through
+/// [`EngineSnapshot::route_delays`].
 #[derive(Debug, Clone)]
 pub struct EngineSnapshot<D> {
     epoch: u64,
     hfc: HfcTopology,
     services: Vec<ServiceSet>,
     delays: D,
+    cost: CostModel,
+    cluster_load: Option<ClusterLoad>,
 }
 
 impl<D: DelayModel> EngineSnapshot<D> {
     /// Bundles an overlay view under epoch 0 (the engine re-stamps the
-    /// epoch on installation).
+    /// epoch on installation). No status constraints: every proxy is
+    /// `Up`, uncapped, unloaded.
     ///
     /// # Panics
     ///
@@ -49,7 +65,30 @@ impl<D: DelayModel> EngineSnapshot<D> {
             hfc,
             services,
             delays,
+            cost: CostModel::neutral(),
+            cluster_load: None,
         }
+    }
+
+    /// Attaches per-proxy statuses and cost weights.
+    ///
+    /// `Down` proxies' service sets are emptied — the single mechanism
+    /// for "this proxy serves nothing" — and a per-cluster load/health
+    /// summary is derived so hierarchical routers see remote saturation
+    /// at cluster-level (CSP) selection.
+    pub fn with_statuses(mut self, statuses: StatusMap, cost: CostConfig) -> Self {
+        for proxy in statuses.down_proxies() {
+            if proxy.index() < self.services.len() {
+                self.services[proxy.index()] = ServiceSet::new();
+            }
+        }
+        self.cluster_load = Some(ClusterLoad::from_statuses(
+            &self.hfc,
+            &statuses,
+            cost.cluster_load_penalty,
+        ));
+        self.cost = CostModel::new(cost, statuses);
+        self
     }
 
     /// The epoch this snapshot was installed under.
@@ -66,7 +105,7 @@ impl<D: DelayModel> EngineSnapshot<D> {
         &self.hfc
     }
 
-    /// Installed services per proxy.
+    /// Effective services per proxy (`Down` proxies read empty).
     pub fn services(&self) -> &[ServiceSet] {
         &self.services
     }
@@ -74,6 +113,47 @@ impl<D: DelayModel> EngineSnapshot<D> {
     /// The delay model routers decide on.
     pub fn delays(&self) -> &D {
         &self.delays
+    }
+
+    /// Per-proxy statuses (empty map = no constraints).
+    pub fn statuses(&self) -> &StatusMap {
+        self.cost.statuses()
+    }
+
+    /// The health/load cost model in force.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Per-cluster load/health summary, present when statuses are
+    /// attached.
+    pub fn cluster_load(&self) -> Option<&ClusterLoad> {
+        self.cluster_load.as_ref()
+    }
+
+    /// The delay model to route on: base delays plus health/load
+    /// penalties. With no statuses attached this is an exact
+    /// pass-through of [`EngineSnapshot::delays`].
+    pub fn route_delays(&self) -> LoadAwareDelays<'_, D> {
+        LoadAwareDelays::new(&self.delays, &self.cost)
+    }
+
+    /// Whether `proxy` may carry new traffic in this snapshot.
+    pub fn is_routable(&self, proxy: ProxyId) -> bool {
+        self.statuses().is_routable(proxy)
+    }
+
+    /// Whether the ingress cluster of `request` has at least one `Up`
+    /// member to accept the session. Vacuously true without statuses.
+    pub fn has_up_ingress(&self, request: &ServiceRequest) -> bool {
+        let statuses = self.statuses();
+        if statuses.is_empty() {
+            return true;
+        }
+        self.hfc
+            .members(self.ingress(request))
+            .iter()
+            .any(|&p| statuses.health(p) == Health::Up)
     }
 
     /// Number of proxies in this snapshot.
@@ -127,14 +207,27 @@ pub struct HierProvider {
     pub config: HierConfig,
 }
 
-impl<D: DelayModel> RouterProvider<D> for HierProvider {
-    fn router<'a>(&'a self, snapshot: &'a EngineSnapshot<D>) -> Box<dyn Router + 'a> {
-        Box::new(HierarchicalRouter::from_services(
+impl HierProvider {
+    fn build<'a, D: DelayModel>(
+        &self,
+        snapshot: &'a EngineSnapshot<D>,
+    ) -> HierarchicalRouter<'a, LoadAwareDelays<'a, D>> {
+        let router = HierarchicalRouter::from_services(
             &snapshot.hfc,
             &snapshot.services,
-            &snapshot.delays,
+            snapshot.route_delays(),
             self.config,
-        ))
+        );
+        match snapshot.cluster_load() {
+            Some(load) => router.with_cluster_load(load.clone()),
+            None => router,
+        }
+    }
+}
+
+impl<D: DelayModel> RouterProvider<D> for HierProvider {
+    fn router<'a>(&'a self, snapshot: &'a EngineSnapshot<D>) -> Box<dyn Router + 'a> {
+        Box::new(self.build(snapshot))
     }
 
     fn name(&self) -> &'static str {
@@ -142,12 +235,7 @@ impl<D: DelayModel> RouterProvider<D> for HierProvider {
     }
 
     fn traced_router<'a>(&'a self, snapshot: &'a EngineSnapshot<D>) -> Box<dyn TraceRouter + 'a> {
-        Box::new(HierarchicalRouter::from_services(
-            &snapshot.hfc,
-            &snapshot.services,
-            &snapshot.delays,
-            self.config,
-        ))
+        Box::new(self.build(snapshot))
     }
 }
 
@@ -158,7 +246,7 @@ pub struct FlatProvider;
 impl<D: DelayModel> RouterProvider<D> for FlatProvider {
     fn router<'a>(&'a self, snapshot: &'a EngineSnapshot<D>) -> Box<dyn Router + 'a> {
         let providers = ProviderIndex::from_service_sets(&snapshot.services);
-        Box::new(FlatRouter::new(providers, &snapshot.delays))
+        Box::new(FlatRouter::new(providers, snapshot.route_delays()))
     }
 
     fn name(&self) -> &'static str {
@@ -167,7 +255,7 @@ impl<D: DelayModel> RouterProvider<D> for FlatProvider {
 
     fn traced_router<'a>(&'a self, snapshot: &'a EngineSnapshot<D>) -> Box<dyn TraceRouter + 'a> {
         let providers = ProviderIndex::from_service_sets(&snapshot.services);
-        Box::new(FlatRouter::new(providers, &snapshot.delays))
+        Box::new(FlatRouter::new(providers, snapshot.route_delays()))
     }
 }
 

@@ -9,7 +9,9 @@ use son_clustering::Clustering;
 use son_engine::{Engine, EngineConfig, EngineSnapshot, HierProvider};
 use son_overlay::{
     DelayMatrix, HfcTopology, ProxyId, ServiceGraph, ServiceId, ServiceRequest, ServiceSet,
+    StatusMap,
 };
+use son_routing::CostConfig;
 
 const PROXIES: usize = 24;
 const CLUSTERS: usize = 4;
@@ -17,7 +19,9 @@ const SERVICES: usize = 6;
 
 /// Same world as `cache_consistency`: random symmetric delays, four
 /// equal clusters, proxy `i` carrying service `i mod 6` — so every
-/// service keeps three providers after one proxy dies.
+/// service keeps three providers after one proxy dies. A dead proxy is
+/// expressed the one supported way: `Health::Down` in the snapshot's
+/// status map.
 fn snapshot(seed: u64, down: Option<ProxyId>) -> EngineSnapshot<DelayMatrix> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut values = vec![0.0; PROXIES * PROXIES];
@@ -32,15 +36,13 @@ fn snapshot(seed: u64, down: Option<ProxyId>) -> EngineSnapshot<DelayMatrix> {
     let labels: Vec<usize> = (0..PROXIES).map(|i| i * CLUSTERS / PROXIES).collect();
     let hfc = HfcTopology::build(&Clustering::from_labels(&labels), &delays);
     let services: Vec<ServiceSet> = (0..PROXIES)
-        .map(|i| {
-            if down == Some(ProxyId::new(i)) {
-                ServiceSet::new()
-            } else {
-                ServiceSet::from_iter([ServiceId::new(i % SERVICES)])
-            }
-        })
+        .map(|i| ServiceSet::from_iter([ServiceId::new(i % SERVICES)]))
         .collect();
-    EngineSnapshot::new(hfc, services, delays)
+    let snap = EngineSnapshot::new(hfc, services, delays);
+    match down {
+        Some(p) => snap.with_statuses(StatusMap::from_down(PROXIES, &[p]), CostConfig::default()),
+        None => snap,
+    }
 }
 
 /// A batch covering every (source, chain-head) pair often enough that

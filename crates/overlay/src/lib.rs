@@ -28,6 +28,7 @@
 //! ```
 
 pub mod delays;
+pub mod health;
 pub mod hfc;
 pub mod mesh;
 pub mod proxy;
@@ -37,6 +38,7 @@ pub mod service;
 pub mod sgraph;
 
 pub use delays::{CachedDelays, CoordDelays, DelayMatrix, DelayModel, HfcDelays};
+pub use health::{Health, ProxyStatus, StatusMap, UNCAPPED};
 pub use hfc::{BorderPair, BorderSelection, ClusterId, HfcSnapshot, HfcTopology};
 pub use mesh::{MeshConfig, MeshTopology};
 pub use proxy::{Proxy, ProxyId};

@@ -1,0 +1,221 @@
+//! Pluggable route cost: distance plus load and health.
+//!
+//! The paper's routers minimize distance alone; real overlays route to
+//! the *closest node with headroom* and never through a dead one. A
+//! [`CostModel`] folds a [`StatusMap`] into per-proxy penalties:
+//!
+//! * `Down` proxies cost `+∞` — unroutable on any path;
+//! * `Draining` proxies pay a flat new-session penalty;
+//! * `Up` proxies pay a load term proportional to their utilization.
+//!
+//! [`LoadAwareDelays`] then lifts any base [`DelayModel`] into a
+//! load-aware one: each hop `a → b` is charged half the penalty of each
+//! endpoint, so an interior path proxy (entered once, left once)
+//! accrues exactly its full penalty. The wrapper is `Copy` and holds
+//! only references, so it threads through the flat, hierarchical, and
+//! multilevel routers as their by-value delay model.
+
+use son_overlay::{DelayModel, Health, ProxyId, StatusMap};
+
+/// Weights of the non-distance cost terms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostConfig {
+    /// Penalty added per unit of utilization of an `Up` or `Draining`
+    /// endpoint (same unit as delays).
+    pub load_penalty: f64,
+    /// Flat penalty for routing a *new* session through a `Draining`
+    /// endpoint.
+    pub draining_penalty: f64,
+    /// Penalty per unit of a remote cluster's mean utilization, applied
+    /// at cluster-level (CSP) selection so inter-cluster planning sees
+    /// remote saturation.
+    pub cluster_load_penalty: f64,
+}
+
+impl Default for CostConfig {
+    /// Neutral weights: health is still enforced (`Down` is always
+    /// unroutable) but load shifts no cost.
+    fn default() -> Self {
+        CostConfig {
+            load_penalty: 0.0,
+            draining_penalty: 0.0,
+            cluster_load_penalty: 0.0,
+        }
+    }
+}
+
+impl CostConfig {
+    /// A working preset for load-aware serving: load comparable to a
+    /// medium intra-cluster hop, draining twice that, cluster load
+    /// weighted like an extra border link.
+    pub fn balanced() -> Self {
+        CostConfig {
+            load_penalty: 10.0,
+            draining_penalty: 20.0,
+            cluster_load_penalty: 15.0,
+        }
+    }
+}
+
+/// Per-proxy route-cost penalties derived from health and load.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostModel {
+    config: CostConfig,
+    statuses: StatusMap,
+}
+
+impl CostModel {
+    /// Builds the model from weights and a status map.
+    pub fn new(config: CostConfig, statuses: StatusMap) -> Self {
+        CostModel { config, statuses }
+    }
+
+    /// The no-constraints model: empty statuses, neutral weights. Every
+    /// penalty is zero, so wrapped delays equal base delays exactly.
+    pub fn neutral() -> Self {
+        CostModel::default()
+    }
+
+    /// The weights in force.
+    pub fn config(&self) -> &CostConfig {
+        &self.config
+    }
+
+    /// The status map in force.
+    pub fn statuses(&self) -> &StatusMap {
+        &self.statuses
+    }
+
+    /// Whether new paths may traverse `proxy`.
+    pub fn is_routable(&self, proxy: ProxyId) -> bool {
+        self.statuses.is_routable(proxy)
+    }
+
+    /// The additive cost of placing `proxy` on a new path:
+    /// `+∞` for `Down`, draining + load terms otherwise.
+    pub fn penalty(&self, proxy: ProxyId) -> f64 {
+        let status = self.statuses.get(proxy);
+        match status.health {
+            Health::Down => f64::INFINITY,
+            Health::Draining => {
+                self.config.draining_penalty + self.config.load_penalty * status.utilization
+            }
+            Health::Up => self.config.load_penalty * status.utilization,
+        }
+    }
+}
+
+/// A [`DelayModel`] that adds health/load penalties to a base model.
+///
+/// Holds references only — cheap to copy into routers by value. With a
+/// [`CostModel::neutral`] model, `delay` returns the base delay
+/// unchanged (bit-identical: the penalty terms are exactly `0.0`).
+#[derive(Debug)]
+pub struct LoadAwareDelays<'a, D: ?Sized> {
+    base: &'a D,
+    model: &'a CostModel,
+}
+
+impl<D: ?Sized> Clone for LoadAwareDelays<'_, D> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<D: ?Sized> Copy for LoadAwareDelays<'_, D> {}
+
+impl<'a, D: DelayModel + ?Sized> LoadAwareDelays<'a, D> {
+    /// Wraps `base` with the penalties of `model`.
+    pub fn new(base: &'a D, model: &'a CostModel) -> Self {
+        LoadAwareDelays { base, model }
+    }
+
+    /// The base delay model.
+    pub fn base(&self) -> &'a D {
+        self.base
+    }
+
+    /// The cost model applied on top.
+    pub fn model(&self) -> &'a CostModel {
+        self.model
+    }
+}
+
+impl<D: DelayModel + ?Sized> DelayModel for LoadAwareDelays<'_, D> {
+    fn delay(&self, a: ProxyId, b: ProxyId) -> f64 {
+        let penalty = 0.5 * (self.model.penalty(a) + self.model.penalty(b));
+        if penalty == 0.0 {
+            // Exact pass-through in the unconstrained world.
+            self.base.delay(a, b)
+        } else {
+            self.base.delay(a, b) + penalty
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use son_overlay::DelayMatrix;
+
+    fn line_delays(n: usize) -> DelayMatrix {
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = (i as f64 - j as f64).abs();
+            }
+        }
+        DelayMatrix::from_values(n, values)
+    }
+
+    #[test]
+    fn neutral_model_is_a_pass_through() {
+        let delays = line_delays(4);
+        let model = CostModel::neutral();
+        let wrapped = LoadAwareDelays::new(&delays, &model);
+        for i in 0..4 {
+            for j in 0..4 {
+                let (a, b) = (ProxyId::new(i), ProxyId::new(j));
+                assert_eq!(wrapped.delay(a, b), delays.delay(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn down_proxies_cost_infinity() {
+        let delays = line_delays(3);
+        let mut statuses = StatusMap::all_up(3);
+        statuses.set_health(ProxyId::new(1), Health::Down);
+        let model = CostModel::new(CostConfig::default(), statuses);
+        let wrapped = LoadAwareDelays::new(&delays, &model);
+        assert!(wrapped
+            .delay(ProxyId::new(0), ProxyId::new(1))
+            .is_infinite());
+        assert!(wrapped
+            .delay(ProxyId::new(1), ProxyId::new(2))
+            .is_infinite());
+        assert_eq!(wrapped.delay(ProxyId::new(0), ProxyId::new(2)), 2.0);
+        assert!(!model.is_routable(ProxyId::new(1)));
+    }
+
+    #[test]
+    fn load_and_draining_shift_cost() {
+        let delays = line_delays(3);
+        let mut statuses = StatusMap::all_up(3);
+        statuses.set_utilization(ProxyId::new(1), 0.5);
+        statuses.set_health(ProxyId::new(2), Health::Draining);
+        let config = CostConfig {
+            load_penalty: 10.0,
+            draining_penalty: 8.0,
+            cluster_load_penalty: 0.0,
+        };
+        let model = CostModel::new(config, statuses);
+        // Interior proxy 1 accrues its full penalty across in + out hops.
+        assert_eq!(model.penalty(ProxyId::new(1)), 5.0);
+        assert_eq!(model.penalty(ProxyId::new(2)), 8.0);
+        let wrapped = LoadAwareDelays::new(&delays, &model);
+        let via_loaded = wrapped.delay(ProxyId::new(0), ProxyId::new(1))
+            + wrapped.delay(ProxyId::new(1), ProxyId::new(2));
+        assert_eq!(via_loaded, 1.0 + 1.0 + 5.0 + 0.5 * 8.0);
+    }
+}

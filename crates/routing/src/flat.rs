@@ -24,6 +24,12 @@ pub enum RouteError {
     /// Every configuration of the service graph has at least one stage
     /// without providers.
     Infeasible,
+    /// The request's ingress (or its destination) has no `Up` proxy to
+    /// accept it.
+    NoIngress,
+    /// Admission control shed the request: every routable path ran out
+    /// of per-proxy capacity, retries included.
+    Overloaded,
 }
 
 impl fmt::Display for RouteError {
@@ -31,6 +37,8 @@ impl fmt::Display for RouteError {
         match self {
             RouteError::NoProvider(s) => write!(f, "no provider for service {s}"),
             RouteError::Infeasible => write!(f, "no feasible configuration can be mapped"),
+            RouteError::NoIngress => write!(f, "no healthy ingress proxy for this request"),
+            RouteError::Overloaded => write!(f, "rejected by admission control: overloaded"),
         }
     }
 }
@@ -39,20 +47,24 @@ impl std::error::Error for RouteError {}
 
 /// A global-view router over a provider index and a delay model.
 ///
+/// Both are held by value; pass references (every `&impl DelayModel`
+/// is itself a [`DelayModel`]) to borrow, or a by-value wrapper such as
+/// [`crate::cost::LoadAwareDelays`] for load- and health-aware routing.
+///
 /// See the crate-level example for usage.
 #[derive(Debug, Clone)]
-pub struct FlatRouter<'a, P, D: ?Sized> {
+pub struct FlatRouter<P, D> {
     providers: P,
-    delays: &'a D,
+    delays: D,
 }
 
-impl<'a, P, D> FlatRouter<'a, P, D>
+impl<P, D> FlatRouter<P, D>
 where
     P: ProviderLookup,
-    D: DelayModel + ?Sized,
+    D: DelayModel,
 {
     /// Creates a router.
-    pub fn new(providers: P, delays: &'a D) -> Self {
+    pub fn new(providers: P, delays: D) -> Self {
         FlatRouter { providers, delays }
     }
 
@@ -62,8 +74,8 @@ where
     }
 
     /// The delay model this router judges paths by.
-    pub fn delays(&self) -> &'a D {
-        self.delays
+    pub fn delays(&self) -> &D {
+        &self.delays
     }
 
     /// Computes the optimal service path for `request` under this
@@ -96,7 +108,7 @@ where
             request.source,
             request.destination,
             &self.providers,
-            self.delays,
+            &self.delays,
         )
         .ok_or_else(|| self.diagnose(request))?;
 

@@ -28,7 +28,7 @@ use son_overlay::{
     ClusterId, DelayModel, HfcDelays, HfcTopology, ProxyId, ServiceGraph, ServiceId,
     ServiceRequest, ServiceSet, StageId,
 };
-use son_state::{SctC, SctP};
+use son_state::{ClusterLoad, SctC, SctP};
 use std::collections::BTreeMap;
 
 /// Tuning knobs of the hierarchical router.
@@ -102,11 +102,12 @@ pub struct RoutePlan {
 #[derive(Debug)]
 pub struct HierarchicalRouter<'a, D> {
     hfc: &'a HfcTopology,
-    delays: &'a D,
+    delays: D,
     sctc: SctC,
     cluster_providers: Vec<ProviderIndex>,
     global_providers: ProviderIndex,
     config: HierConfig,
+    cluster_load: Option<ClusterLoad>,
 }
 
 impl<'a, D> HierarchicalRouter<'a, D>
@@ -125,7 +126,7 @@ where
     pub fn from_services(
         hfc: &'a HfcTopology,
         services: &[ServiceSet],
-        delays: &'a D,
+        delays: D,
         config: HierConfig,
     ) -> Self {
         assert_eq!(
@@ -153,7 +154,7 @@ where
         hfc: &'a HfcTopology,
         sctc: SctC,
         cluster_tables: &[SctP],
-        delays: &'a D,
+        delays: D,
         config: HierConfig,
     ) -> Self {
         assert_eq!(
@@ -177,7 +178,17 @@ where
             cluster_providers,
             global_providers,
             config,
+            cluster_load: None,
         }
+    }
+
+    /// Attaches per-cluster load/health summaries (the saturation
+    /// counterpart of the aggregate `SCT_C` rows): cluster-level (CSP)
+    /// selection then skips clusters with no routable members and
+    /// penalizes saturated ones.
+    pub fn with_cluster_load(mut self, load: ClusterLoad) -> Self {
+        self.cluster_load = Some(load);
+        self
     }
 
     /// The aggregate table the router decides from.
@@ -196,8 +207,8 @@ where
     }
 
     /// The known distance map this router judges paths by.
-    pub fn known_delays(&self) -> &'a D {
-        self.delays
+    pub fn known_delays(&self) -> &D {
+        &self.delays
     }
 
     /// Routes `request` hierarchically.
@@ -355,7 +366,7 @@ where
             child.source,
             child.dest,
             &self.cluster_providers[child.cluster.index()],
-            self.delays,
+            &self.delays,
         )?;
         Some(assignments)
     }
@@ -420,7 +431,7 @@ where
         &self,
         request: &ServiceRequest,
     ) -> Result<ServicePath, RouteError> {
-        let constrained = HfcDelays::new(self.hfc, self.delays);
+        let constrained = HfcDelays::new(self.hfc, &self.delays);
         let router = crate::flat::FlatRouter::new(&self.global_providers, &constrained);
         router.route_expanded(request, |a, b| constrained.hops(a, b))
     }
@@ -441,14 +452,16 @@ where
     ) -> Result<(f64, Vec<(StageId, ClusterId)>), RouteError> {
         let graph = &request.graph;
         if graph.is_empty() {
-            return Ok((
-                self.inter_cluster_cost(request.source, source_cluster, dest_cluster)
-                    .0,
-                Vec::new(),
-            ));
+            let (cost, _) = self.inter_cluster_cost(request.source, source_cluster, dest_cluster);
+            if !cost.is_finite() {
+                return Err(RouteError::Infeasible);
+            }
+            return Ok((cost, Vec::new()));
         }
 
-        // Candidate clusters per stage, from aggregate state.
+        // Candidate clusters per stage, from aggregate state; the load
+        // summary (when attached) rules out clusters with no routable
+        // member left.
         let mut candidates: Vec<Vec<ClusterId>> = Vec::with_capacity(graph.len());
         for stage in graph.stage_ids() {
             let service = graph.service(stage);
@@ -457,6 +470,7 @@ where
                 .clusters_with(service)
                 .into_iter()
                 .filter(|c| !excluded.contains(&(stage, *c)))
+                .filter(|c| self.cluster_routable(*c))
                 .collect();
             if clusters.is_empty() {
                 return Err(RouteError::NoProvider(service));
@@ -510,7 +524,9 @@ where
                 let (cluster, entry) = unkey(k);
                 let (close, _) = self.close_at_destination(entry, cluster, dest_cluster, request);
                 let total = cost + close;
-                if best.is_none_or(|(b, _, _)| total < b) {
+                // Non-finite totals (a `Down` border or a saturated
+                // cluster on every remaining route) are unroutable.
+                if total.is_finite() && best.is_none_or(|(b, _, _)| total < b) {
                     best = Some((total, si, k));
                 }
             }
@@ -534,6 +550,23 @@ where
         Ok((total, chain))
     }
 
+    /// Whether CSP selection may map stages into `cluster` at all
+    /// (always, unless an attached load summary says every member is
+    /// down).
+    fn cluster_routable(&self, cluster: ClusterId) -> bool {
+        self.cluster_load
+            .as_ref()
+            .is_none_or(|load| load.is_routable(cluster))
+    }
+
+    /// The saturation penalty of entering `cluster`, from the attached
+    /// load summary (zero without one).
+    fn cluster_penalty(&self, cluster: ClusterId) -> f64 {
+        self.cluster_load
+            .as_ref()
+            .map_or(0.0, |load| load.penalty(cluster))
+    }
+
     /// Cost of stepping from (proxy `entry` inside `from`) into cluster
     /// `to`, and the resulting entry proxy.
     fn inter_cluster_step(
@@ -549,7 +582,7 @@ where
         let pair = self.hfc.border(from, to);
         let internal = self.known_internal(entry, pair.local, dest_cluster);
         (
-            internal + self.delays.delay(pair.local, pair.remote),
+            internal + self.delays.delay(pair.local, pair.remote) + self.cluster_penalty(to),
             pair.remote,
         )
     }
@@ -907,7 +940,7 @@ mod crankback_tests {
         hfc: &'a HfcTopology,
         services: &[son_overlay::ServiceSet],
         delays: &'a son_overlay::DelayMatrix,
-    ) -> HierarchicalRouter<'a, son_overlay::DelayMatrix> {
+    ) -> HierarchicalRouter<'a, &'a son_overlay::DelayMatrix> {
         let mut sctc = SctC::new();
         let mut tables = Vec::new();
         for c in hfc.clusters() {

@@ -45,6 +45,7 @@
 //! assert_eq!(path.length(&delays), 2.0);
 //! ```
 
+pub mod cost;
 pub mod fixtures;
 pub mod flat;
 pub mod hier;
@@ -56,6 +57,7 @@ pub mod sdag;
 pub mod session;
 pub mod trace;
 
+pub use cost::{CostConfig, CostModel, LoadAwareDelays};
 pub use flat::{FlatRouter, RouteError};
 pub use hier::{ChildSpec, HierConfig, HierRoute, HierarchicalRouter, RoutePlan};
 pub use path::{PathBuilder, PathHop, ServicePath, ValidatePathError};

@@ -32,10 +32,10 @@ pub trait Router {
     fn route_path(&self, request: &ServiceRequest) -> Result<ServicePath, RouteError>;
 }
 
-impl<P, D> Router for FlatRouter<'_, P, D>
+impl<P, D> Router for FlatRouter<P, D>
 where
     P: ProviderLookup,
-    D: DelayModel + ?Sized,
+    D: DelayModel,
 {
     fn route_path(&self, request: &ServiceRequest) -> Result<ServicePath, RouteError> {
         self.route(request)
@@ -112,9 +112,12 @@ mod tests {
     #[test]
     fn routers_are_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
-        assert_send_sync::<FlatRouter<'_, ProviderIndex, DelayMatrix>>();
-        assert_send_sync::<FlatRouter<'_, &ProviderIndex, dyn DelayModel + Send + Sync>>();
+        assert_send_sync::<FlatRouter<ProviderIndex, DelayMatrix>>();
+        assert_send_sync::<FlatRouter<&ProviderIndex, &(dyn DelayModel + Send + Sync)>>();
+        assert_send_sync::<FlatRouter<ProviderIndex, crate::cost::LoadAwareDelays<'_, DelayMatrix>>>(
+        );
         assert_send_sync::<HierarchicalRouter<'_, DelayMatrix>>();
+        assert_send_sync::<HierarchicalRouter<'_, &DelayMatrix>>();
         assert_send_sync::<crate::path::PathBuilder>();
         assert_send_sync::<ServicePath>();
         assert_send_sync::<RouteError>();

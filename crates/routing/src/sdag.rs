@@ -65,7 +65,10 @@ where
     D: DelayModel + ?Sized,
 {
     if graph.is_empty() {
-        return Some((delays.delay(source, destination), Vec::new()));
+        let direct = delays.delay(source, destination);
+        // A non-finite relay cost means an endpoint is unroutable
+        // (e.g. a `Down` proxy under a load-aware delay model).
+        return direct.is_finite().then_some((direct, Vec::new()));
     }
     let order = graph
         .topological_order()
@@ -126,6 +129,8 @@ where
                 continue;
             }
             let total = base + delays.delay(cand, destination);
+            // Strict `<` against the INFINITY start value also keeps
+            // non-finite totals (unroutable final legs) unselected.
             if total < best_total {
                 best_total = total;
                 best_end = Some((si, ci));

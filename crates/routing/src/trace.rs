@@ -57,7 +57,7 @@ pub fn request_trace(router: &str, request: &ServiceRequest) -> RouteTrace {
     trace
 }
 
-impl<P, D> TraceRouter for FlatRouter<'_, P, D>
+impl<P, D> TraceRouter for FlatRouter<P, D>
 where
     P: ProviderLookup,
     D: DelayModel,

@@ -20,11 +20,13 @@
 //! paper plots in Figure 9.
 
 pub mod checker;
+pub mod load;
 pub mod overhead;
 pub mod protocol;
 pub mod tables;
 
 pub use checker::{ConvergenceChecker, Staleness};
+pub use load::{ClusterLoad, ClusterLoadRow};
 pub use overhead::{flat_overhead, hfc_overhead, OverheadKind, OverheadReport};
 pub use protocol::{ProtocolConfig, StateProtocol, StateReport};
 pub use tables::{SctC, SctP};

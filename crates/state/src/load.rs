@@ -1,0 +1,168 @@
+//! Per-cluster load/health aggregation — the saturation counterpart of
+//! the aggregate capability rows.
+//!
+//! The `SCT_C` rows tell a destination proxy *which* clusters can serve
+//! a stage; [`ClusterLoad`] tells it whether those clusters have any
+//! headroom left. One [`ClusterLoadRow`] per cluster summarizes member
+//! health counts and mean utilization, exactly as a border proxy would
+//! aggregate them alongside its capability advertisements. The
+//! hierarchical router consults these rows during cluster-level (CSP)
+//! selection: clusters with zero routable members are unmappable, and
+//! saturated clusters pay a penalty proportional to their mean load.
+
+use son_overlay::{ClusterId, Health, HfcTopology, StatusMap};
+
+/// Health counts and mean load of one cluster's members.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClusterLoadRow {
+    /// Members serving normally.
+    pub up: usize,
+    /// Members draining (routable at a penalty).
+    pub draining: usize,
+    /// Members down (never routable).
+    pub down: usize,
+    /// Mean utilization over the routable members (0 when none).
+    pub mean_utilization: f64,
+}
+
+impl ClusterLoadRow {
+    /// Members new paths may still traverse.
+    pub fn routable(&self) -> usize {
+        self.up + self.draining
+    }
+}
+
+/// One [`ClusterLoadRow`] per cluster, plus the penalty weight applied
+/// at CSP selection.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterLoad {
+    rows: Vec<ClusterLoadRow>,
+    penalty_scale: f64,
+}
+
+impl ClusterLoad {
+    /// Aggregates `statuses` over the clusters of `hfc`.
+    /// `penalty_scale` weighs mean utilization into CSP edge costs
+    /// (use `CostConfig::cluster_load_penalty`).
+    pub fn from_statuses(hfc: &HfcTopology, statuses: &StatusMap, penalty_scale: f64) -> Self {
+        let rows = hfc
+            .clusters()
+            .map(|c| {
+                let mut row = ClusterLoadRow::default();
+                let mut load = 0.0;
+                for &m in hfc.members(c) {
+                    match statuses.health(m) {
+                        Health::Up => row.up += 1,
+                        Health::Draining => row.draining += 1,
+                        Health::Down => row.down += 1,
+                    }
+                    if statuses.health(m).is_routable() {
+                        load += statuses.utilization(m);
+                    }
+                }
+                if row.routable() > 0 {
+                    row.mean_utilization = load / row.routable() as f64;
+                }
+                row
+            })
+            .collect();
+        ClusterLoad {
+            rows,
+            penalty_scale,
+        }
+    }
+
+    /// Number of clusters summarized.
+    pub fn cluster_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The summary row of `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range.
+    pub fn row(&self, cluster: ClusterId) -> &ClusterLoadRow {
+        &self.rows[cluster.index()]
+    }
+
+    /// Whether new paths may map stages into `cluster` at all.
+    pub fn is_routable(&self, cluster: ClusterId) -> bool {
+        self.rows
+            .get(cluster.index())
+            .is_none_or(|row| row.routable() > 0)
+    }
+
+    /// The CSP-selection penalty of entering `cluster`: infinite when
+    /// no member is routable, otherwise mean utilization scaled by the
+    /// configured weight.
+    pub fn penalty(&self, cluster: ClusterId) -> f64 {
+        match self.rows.get(cluster.index()) {
+            Some(row) if row.routable() == 0 => f64::INFINITY,
+            Some(row) => self.penalty_scale * row.mean_utilization,
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use son_clustering::Clustering;
+    use son_overlay::{DelayMatrix, ProxyId};
+
+    /// Two clusters of three proxies on a line.
+    fn world() -> HfcTopology {
+        let n = 6;
+        let pos: Vec<f64> = (0..n)
+            .map(|i| (i / 3) as f64 * 100.0 + (i % 3) as f64)
+            .collect();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = (pos[i] - pos[j]).abs();
+            }
+        }
+        let delays = DelayMatrix::from_values(n, values);
+        HfcTopology::build(&Clustering::from_labels(&[0, 0, 0, 1, 1, 1]), &delays)
+    }
+
+    #[test]
+    fn rows_count_health_and_average_load() {
+        let hfc = world();
+        let mut statuses = StatusMap::all_up(6);
+        statuses.set_health(ProxyId::new(0), Health::Down);
+        statuses.set_health(ProxyId::new(1), Health::Draining);
+        statuses.set_utilization(ProxyId::new(1), 0.4);
+        statuses.set_utilization(ProxyId::new(2), 0.8);
+        let load = ClusterLoad::from_statuses(&hfc, &statuses, 10.0);
+        assert_eq!(load.cluster_count(), 2);
+        let row = load.row(ClusterId::new(0));
+        assert_eq!((row.up, row.draining, row.down), (1, 1, 1));
+        assert_eq!(row.routable(), 2);
+        assert!((row.mean_utilization - 0.6).abs() < 1e-12);
+        assert!((load.penalty(ClusterId::new(0)) - 6.0).abs() < 1e-12);
+        assert_eq!(load.penalty(ClusterId::new(1)), 0.0);
+    }
+
+    #[test]
+    fn dead_cluster_is_unroutable() {
+        let hfc = world();
+        let statuses =
+            StatusMap::from_down(6, &[ProxyId::new(3), ProxyId::new(4), ProxyId::new(5)]);
+        let load = ClusterLoad::from_statuses(&hfc, &statuses, 1.0);
+        assert!(load.is_routable(ClusterId::new(0)));
+        assert!(!load.is_routable(ClusterId::new(1)));
+        assert!(load.penalty(ClusterId::new(1)).is_infinite());
+    }
+
+    #[test]
+    fn empty_statuses_mean_full_headroom() {
+        let hfc = world();
+        let load = ClusterLoad::from_statuses(&hfc, &StatusMap::new(), 5.0);
+        for c in hfc.clusters() {
+            assert!(load.is_routable(c));
+            assert_eq!(load.penalty(c), 0.0);
+        }
+    }
+}

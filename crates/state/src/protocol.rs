@@ -697,6 +697,44 @@ impl StateProtocol {
         self.staleness().is_converged()
     }
 
+    /// Per-proxy health as the serving layer should see it right now:
+    ///
+    /// * **`Down`** — the proxy is crashed in the fault simulation;
+    /// * **`Draining`** — alive, but its own tables have drifted from
+    ///   the converged state (it missed refreshes, so routing decisions
+    ///   it participates in may be stale — take no *new* sessions);
+    /// * **`Up`** — alive with converged tables.
+    ///
+    /// Feed the result into an engine snapshot via
+    /// [`StatusMap`](son_overlay::StatusMap) builders; capacities and
+    /// utilization are the serving layer's business, not the state
+    /// protocol's.
+    pub fn health_view(&self) -> son_overlay::StatusMap {
+        let healths: Vec<son_overlay::Health> = self
+            .simulator
+            .actors()
+            .iter()
+            .enumerate()
+            .map(|(p, a)| {
+                if self.simulator.is_crashed(NodeId::new(p)) {
+                    son_overlay::Health::Down
+                } else {
+                    let own = self.checker.staleness(std::iter::once((
+                        ProxyId::new(p),
+                        &a.sctp,
+                        &a.sctc,
+                    )));
+                    if own.total() > 0 {
+                        son_overlay::Health::Draining
+                    } else {
+                        son_overlay::Health::Up
+                    }
+                }
+            })
+            .collect();
+        son_overlay::StatusMap::from_health(&healths)
+    }
+
     /// Read access to the converged actors (their tables feed the
     /// routing layer).
     pub fn actors(&self) -> &[ProxyActor] {
@@ -775,6 +813,57 @@ mod tests {
             sctc.clusters_with(ServiceId::new(9)),
             vec![ClusterId::new(0), ClusterId::new(2)]
         );
+    }
+
+    #[test]
+    fn health_view_tracks_crashes_and_staleness() {
+        let (hfc, delays, services) = three_cluster_world();
+        let mut protocol = StateProtocol::new(
+            &hfc,
+            services,
+            &delays,
+            ProtocolConfig {
+                refresh_period_ms: 40.0,
+                ..ProtocolConfig::default()
+            },
+        );
+        // Before any message flows, live proxies are stale: Draining.
+        protocol.run_until(SimTime::from_ms(0.5));
+        let early = protocol.health_view();
+        assert!((0..6).any(|p| early.health(ProxyId::new(p)) == son_overlay::Health::Draining));
+
+        // Crash proxy 4 permanently, then let everyone else converge.
+        let mut protocol = {
+            let (hfc, delays, services) = three_cluster_world();
+            let mut p = StateProtocol::new(
+                &hfc,
+                services,
+                &delays,
+                ProtocolConfig {
+                    refresh_period_ms: 40.0,
+                    ..ProtocolConfig::default()
+                },
+            );
+            // Crash after the first full exchange so live peers keep
+            // proxy 4's (static, still correct) rows.
+            p.install_faults(FaultPlan::new(9).with_crash(
+                NodeId::new(4),
+                SimTime::from_ms(100.0),
+                None,
+            ));
+            p
+        };
+        protocol.run_until(SimTime::from_ms(400.0));
+        let view = protocol.health_view();
+        assert_eq!(view.health(ProxyId::new(4)), son_overlay::Health::Down);
+        assert!(!view.is_routable(ProxyId::new(4)));
+        for p in [0, 1, 2, 3, 5] {
+            assert_eq!(
+                view.health(ProxyId::new(p)),
+                son_overlay::Health::Up,
+                "proxy {p} converged and alive"
+            );
+        }
     }
 
     #[test]

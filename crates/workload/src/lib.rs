@@ -16,6 +16,7 @@
 
 pub mod env;
 pub mod generate;
+pub mod scenario;
 pub mod zipf;
 
 pub use env::{table1_environments, Environment};
@@ -23,4 +24,5 @@ pub use generate::{
     assign_qos, assign_services, generate_requests, place_proxies, place_proxies_excluding,
     RequestProfile,
 };
+pub use scenario::{Scenario, ScenarioPhase};
 pub use zipf::{zipf_request_mix, Zipf};

@@ -1,0 +1,180 @@
+//! Property: for any survivable fault plan and any capacity
+//! assignment, the admission-enabled engine never serves a path
+//! through a `Down` proxy, never admits more load onto a proxy than
+//! its capacity, and accounts for every request as exactly one of
+//! optimal / degraded / rejected.
+//!
+//! Health reaches the engine the production way: the fault plan's
+//! crash events feed the state protocol, whose missed-refresh detector
+//! classifies every proxy, and that health map parameterizes the
+//! serving snapshot.
+
+use proptest::prelude::*;
+use son_core::{
+    AdmissionConfig, Clustering, CostConfig, DelayMatrix, Engine, EngineConfig, EngineSnapshot,
+    FaultPlan, Health, HfcTopology, HierProvider, NodeId, ProtocolConfig, ProxyId, ServiceGraph,
+    ServiceId, ServiceRequest, ServiceSet, SimTime, StateProtocol, StatusMap,
+};
+
+/// `clusters` planted communities of `size` proxies on a line (as in
+/// `state_faults`): close within a cluster, far apart between, so
+/// label assignment mirrors what the clustering stage would find.
+fn world(clusters: usize, size: usize) -> (HfcTopology, DelayMatrix, Vec<ServiceSet>) {
+    let n = clusters * size;
+    let pos: Vec<f64> = (0..n)
+        .map(|i| (i / size) as f64 * 300.0 + (i % size) as f64 * 4.0)
+        .collect();
+    let mut values = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            values[i * n + j] = (pos[i] - pos[j]).abs();
+        }
+    }
+    let delays = DelayMatrix::from_values(n, values);
+    let labels: Vec<usize> = (0..n).map(|i| i / size).collect();
+    let hfc = HfcTopology::build(&Clustering::from_labels(&labels), &delays);
+    let services: Vec<ServiceSet> = (0..n)
+        .map(|i| ServiceSet::from_iter([ServiceId::new(i % 7), ServiceId::new(7 + i % 5)]))
+        .collect();
+    (hfc, delays, services)
+}
+
+/// A deterministic batch over the world's 12-service universe.
+fn batch(n: usize, count: usize) -> Vec<ServiceRequest> {
+    (0..count)
+        .map(|k| {
+            ServiceRequest::new(
+                ProxyId::new(k % n),
+                ServiceGraph::linear(vec![ServiceId::new(k % 12), ServiceId::new((k + 3) % 12)]),
+                ProxyId::new((k * 5 + 2) % n),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn served_paths_respect_health_and_capacity(
+        shape in (2usize..5, 3usize..6),
+        seed in 0u64..1_000_000,
+        crash_picks in (0usize..1000, 0usize..1000),
+        cap_base in 1u32..8,
+        cap_spread in 1u32..16,
+        loss in 0.0f64..0.15,
+    ) {
+        let (clusters, size) = shape;
+        let n = clusters * size;
+        // Up to two distinct proxies crash permanently after the first
+        // full table exchange; clusters have ≥ 3 members, so every
+        // cluster keeps a live proxy and the plan is survivable.
+        let (a, b) = crash_picks;
+        let mut victims = vec![a % n];
+        if b % n != a % n {
+            victims.push(b % n);
+        }
+        let mut plan = FaultPlan::new(seed);
+        for &v in &victims {
+            plan = plan.with_crash(NodeId::new(v), SimTime::from_ms(150.0), None);
+        }
+        if loss > 0.0 {
+            plan = plan.with_loss(loss);
+        }
+
+        let (hfc, delays, services) = world(clusters, size);
+        let mut protocol =
+            StateProtocol::new(&hfc, services.clone(), &delays, ProtocolConfig::resilient());
+        protocol.install_faults(plan);
+        protocol.run_until_converged(SimTime::from_ms(10_000.0));
+        let mut statuses = protocol.health_view();
+        // The detector must flag exactly the crashed proxies Down.
+        let down: Vec<bool> = (0..n)
+            .map(|p| statuses.health(ProxyId::new(p)) == Health::Down)
+            .collect();
+        for &v in &victims {
+            prop_assert!(down[v], "crashed proxy {v} not detected Down");
+        }
+
+        // Arbitrary (but deterministic) tight capacities.
+        let capacities: Vec<u32> = (0..n as u32)
+            .map(|p| cap_base + (p * 7) % cap_spread)
+            .collect();
+        for (p, &cap) in capacities.iter().enumerate() {
+            statuses.set_capacity(ProxyId::new(p), cap);
+        }
+
+        let engine = Engine::new(
+            EngineSnapshot::new(hfc, services, delays)
+                .with_statuses(statuses, CostConfig::balanced()),
+            HierProvider::default(),
+            EngineConfig {
+                workers: 2,
+                admission: AdmissionConfig {
+                    enabled: true,
+                    ..AdmissionConfig::default()
+                },
+                ..EngineConfig::default()
+            },
+        );
+        let requests = batch(n, 4 * n);
+        let outcome = engine.serve(&requests);
+
+        // 1. No served path traverses a Down proxy.
+        for result in outcome.paths.iter().flatten() {
+            for hop in result.hops() {
+                prop_assert!(
+                    !down[hop.proxy.index()],
+                    "served path traverses Down {}",
+                    hop.proxy
+                );
+            }
+        }
+        // 2. Admitted load never exceeds capacity.
+        for (p, &load) in outcome.report.admitted_load.iter().enumerate() {
+            prop_assert!(
+                load <= capacities[p] as u64,
+                "proxy {p} admitted {load} > capacity {}",
+                capacities[p]
+            );
+        }
+        // 3. Every request lands in exactly one disposition class, and
+        //    dispositions agree with the per-request results.
+        let a = outcome.report.admission;
+        prop_assert_eq!(a.total(), requests.len() as u64, "{:?}", a);
+        for (d, p) in outcome.dispositions.iter().zip(&outcome.paths) {
+            prop_assert_eq!(d.is_served(), p.is_ok());
+        }
+    }
+}
+
+/// Pin the zero-capacity edge: nothing can be admitted, everything is
+/// shed as overloaded (or unroutable), and the accounting still sums.
+#[test]
+fn zero_capacity_sheds_everything() {
+    let (hfc, delays, services) = world(3, 4);
+    let n = 12;
+    let mut statuses = StatusMap::all_up(n);
+    for p in 0..n {
+        statuses.set_capacity(ProxyId::new(p), 0);
+    }
+    let engine = Engine::new(
+        EngineSnapshot::new(hfc, services, delays).with_statuses(statuses, CostConfig::balanced()),
+        HierProvider::default(),
+        EngineConfig {
+            admission: AdmissionConfig {
+                enabled: true,
+                ..AdmissionConfig::default()
+            },
+            ..EngineConfig::default()
+        },
+    );
+    let requests = batch(n, 30);
+    let outcome = engine.serve(&requests);
+    let a = outcome.report.admission;
+    assert_eq!(a.served(), 0, "{a:?}");
+    assert_eq!(a.total(), 30, "{a:?}");
+    // Depending on the cost model, saturation surfaces either as an
+    // admission failure or as every candidate pricing to infinity.
+    assert_eq!(a.rejected_overloaded + a.rejected_unroutable, 30, "{a:?}");
+    assert!(outcome.report.admitted_load.iter().all(|&l| l == 0));
+}
