@@ -73,7 +73,7 @@ fn main() {
     let two = overlay.hier_router();
     let three = MultiLevelRouter::from_services(
         overlay.hfc(),
-        &ml,
+        ml.hierarchy(),
         overlay.services(),
         overlay.predicted_delays(),
         HierConfig::default(),

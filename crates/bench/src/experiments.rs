@@ -6,19 +6,7 @@ use son_core::{BorderSelection, Environment, OverheadKind, ServiceOverlay, SonCo
 /// row when one exists, otherwise a proportionally scaled world
 /// (quick/smoke runs).
 pub fn environment_for(proxies: usize, seed: u64) -> Environment {
-    match proxies {
-        250 | 500 | 750 | 1000 => Environment::table1(proxies, seed),
-        _ => Environment {
-            physical_nodes: ((proxies * 6) / 5).max(60), // Table 1's 5:6 ratio, generator minimum 50
-            landmarks: 10,
-            proxies,
-            clients: (proxies / 6).max(2),
-            services_per_proxy: (4, 10),
-            request_length: (4, 10),
-            service_universe: 60,
-            seed,
-        },
-    }
+    Environment::scaled(proxies, seed)
 }
 
 /// One row of Figure 9: per-proxy node-state overhead at a given

@@ -37,6 +37,6 @@ pub mod unionfind;
 pub mod zahn;
 
 pub use cluster::Clustering;
-pub use mst::{mst_complete, mst_kruskal, Mst, MstEdge};
+pub use mst::{mst_complete, mst_complete_threads, mst_kruskal, Mst, MstEdge};
 pub use unionfind::UnionFind;
 pub use zahn::{InconsistencyRule, ZahnClusterer, ZahnConfig};

@@ -130,6 +130,147 @@ where
     Mst::from_edges(n, edges)
 }
 
+/// Like [`mst_complete`], but sharding the per-round edge scans across
+/// `threads` scoped worker threads (`0` = all cores).
+///
+/// Prim's algorithm is inherently sequential across rounds, but both
+/// per-round scans — "which frontier node is closest to the tree" and
+/// "relax every frontier node against the new tree node" — are
+/// independent per node. Each worker owns a contiguous index range and
+/// its slice of the `best_dist`/`best_link` frontier; two barriers per
+/// round synchronize candidate election. Worker 0 reduces the
+/// per-worker candidates **in range order with strict improvement**,
+/// which reproduces the sequential first-minimum tie-break exactly, so
+/// the returned tree is bit-identical to [`mst_complete`] for any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if a queried distance is negative or NaN (detected at the
+/// end of the build, unlike [`mst_complete`] which panics mid-scan).
+pub fn mst_complete_threads<D>(n: usize, dist: D, threads: usize) -> Mst
+where
+    D: Fn(usize, usize) -> f64 + Sync,
+{
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Barrier, Mutex};
+
+    let threads = son_par::effective_threads(threads);
+    if threads <= 1 || n <= 2 {
+        return mst_complete(n, dist);
+    }
+    let ranges = son_par::chunk_ranges(threads, n);
+    if ranges.len() <= 1 {
+        return mst_complete(n, dist);
+    }
+    const NONE: usize = usize::MAX;
+    let barrier = Barrier::new(ranges.len());
+    // Per-worker candidate (weight, node, link); workers write their
+    // own slot before the first barrier, worker 0 reads them all after.
+    let slots: Vec<Mutex<(f64, usize, usize)>> = ranges
+        .iter()
+        .map(|_| Mutex::new((f64::INFINITY, NONE, 0)))
+        .collect();
+    let next_cell = AtomicUsize::new(0);
+    let invalid = AtomicBool::new(false);
+    let dist = &dist;
+    let edges = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(w, range)| {
+                let barrier = &barrier;
+                let slots = &slots;
+                let next_cell = &next_cell;
+                let invalid = &invalid;
+                scope.spawn(move || {
+                    let lo = range.start;
+                    let mut in_tree = vec![false; range.len()];
+                    let mut best_dist = vec![f64::INFINITY; range.len()];
+                    let mut best_link = vec![0usize; range.len()];
+                    // Invalid distances are flagged and neutralized so
+                    // no worker panics while peers wait on a barrier.
+                    let measure = |a: usize, b: usize| {
+                        let d = dist(a, b);
+                        if d >= 0.0 {
+                            d
+                        } else {
+                            invalid.store(true, Ordering::Relaxed);
+                            f64::INFINITY
+                        }
+                    };
+                    for v in range.clone() {
+                        if v == 0 {
+                            in_tree[0] = true;
+                        } else {
+                            best_dist[v - lo] = measure(0, v);
+                        }
+                    }
+                    let mut edges: Vec<MstEdge> = Vec::new();
+                    for _ in 1..n {
+                        // First local minimum (matching `min_by`, which
+                        // keeps the earliest of equal elements — even
+                        // when every candidate is infinite).
+                        let mut cand = (f64::INFINITY, NONE, 0usize);
+                        for v in range.clone() {
+                            let i = v - lo;
+                            if !in_tree[i] && (cand.1 == NONE || best_dist[i] < cand.0) {
+                                cand = (best_dist[i], v, best_link[i]);
+                            }
+                        }
+                        *slots[w].lock().expect("slot lock poisoned") = cand;
+                        barrier.wait();
+                        if w == 0 {
+                            let mut best = (f64::INFINITY, NONE, 0usize);
+                            for slot in slots.iter() {
+                                let c = *slot.lock().expect("slot lock poisoned");
+                                if c.1 != NONE && (best.1 == NONE || c.0 < best.0) {
+                                    best = c;
+                                }
+                            }
+                            let (weight, next, link) = best;
+                            debug_assert_ne!(next, NONE, "some node remains outside the tree");
+                            edges.push(MstEdge {
+                                a: link,
+                                b: next,
+                                weight,
+                            });
+                            next_cell.store(next, Ordering::Release);
+                        }
+                        barrier.wait();
+                        let next = next_cell.load(Ordering::Acquire);
+                        if range.contains(&next) {
+                            in_tree[next - lo] = true;
+                        }
+                        for v in range.clone() {
+                            let i = v - lo;
+                            if !in_tree[i] {
+                                let d = measure(next, v);
+                                if d < best_dist[i] {
+                                    best_dist[i] = d;
+                                    best_link[i] = next;
+                                }
+                            }
+                        }
+                    }
+                    edges
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n - 1);
+        for h in handles {
+            out.append(&mut h.join().expect("mst worker panicked"));
+        }
+        out
+    });
+    assert!(
+        !invalid.load(Ordering::Relaxed),
+        "distances must be non-negative"
+    );
+    Mst::from_edges(n, edges)
+}
+
 /// Builds an MST (minimum spanning forest if disconnected) from an
 /// explicit edge list using Kruskal's algorithm.
 ///
@@ -245,6 +386,48 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_distance_panics() {
         let _ = mst_complete(2, |_, _| -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_distance_panics_threaded() {
+        let _ = mst_complete_threads(8, |_, _| -1.0, 2);
+    }
+
+    #[test]
+    fn threaded_prim_matches_sequential_exactly() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        // Quantized coordinates force plenty of distance ties, the
+        // case where tie-breaking order could diverge.
+        let pts: Vec<(f64, f64)> = (0..157)
+            .map(|_| {
+                (
+                    (rng.gen::<f64>() * 10.0).round(),
+                    (rng.gen::<f64>() * 10.0).round(),
+                )
+            })
+            .collect();
+        let dist = |a: usize, b: usize| {
+            ((pts[a].0 - pts[b].0).powi(2) + (pts[a].1 - pts[b].1).powi(2)).sqrt()
+        };
+        let seq = mst_complete(pts.len(), dist);
+        for threads in [2, 3, 5, 16] {
+            let par = mst_complete_threads(pts.len(), dist, threads);
+            assert_eq!(par.edges(), seq.edges(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_prim_handles_tiny_inputs() {
+        let xs: &[f64] = &[4.0, 0.0, 9.0];
+        let dist = |a: usize, b: usize| (xs[a] - xs[b]).abs();
+        let seq = mst_complete(3, dist);
+        let par = mst_complete_threads(3, dist, 8);
+        assert_eq!(par.edges(), seq.edges());
+        assert!(mst_complete_threads(0, dist, 4).is_empty());
+        assert_eq!(mst_complete_threads(1, dist, 4).len(), 1);
     }
 }
 

@@ -28,6 +28,11 @@ pub struct EmbeddingConfig {
     pub host_restarts: usize,
     /// RNG seed for restart initialization.
     pub seed: u64,
+    /// Worker threads for the per-host solving stage (`0` = all
+    /// cores). The thread count never changes the result: every host
+    /// draws its noise and restart jitter from its own seed-derived
+    /// RNG, so `threads: 8` is bit-identical to `threads: 1`.
+    pub threads: usize,
 }
 
 impl Default for EmbeddingConfig {
@@ -39,8 +44,18 @@ impl Default for EmbeddingConfig {
             landmark_restarts: 4,
             host_restarts: 3,
             seed: 0,
+            threads: 1,
         }
     }
+}
+
+/// Derives a per-host RNG seed from the base seed (splitmix64-style
+/// finalizer — consecutive host indices must yield unrelated streams).
+fn mix_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Summary statistics of relative prediction error
@@ -160,51 +175,70 @@ impl GnpEmbedding {
         }
 
         // Step 3: solve each host against the fixed landmark positions.
+        // Hosts are independent given the landmark fit, so this stage
+        // fans out across threads; each host's probe noise and restart
+        // jitter come from its own seed-derived RNG, making the result
+        // independent of both thread count and host visiting order.
         let centroid: Vec<f64> = (0..dims)
             .map(|d| landmark_coords.iter().map(|c| c.as_slice()[d]).sum::<f64>() / m as f64)
             .collect();
-        for &host in hosts {
-            if coords[host.index()].is_some() {
-                continue; // host doubles as a landmark
-            }
-            let measured: Vec<f64> = landmarks
-                .iter()
-                .map(|&lm| measurer.measure(lm, host))
-                .collect();
-            let lm_ref = &landmark_coords;
-            let host_objective = |x: &[f64]| -> f64 {
-                let mut err = 0.0;
-                for (c, &meas) in lm_ref.iter().zip(&measured) {
-                    if meas <= 0.0 {
-                        continue;
-                    }
-                    let mut sq = 0.0;
-                    for (d, v) in x.iter().enumerate() {
-                        let diff = v - c.as_slice()[d];
-                        sq += diff * diff;
-                    }
-                    let rel = (meas - sq.sqrt()) / meas;
-                    err += rel * rel;
-                }
-                err
-            };
-            let mut best: Option<(Vec<f64>, f64)> = None;
-            for r in 0..config.host_restarts.max(1) {
-                let x0: Vec<f64> = if r == 0 {
-                    centroid.clone()
-                } else {
-                    centroid
-                        .iter()
-                        .map(|c| c + (rng.gen::<f64>() - 0.5) * max_delay)
-                        .collect()
-                };
-                let (x, v) = minimize(&host_objective, &x0, &nm);
-                if best.as_ref().is_none_or(|(_, bv)| v < *bv) {
-                    best = Some((x, v));
-                }
-            }
-            let (x, _) = best.expect("at least one restart ran");
-            coords[host.index()] = Some(Coordinates::new(x));
+        let lm_ref = &landmark_coords;
+        let centroid_ref = &centroid;
+        let nm_ref = &nm;
+        let measurer_ref = &measurer;
+        let coords_ref = &coords;
+        let solved: Vec<Option<(usize, Coordinates)>> =
+            son_par::par_map_chunks(config.threads, hosts.len(), |range| {
+                range
+                    .map(|hi| {
+                        let host = hosts[hi];
+                        if coords_ref[host.index()].is_some() {
+                            return None; // host doubles as a landmark
+                        }
+                        let mut host_rng =
+                            StdRng::seed_from_u64(mix_seed(config.seed, host.index() as u64));
+                        let measured: Vec<f64> = landmarks
+                            .iter()
+                            .map(|&lm| measurer_ref.measure_with(lm, host, &mut host_rng))
+                            .collect();
+                        let host_objective = |x: &[f64]| -> f64 {
+                            let mut err = 0.0;
+                            for (c, &meas) in lm_ref.iter().zip(&measured) {
+                                if meas <= 0.0 {
+                                    continue;
+                                }
+                                let mut sq = 0.0;
+                                for (d, v) in x.iter().enumerate() {
+                                    let diff = v - c.as_slice()[d];
+                                    sq += diff * diff;
+                                }
+                                let rel = (meas - sq.sqrt()) / meas;
+                                err += rel * rel;
+                            }
+                            err
+                        };
+                        let mut best: Option<(Vec<f64>, f64)> = None;
+                        for r in 0..config.host_restarts.max(1) {
+                            let x0: Vec<f64> = if r == 0 {
+                                centroid_ref.clone()
+                            } else {
+                                centroid_ref
+                                    .iter()
+                                    .map(|c| c + (host_rng.gen::<f64>() - 0.5) * max_delay)
+                                    .collect()
+                            };
+                            let (x, v) = minimize(&host_objective, &x0, nm_ref);
+                            if best.as_ref().is_none_or(|(_, bv)| v < *bv) {
+                                best = Some((x, v));
+                            }
+                        }
+                        let (x, _) = best.expect("at least one restart ran");
+                        Some((host.index(), Coordinates::new(x)))
+                    })
+                    .collect()
+            });
+        for (index, c) in solved.into_iter().flatten() {
+            coords[index] = Some(c);
         }
 
         GnpEmbedding {
@@ -389,6 +423,28 @@ mod tests {
         let b = GnpEmbedding::compute(&g, &all[..5], &all, &noiseless_config());
         for n in &all {
             assert_eq!(a.coordinates(*n), b.coordinates(*n));
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_embedding() {
+        let (g, _) = planar_instance(18, 8);
+        let all: Vec<NodeId> = g.node_ids().collect();
+        let noisy = |threads| EmbeddingConfig {
+            measure: MeasureConfig {
+                probes: 3,
+                max_noise: 0.2,
+                seed: 1,
+            },
+            threads,
+            ..EmbeddingConfig::default()
+        };
+        let a = GnpEmbedding::compute(&g, &all[..5], &all, &noisy(1));
+        let b = GnpEmbedding::compute(&g, &all[..5], &all, &noisy(4));
+        let c = GnpEmbedding::compute(&g, &all[..5], &all, &noisy(0));
+        for n in &all {
+            assert_eq!(a.coordinates(*n), b.coordinates(*n));
+            assert_eq!(a.coordinates(*n), c.coordinates(*n));
         }
     }
 

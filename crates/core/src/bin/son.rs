@@ -36,6 +36,15 @@
 //!                                                  print the route-provenance trace
 //!                                                  of one request, cold (cache
 //!                                                  miss) and warm (cache hit)
+//! son scale    [--proxies N] [--seed S] [--threads T] [--smoke]
+//!                                                  build the world twice (1 thread,
+//!                                                  then T), verify the snapshots are
+//!                                                  identical, print per-stage wall
+//!                                                  times, then route over a
+//!                                                  three-level hierarchy and check
+//!                                                  every path; exits non-zero on any
+//!                                                  mismatch, missing build span, or
+//!                                                  path-validity violation
 //! ```
 //!
 //! Any subcommand also accepts `--metrics <path>`: telemetry is
@@ -47,12 +56,14 @@
 
 use son_core::export::{hfc_to_dot, hfc_to_text, physical_to_dot};
 use son_core::{
-    AdmissionConfig, CostConfig, Engine, EngineConfig, Environment, FaultPlan, FlatProvider,
-    Health, HierProvider, MultiLevelProvider, NodeId, OverheadKind, ProtocolConfig, ProxyId,
-    RouterProvider, Scenario, ServeOutcome, ServiceOverlay, SimTime, SonConfig, StateProtocol,
-    ZahnConfig,
+    AdmissionConfig, BuildStage, CostConfig, Engine, EngineConfig, Environment, FaultPlan,
+    FlatProvider, Health, HierProvider, HierarchyConfig, MultiLevelProvider, NodeId, OverheadKind,
+    ProtocolConfig, ProxyId, Router, RouterProvider, Scenario, ServeOutcome, ServiceOverlay,
+    SimTime, SonConfig, StateProtocol,
 };
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 struct Args {
     proxies: usize,
@@ -65,6 +76,7 @@ struct Args {
     router: String,
     smoke: bool,
     request: usize,
+    threads: usize,
     metrics: Option<std::path::PathBuf>,
 }
 
@@ -80,6 +92,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         router: "hier".to_string(),
         smoke: false,
         request: 0,
+        threads: 0,
         metrics: None,
     };
     let mut it = argv.iter();
@@ -128,6 +141,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--request: {e}"))?
             }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
             "--metrics" => args.metrics = Some(value("--metrics")?.into()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -136,19 +154,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 }
 
 fn environment(proxies: usize, seed: u64) -> Environment {
-    match proxies {
-        250 | 500 | 750 | 1000 => Environment::table1(proxies, seed),
-        _ => Environment {
-            physical_nodes: ((proxies * 6) / 5).max(60),
-            landmarks: 10.min(proxies / 2).max(3),
-            proxies,
-            clients: (proxies / 6).max(2),
-            services_per_proxy: (4, 10),
-            request_length: (4, 10),
-            service_universe: 60,
-            seed,
-        },
-    }
+    Environment::scaled(proxies, seed)
 }
 
 fn build(args: &Args) -> ServiceOverlay {
@@ -340,31 +346,36 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     };
     // Generic over the provider so one driver serves all three routers.
     fn drive<P: RouterProvider<son_core::CoordDelays>>(
-        overlay: &ServiceOverlay,
+        snapshot: son_core::EngineSnapshot<son_core::CoordDelays>,
         provider: P,
         config: EngineConfig,
         batch: &[son_core::ServiceRequest],
     ) -> (ServeOutcome, ServeOutcome) {
-        let engine = Engine::new(overlay.engine_snapshot(), provider, config);
+        let engine = Engine::new(snapshot, provider, config);
         (engine.serve(batch), engine.serve(batch))
     }
     let (cold, warm) = match args.router.as_str() {
         "hier" => drive(
-            &overlay,
+            overlay.engine_snapshot(),
             HierProvider {
                 config: overlay.config().hier,
             },
             config,
             &batch,
         ),
-        "flat" => drive(&overlay, FlatProvider, config, &batch),
+        "flat" => drive(overlay.engine_snapshot(), FlatProvider, config, &batch),
         "multilevel" => {
-            let provider = MultiLevelProvider::for_snapshot(
-                &overlay.engine_snapshot(),
-                &ZahnConfig::default(),
-                overlay.config().hier,
-            );
-            drive(&overlay, provider, config, &batch)
+            // The snapshot carries the recursive hierarchy; the
+            // provider routes over all its levels.
+            let hierarchy = Arc::new(overlay.hierarchy_with_depth(&HierarchyConfig::default(), 3));
+            drive(
+                overlay.engine_snapshot_with_hierarchy(hierarchy),
+                MultiLevelProvider {
+                    config: overlay.config().hier,
+                },
+                config,
+                &batch,
+            )
         }
         other => {
             return Err(format!(
@@ -630,11 +641,150 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_scale(args: &Args) -> Result<(), String> {
+    // Telemetry on unconditionally: the build spans are part of what
+    // this command verifies.
+    son_core::set_telemetry_enabled(true);
+    let proxies = if args.smoke {
+        1_000
+    } else {
+        args.proxies.max(1_000)
+    };
+    let rows_limit = (proxies / 100).max(64);
+    let mut config = SonConfig::from_environment(Environment::scaled(proxies, args.seed));
+    config.delay_rows_limit = Some(rows_limit);
+    println!(
+        "world      : {proxies} proxies, seed {}, delay rows capped at {rows_limit}",
+        args.seed
+    );
+
+    // Reference build on one thread, then the parallel build; the two
+    // must produce bit-identical overlays.
+    config.threads = 1;
+    let t0 = Instant::now();
+    let sequential = ServiceOverlay::build(&config);
+    let seq_wall = t0.elapsed();
+    config.threads = args.threads; // 0 = all cores
+    let t1 = Instant::now();
+    let overlay = ServiceOverlay::build(&config);
+    let par_wall = t1.elapsed();
+
+    println!(
+        "build      : {:.0}ms on 1 thread, {:.0}ms on {} ({:.2}x)",
+        seq_wall.as_secs_f64() * 1e3,
+        par_wall.as_secs_f64() * 1e3,
+        if args.threads == 0 {
+            "all cores".to_string()
+        } else {
+            format!("{} threads", args.threads)
+        },
+        seq_wall.as_secs_f64() / par_wall.as_secs_f64().max(1e-9),
+    );
+    for (stage, seq_d) in sequential.stats().timings.iter() {
+        let par_d = overlay.stats().timings.get(stage);
+        println!(
+            "  {:<10} : {:>8.1}ms -> {:>8.1}ms",
+            stage.name(),
+            seq_d.as_secs_f64() * 1e3,
+            par_d.as_secs_f64() * 1e3,
+        );
+    }
+
+    // Snapshot equality: the parallel pipeline is only an optimization.
+    let seq_digest = sequential.engine_snapshot().digest();
+    let par_digest = overlay.engine_snapshot().digest();
+    println!("digest     : {seq_digest:016x} (sequential) vs {par_digest:016x} (parallel)");
+    if seq_digest != par_digest || sequential.hfc().snapshot() != overlay.hfc().snapshot() {
+        return Err("parallel build diverged from the sequential build".to_string());
+    }
+
+    // Every pipeline stage must have reported its span.
+    let registry = son_core::telemetry();
+    for stage in BuildStage::ALL {
+        let key = format!("span.build.{}_us", stage.name());
+        if registry.histogram(&key).count() == 0 {
+            return Err(format!("missing build-stage span {key}"));
+        }
+    }
+
+    // A three-level hierarchy over the parallel build, routed end to
+    // end; every returned path must validate.
+    let hierarchy = overlay.hierarchy_with_depth(
+        &HierarchyConfig {
+            threads: args.threads,
+            ..HierarchyConfig::default()
+        },
+        3,
+    );
+    println!(
+        "hierarchy  : depth {}, {} superclusters over {} clusters",
+        hierarchy.depth(),
+        hierarchy.unit_count(hierarchy.top_level()),
+        overlay.hfc().cluster_count(),
+    );
+    let (c2, s2) = son_core::Hierarchy::build_with_depth(
+        overlay.hfc(),
+        overlay.predicted_delays(),
+        &HierarchyConfig::default(),
+        2,
+    )
+    .mean_overheads(overlay.hfc());
+    let (c3, s3) = hierarchy.mean_overheads(overlay.hfc());
+    println!("state      : coords {c2:.1} -> {c3:.1}, services {s2:.1} -> {s3:.1} per proxy");
+
+    let router = overlay.multilevel_router(&hierarchy);
+    let requests = overlay.generate_client_requests(args.requests.max(30), args.seed ^ 0xF00D);
+    let mut routed = 0usize;
+    let mut violations = 0usize;
+    let mut true_ms = 0.0;
+    for request in &requests {
+        if let Ok(path) = router.route_path(request) {
+            routed += 1;
+            if path
+                .validate(request, |p, s| overlay.carries(p, s))
+                .is_err()
+            {
+                violations += 1;
+            }
+            // Price the path on measured delays too: this drives the
+            // bounded cache, so the row-cap check below is exercised
+            // under real lookups.
+            true_ms += overlay.true_length(&path);
+        }
+    }
+    println!(
+        "routing    : {routed}/{} requests routed, {violations} validity violations, \
+         mean measured latency {:.1}ms",
+        requests.len(),
+        true_ms / (routed.max(1)) as f64,
+    );
+    if routed == 0 {
+        return Err("no request routed over the hierarchy".to_string());
+    }
+    if violations != 0 {
+        return Err(format!("{violations} multilevel paths failed validation"));
+    }
+
+    // The lazy-delay cap must have held through everything above.
+    let computed = overlay.true_delays().computed_rows();
+    println!(
+        "delay rows : {computed} computed (cap {rows_limit}), {} evicted",
+        overlay.true_delays().evicted_rows()
+    );
+    if computed > rows_limit {
+        return Err(format!(
+            "delay cache exceeded its bound: {computed} rows > {rows_limit}"
+        ));
+    }
+    println!("scale checks passed");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
         eprintln!(
-            "usage: son <build|route|overhead|export|protocol|serve|faults|overload|metrics|trace> [flags]"
+            "usage: son <build|route|overhead|export|protocol|serve|faults|overload|metrics|trace|scale> [flags]"
         );
         return ExitCode::FAILURE;
     };
@@ -670,6 +820,7 @@ fn main() -> ExitCode {
         "overload" => cmd_overload(&args),
         "metrics" => cmd_metrics(&args),
         "trace" => cmd_trace(&args),
+        "scale" => cmd_scale(&args),
         other => Err(format!("unknown command {other}")),
     };
     // Snapshot even on failure — a failing run's metrics are exactly

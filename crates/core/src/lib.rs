@@ -37,7 +37,7 @@ pub mod multilevel;
 pub mod overlay_system;
 
 pub use membership::{ChurnStats, DynamicOverlay};
-pub use multilevel::{MultiLevelHfc, MultiLevelProvider, MultiLevelRouter, SuperClusterId};
+pub use multilevel::{MultiLevelHfc, SuperClusterId};
 pub use overlay_system::{
     BuildStage, BuildStats, OverlayBuilder, ServiceOverlay, SonConfig, StageTimings,
 };
@@ -54,25 +54,27 @@ pub use son_coords::{
 };
 pub use son_engine::{
     AdmissionConfig, AdmissionStats, CacheStats, Disposition, Engine, EngineConfig, EngineSnapshot,
-    FlatProvider, HierProvider, LatencySummary, LookupOutcome, RejectReason, RouteCache, RouteKey,
-    RouterProvider, ServeOutcome, ServeReport,
+    FlatProvider, HierProvider, LatencySummary, LookupOutcome, MultiLevelProvider, RejectReason,
+    RouteCache, RouteKey, RouterProvider, ServeOutcome, ServeReport,
 };
 pub use son_netsim::{
     Actor, CrashEvent, Ctx, DelayMeasurer, EventQueue, FaultPlan, Graph, MeasureConfig, NodeId,
     NodeKind, Partition, PhysicalNetwork, SimStats, SimTime, Simulator, TransitStubConfig,
 };
 pub use son_overlay::{
-    BorderPair, BorderSelection, CachedDelays, ClusterId, CoordDelays, DelayMatrix, DelayModel,
-    Health, HfcDelays, HfcSnapshot, HfcTopology, MeshConfig, MeshTopology, Proxy, ProxyId,
-    ProxyStatus, QosProfile, QosRequirement, ServiceGraph, ServiceId, ServiceRegistry,
-    ServiceRequest, ServiceSet, StageId, StatusMap, UNCAPPED,
+    cluster_representatives, BorderPair, BorderSelection, CachedDelays, ClusterId, CoordDelays,
+    DelayMatrix, DelayModel, Health, HfcDelays, HfcSnapshot, HfcTopology, Hierarchy,
+    HierarchyConfig, MeshConfig, MeshTopology, Proxy, ProxyId, ProxyStatus, QosProfile,
+    QosRequirement, ServiceGraph, ServiceId, ServiceRegistry, ServiceRequest, ServiceSet, StageId,
+    StatusMap, UNCAPPED,
 };
 pub use son_routing::fixtures;
 pub use son_routing::{
     request_trace, resolve_distributed, solve_service_dag, trace_hops, Assignment, BasicTraced,
     ChildSpec, CostConfig, CostModel, FlatRouter, HierConfig, HierRoute, HierarchicalRouter,
-    LoadAwareDelays, PathBuilder, PathHop, ProviderIndex, ProviderLookup, RouteError, RoutePlan,
-    Router, ServicePath, SessionReport, TraceRouter, Traced, ValidatePathError,
+    LoadAwareDelays, MultiLevelRouter, PathBuilder, PathHop, ProviderIndex, ProviderLookup,
+    RouteError, RoutePlan, Router, ServicePath, SessionReport, TraceRouter, Traced,
+    ValidatePathError,
 };
 pub use son_state::{
     flat_overhead, hfc_overhead, ClusterLoad, ClusterLoadRow, ConvergenceChecker, OverheadKind,

@@ -2,10 +2,12 @@
 //!
 //! The paper's HFC topology is bi-level ("in a bi-level HFC hierarchy,
 //! two nodes are at most two nodes away") and its scalability argument
-//! is the state reduction of Figure 9. This module extends the *state
-//! aggregation* story one level up: level-1 clusters are themselves
-//! clustered (same Zahn method, single-linkage distances between
-//! clusters), and a proxy then keeps
+//! is the state reduction of Figure 9. This module keeps the original
+//! three-level *vocabulary* ([`MultiLevelHfc`], [`SuperClusterId`]) as
+//! a thin view over the recursive [`Hierarchy`](son_overlay::Hierarchy)
+//! of `son-overlay`, pinned at depth 3: level-1 clusters are clustered
+//! again (same Zahn method over cluster-representative distances), and
+//! a proxy then keeps
 //!
 //! * coordinates: its own cluster's members, the border proxies of the
 //!   clusters **within its own supercluster**, and the border proxies
@@ -14,12 +16,22 @@
 //!   cluster in its supercluster, and one super-aggregate per other
 //!   supercluster.
 //!
-//! Routing over three levels is not implemented (the paper's routing is
-//! bi-level); this module quantifies how much further the Figure 9
-//! curves drop when a deployment outgrows two levels.
+//! Earlier revisions computed the supercluster grouping with a
+//! single-linkage closest-pair scan — `O(|A|·|B|)` delay queries per
+//! cluster pair, quadratic in members and hopeless at 10k proxies. The
+//! recursive hierarchy replaces that with per-cluster representatives
+//! (approximate medoids) and elects borders by descending to the
+//! closest representative pair, so the wrapper inherits the scalable
+//! construction for free.
+//!
+//! Routing over three (and more) levels lives in
+//! [`son_routing::MultiLevelRouter`]; the serving-engine provider is
+//! [`son_engine::MultiLevelProvider`], fed by an
+//! [`EngineSnapshot`](son_engine::EngineSnapshot) carrying the
+//! hierarchy.
 
-use son_clustering::{mst_complete, ZahnClusterer, ZahnConfig};
-use son_overlay::{ClusterId, DelayModel, HfcTopology, ProxyId};
+use son_clustering::ZahnConfig;
+use son_overlay::{ClusterId, DelayModel, HfcTopology, Hierarchy, HierarchyConfig, ProxyId};
 
 /// Identifier of a supercluster (dense index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -38,77 +50,56 @@ impl SuperClusterId {
 }
 
 /// A three-level hierarchy: proxies → clusters → superclusters.
-#[derive(Debug, Clone)]
+///
+/// A depth-3 view over the recursive [`Hierarchy`]; superclusters are
+/// the hierarchy's level-2 groups.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiLevelHfc {
-    super_of: Vec<SuperClusterId>,
+    hierarchy: Hierarchy,
     super_members: Vec<Vec<ClusterId>>,
-    /// `super_borders[i][j]`: the proxy inside supercluster `i` that
-    /// borders supercluster `j`.
-    super_borders: Vec<Vec<Option<ProxyId>>>,
 }
 
 impl MultiLevelHfc {
     /// Groups the level-1 clusters of `hfc` into superclusters with the
-    /// same Zahn method, using single-linkage (closest proxy pair)
-    /// distances between clusters, and selects closest-pair border
-    /// proxies between superclusters.
-    pub fn build<D: DelayModel>(hfc: &HfcTopology, delays: &D, zahn: &ZahnConfig) -> Self {
-        let c = hfc.cluster_count();
-        // Single-linkage distance between two clusters.
-        let cluster_dist = |a: usize, b: usize| -> f64 {
-            let mut best = f64::INFINITY;
-            for &x in hfc.members(ClusterId::new(a)) {
-                for &y in hfc.members(ClusterId::new(b)) {
-                    best = best.min(delays.delay(x, y));
-                }
-            }
-            best
+    /// same Zahn method over cluster-representative distances, and
+    /// elects closest-pair border proxies between superclusters.
+    pub fn build<D: DelayModel + Sync>(hfc: &HfcTopology, delays: &D, zahn: &ZahnConfig) -> Self {
+        let config = HierarchyConfig {
+            zahn: zahn.clone(),
+            ..HierarchyConfig::default()
         };
-        let mst = mst_complete(c, cluster_dist);
-        let clustering = ZahnClusterer::new(zahn.clone()).cluster(&mst);
+        Self::from_hierarchy(Hierarchy::build_with_depth(hfc, delays, &config, 3))
+    }
 
-        let super_of: Vec<SuperClusterId> = (0..c)
-            .map(|cl| SuperClusterId::new(clustering.cluster_of(cl)))
-            .collect();
-        let super_members: Vec<Vec<ClusterId>> = (0..clustering.len())
+    /// Wraps an already-built hierarchy (clamped views of deeper
+    /// hierarchies work too: superclusters are its level-2 groups).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hierarchy` is only two levels deep.
+    pub fn from_hierarchy(hierarchy: Hierarchy) -> Self {
+        assert!(
+            hierarchy.depth() >= 3,
+            "a bi-level hierarchy has no superclusters"
+        );
+        let super_members: Vec<Vec<ClusterId>> = (0..hierarchy.unit_count(2))
             .map(|s| {
-                clustering
-                    .members(s)
+                hierarchy
+                    .members(2, s)
                     .iter()
-                    .map(|&cl| ClusterId::new(cl))
+                    .map(|&c| ClusterId::new(c))
                     .collect()
             })
             .collect();
-
-        // Closest-pair borders between superclusters, over raw proxies.
-        let k = super_members.len();
-        let mut super_borders = vec![vec![None; k]; k];
-        for i in 0..k {
-            for j in (i + 1)..k {
-                let mut best: Option<(ProxyId, ProxyId, f64)> = None;
-                for &ca in &super_members[i] {
-                    for &cb in &super_members[j] {
-                        for &x in hfc.members(ca) {
-                            for &y in hfc.members(cb) {
-                                let d = delays.delay(x, y);
-                                if best.is_none_or(|(_, _, bd)| d < bd) {
-                                    best = Some((x, y, d));
-                                }
-                            }
-                        }
-                    }
-                }
-                let (bx, by, _) = best.expect("superclusters are non-empty");
-                super_borders[i][j] = Some(bx);
-                super_borders[j][i] = Some(by);
-            }
-        }
-
         MultiLevelHfc {
-            super_of,
+            hierarchy,
             super_members,
-            super_borders,
         }
+    }
+
+    /// The underlying recursive hierarchy (depth ≥ 3).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
     }
 
     /// Number of superclusters.
@@ -122,7 +113,7 @@ impl MultiLevelHfc {
     ///
     /// Panics if `cluster` is out of range.
     pub fn super_of(&self, cluster: ClusterId) -> SuperClusterId {
-        self.super_of[cluster.index()]
+        SuperClusterId::new(self.hierarchy.group_of(1, cluster.index()))
     }
 
     /// The clusters of `supercluster`.
@@ -136,13 +127,15 @@ impl MultiLevelHfc {
 
     /// Distinct border proxies between superclusters.
     pub fn all_super_border_proxies(&self) -> Vec<ProxyId> {
-        let mut out: Vec<ProxyId> = self
-            .super_borders
-            .iter()
-            .flatten()
-            .flatten()
-            .copied()
-            .collect();
+        let k = self.supercluster_count();
+        let mut out = Vec::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                let pair = self.hierarchy.border(2, i, j);
+                out.push(pair.local);
+                out.push(pair.remote);
+            }
+        }
         out.sort();
         out.dedup();
         out
@@ -152,47 +145,20 @@ impl MultiLevelHfc {
     /// own cluster members + borders of the clusters within the own
     /// supercluster + supercluster borders system-wide.
     pub fn coordinate_overhead_of(&self, hfc: &HfcTopology, proxy: ProxyId) -> usize {
-        let own_cluster = hfc.cluster_of(proxy);
-        let own_super = self.super_of(own_cluster);
-        let mut visible: Vec<ProxyId> = hfc.members(own_cluster).to_vec();
-        // Borders between clusters inside the own supercluster only.
-        for &ca in self.members(own_super) {
-            for &cb in self.members(own_super) {
-                if ca < cb {
-                    let pair = hfc.border(ca, cb);
-                    visible.push(pair.local);
-                    visible.push(pair.remote);
-                }
-            }
-        }
-        visible.extend(self.all_super_border_proxies());
-        visible.sort();
-        visible.dedup();
-        visible.len()
+        self.hierarchy.coordinate_overhead_of(hfc, proxy)
     }
 
     /// Service-capability node-states of `proxy` under three levels:
     /// own cluster members + one aggregate per sibling cluster + one
     /// super-aggregate per other supercluster.
     pub fn service_overhead_of(&self, hfc: &HfcTopology, proxy: ProxyId) -> usize {
-        let own_cluster = hfc.cluster_of(proxy);
-        let own_super = self.super_of(own_cluster);
-        hfc.members(own_cluster).len()
-            + self.members(own_super).len()
-            + self.supercluster_count().saturating_sub(1)
+        self.hierarchy.service_overhead_of(hfc, proxy)
     }
 
     /// Mean per-proxy overheads `(coordinates, services)` across the
     /// overlay.
     pub fn mean_overheads(&self, hfc: &HfcTopology) -> (f64, f64) {
-        let n = hfc.proxy_count();
-        let mut coords = 0usize;
-        let mut services = 0usize;
-        for p in 0..n {
-            coords += self.coordinate_overhead_of(hfc, ProxyId::new(p));
-            services += self.service_overhead_of(hfc, ProxyId::new(p));
-        }
-        (coords as f64 / n as f64, services as f64 / n as f64)
+        self.hierarchy.mean_overheads(hfc)
     }
 }
 
@@ -248,6 +214,13 @@ mod tests {
             ml.super_of(ClusterId::new(0)),
             ml.super_of(ClusterId::new(2))
         );
+        // Membership lists agree with the membership map.
+        for s in 0..ml.supercluster_count() {
+            let s = SuperClusterId::new(s);
+            for &c in ml.members(s) {
+                assert_eq!(ml.super_of(c), s);
+            }
+        }
     }
 
     #[test]
@@ -296,651 +269,24 @@ mod tests {
         // Services: 3 members + 2 clusters in own super + 1 other super.
         assert_eq!(ml.service_overhead_of(&hfc, ProxyId::new(0)), 6);
     }
-}
-
-/// Divide-and-conquer routing over **three** levels: the paper's
-/// Section 5 algorithm applied recursively.
-///
-/// The destination proxy first computes a *supercluster-level* service
-/// path from super-aggregates (one service set per supercluster), using
-/// supercluster border pairs as the links; each per-supercluster child
-/// request is then resolved by the ordinary bi-level
-/// [`HierarchicalRouter`] restricted to that supercluster's clusters;
-/// finally the child paths are composed with the super-border glue
-/// hops.
-///
-/// Knowledge model: the top level sees super-aggregates and
-/// super-border coordinates; each supercluster child sees its member
-/// clusters' aggregates; each cluster child sees its members — the
-/// natural extension of the paper's visibility rules.
-#[derive(Debug)]
-pub struct MultiLevelRouter<'a, D> {
-    hfc: &'a son_overlay::HfcTopology,
-    ml: &'a MultiLevelHfc,
-    delays: D,
-    sub_routers: Vec<son_routing::HierarchicalRouter<'a, D>>,
-    super_aggregates: Vec<son_overlay::ServiceSet>,
-}
-
-impl<'a, D> MultiLevelRouter<'a, D>
-where
-    D: son_overlay::DelayModel,
-{
-    /// Builds the three-level router from installed services.
-    ///
-    /// The delay model is held by value and handed to every
-    /// per-supercluster sub-router, hence `Copy` — satisfied by the
-    /// usual `&DelayMatrix` and by `LoadAwareDelays`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `services.len()` differs from the proxy count.
-    pub fn from_services(
-        hfc: &'a son_overlay::HfcTopology,
-        ml: &'a MultiLevelHfc,
-        services: &'a [son_overlay::ServiceSet],
-        delays: D,
-        config: son_routing::HierConfig,
-    ) -> Self
-    where
-        D: Copy,
-    {
-        use son_state::{SctC, SctP};
-        assert_eq!(
-            services.len(),
-            hfc.proxy_count(),
-            "one service set per proxy required"
-        );
-        // Cluster tables (shared by every sub-router).
-        let mut cluster_tables = Vec::with_capacity(hfc.cluster_count());
-        for c in hfc.clusters() {
-            let mut table = SctP::new();
-            for &m in hfc.members(c) {
-                table.update(m, services[m.index()].clone());
-            }
-            cluster_tables.push(table);
-        }
-        // One bi-level router per supercluster, whose aggregate view is
-        // restricted to its member clusters.
-        let mut sub_routers = Vec::with_capacity(ml.supercluster_count());
-        let mut super_aggregates = Vec::with_capacity(ml.supercluster_count());
-        for s in 0..ml.supercluster_count() {
-            let mut sctc = SctC::new();
-            let mut aggregate = son_overlay::ServiceSet::new();
-            for &c in ml.members(SuperClusterId::new(s)) {
-                let cluster_aggregate = cluster_tables[c.index()].aggregate();
-                aggregate.merge(&cluster_aggregate);
-                sctc.update(c, cluster_aggregate);
-            }
-            sub_routers.push(son_routing::HierarchicalRouter::from_tables(
-                hfc,
-                sctc,
-                &cluster_tables,
-                delays,
-                config,
-            ));
-            super_aggregates.push(aggregate);
-        }
-        MultiLevelRouter {
-            hfc,
-            ml,
-            delays,
-            sub_routers,
-            super_aggregates,
-        }
-    }
-
-    /// The aggregate service set of each supercluster.
-    pub fn super_aggregates(&self) -> &[son_overlay::ServiceSet] {
-        &self.super_aggregates
-    }
-
-    /// Routes `request` through the three-level hierarchy.
-    ///
-    /// # Errors
-    ///
-    /// [`son_routing::RouteError::NoProvider`] when some demanded
-    /// service appears in no super-aggregate;
-    /// [`son_routing::RouteError::Infeasible`] when no configuration
-    /// can be mapped.
-    pub fn route(
-        &self,
-        request: &son_overlay::ServiceRequest,
-    ) -> Result<son_routing::ServicePath, son_routing::RouteError> {
-        use son_overlay::{ProxyId, ServiceGraph, ServiceRequest};
-        use son_routing::{PathBuilder, RouteError};
-        use std::collections::BTreeMap;
-
-        let super_of_proxy =
-            |p: ProxyId| -> SuperClusterId { self.ml.super_of(self.hfc.cluster_of(p)) };
-        let src_super = super_of_proxy(request.source);
-        let dst_super = super_of_proxy(request.destination);
-        let graph = &request.graph;
-
-        // ---- Top-level map + shortest path over superclusters ----
-        // State: (stage, supercluster, entry proxy).
-        let mut candidates: Vec<Vec<SuperClusterId>> = Vec::with_capacity(graph.len());
-        for stage in graph.stage_ids() {
-            let service = graph.service(stage);
-            let supers: Vec<SuperClusterId> = (0..self.ml.supercluster_count())
-                .filter(|&s| self.super_aggregates[s].contains(service))
-                .map(SuperClusterId::new)
-                .collect();
-            if supers.is_empty() {
-                return Err(RouteError::NoProvider(service));
-            }
-            candidates.push(supers);
-        }
-        let super_border = |a: SuperClusterId, b: SuperClusterId| -> (ProxyId, ProxyId) {
-            let local = self.ml.super_borders[a.index()][b.index()]
-                .expect("off-diagonal super borders exist");
-            let remote = self.ml.super_borders[b.index()][a.index()]
-                .expect("off-diagonal super borders exist");
-            (local, remote)
-        };
-        let step = |entry: ProxyId, from: SuperClusterId, to: SuperClusterId| -> (f64, ProxyId) {
-            if from == to {
-                return (0.0, entry);
-            }
-            let (local, remote) = super_border(from, to);
-            (
-                self.delays.delay(entry, local) + self.delays.delay(local, remote),
-                remote,
-            )
-        };
-
-        type Key = (u32, u32); // (super, entry)
-        type StateMap = BTreeMap<Key, (f64, Option<(usize, Key)>)>;
-        let order = graph
-            .topological_order()
-            .expect("service graphs are validated acyclic");
-        let mut states: Vec<StateMap> = vec![BTreeMap::new(); graph.len()];
-        for &stage in &order {
-            let si = stage.index();
-            for &sup in &candidates[si] {
-                if graph.predecessors(stage).is_empty() {
-                    let (cost, entry) = step(request.source, src_super, sup);
-                    let key = (sup.index() as u32, entry.index() as u32);
-                    match states[si].get(&key) {
-                        Some(&(c, _)) if c <= cost => {}
-                        _ => {
-                            states[si].insert(key, (cost, None));
-                        }
-                    }
-                } else {
-                    for &pred in graph.predecessors(stage) {
-                        let pi = pred.index();
-                        let prev: Vec<(Key, f64)> =
-                            states[pi].iter().map(|(&k, &(c, _))| (k, c)).collect();
-                        for (pkey, pcost) in prev {
-                            let pentry = ProxyId::new(pkey.1 as usize);
-                            let psuper = SuperClusterId::new(pkey.0 as usize);
-                            let (cost, entry) = step(pentry, psuper, sup);
-                            let key = (sup.index() as u32, entry.index() as u32);
-                            let total = pcost + cost;
-                            match states[si].get(&key) {
-                                Some(&(c, _)) if c <= total => {}
-                                _ => {
-                                    states[si].insert(key, (total, Some((pi, pkey))));
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-
-        // Intra-super relay expansion: a hop between two proxies of the
-        // same supercluster must still respect cluster-border
-        // connectivity — delegate to that supercluster's bi-level
-        // router with an empty service graph.
-        let splice_relay =
-            |path: &mut PathBuilder, sup: SuperClusterId, to: ProxyId| -> Result<(), RouteError> {
-                if path.current() == to {
-                    return Ok(());
-                }
-                let child = ServiceRequest::new(path.current(), ServiceGraph::linear(vec![]), to);
-                let sub = self.sub_routers[sup.index()].route(&child)?;
-                path.splice(&sub.path);
-                Ok(())
-            };
-
-        // Close at the destination and pick the best sink state (or the
-        // pure relay path for an empty graph).
-        if graph.is_empty() {
-            let mut path = PathBuilder::start(request.source);
-            if src_super != dst_super {
-                let (local, remote) = super_border(src_super, dst_super);
-                splice_relay(&mut path, src_super, local)?;
-                path.relay(remote);
-            }
-            splice_relay(&mut path, dst_super, request.destination)?;
-            return Ok(path.finish(request.destination));
-        }
-        let mut best: Option<(f64, usize, Key)> = None;
-        for sink in graph.sinks() {
-            let si = sink.index();
-            for (&key, &(cost, _)) in &states[si] {
-                let entry = ProxyId::new(key.1 as usize);
-                let sup = SuperClusterId::new(key.0 as usize);
-                let (close, _) = step(entry, sup, dst_super);
-                let total = cost + close;
-                if best.is_none_or(|(b, _, _)| total < b) {
-                    best = Some((total, si, key));
-                }
-            }
-        }
-        let (_, mut si, mut key) = best.ok_or(RouteError::Infeasible)?;
-        let mut chain: Vec<(usize, SuperClusterId)> = Vec::new();
-        loop {
-            chain.push((si, SuperClusterId::new(key.0 as usize)));
-            match states[si].get(&key).and_then(|&(_, p)| p) {
-                Some((psi, pkey)) => {
-                    si = psi;
-                    key = pkey;
-                }
-                None => break,
-            }
-        }
-        chain.reverse();
-
-        // ---- Dissect into per-supercluster groups ----
-        let mut groups: Vec<(SuperClusterId, Vec<usize>)> = Vec::new();
-        for &(stage_index, sup) in &chain {
-            match groups.last_mut() {
-                Some((s, stages)) if *s == sup => stages.push(stage_index),
-                _ => groups.push((sup, vec![stage_index])),
-            }
-        }
-
-        // ---- Solve each group with its bi-level sub-router ----
-        let mut path = PathBuilder::start(request.source);
-        let mut prev_super = src_super;
-        for (gi, (sup, stage_indices)) in groups.iter().enumerate() {
-            if *sup != prev_super {
-                let (local, remote) = super_border(prev_super, *sup);
-                splice_relay(&mut path, prev_super, local)?;
-                path.relay(remote);
-            }
-            let child_source = path.current();
-            let child_dest = if gi + 1 < groups.len() {
-                super_border(*sup, groups[gi + 1].0).0
-            } else if *sup == dst_super {
-                request.destination
-            } else {
-                super_border(*sup, dst_super).0
-            };
-            let child_graph = ServiceGraph::linear(
-                stage_indices
-                    .iter()
-                    .map(|&i| graph.service(son_overlay::StageId::new(i)))
-                    .collect(),
-            );
-            let child = ServiceRequest::new(child_source, child_graph, child_dest);
-            let sub = self.sub_routers[sup.index()].route(&child)?;
-            path.splice(&sub.path);
-            prev_super = *sup;
-        }
-        if prev_super != dst_super {
-            let (local, remote) = super_border(prev_super, dst_super);
-            splice_relay(&mut path, prev_super, local)?;
-            path.relay(remote);
-        }
-        splice_relay(&mut path, dst_super, request.destination)?;
-        Ok(path.finish(request.destination))
-    }
-}
-
-impl<D> son_routing::Router for MultiLevelRouter<'_, D>
-where
-    D: son_overlay::DelayModel,
-{
-    fn route_path(
-        &self,
-        request: &son_overlay::ServiceRequest,
-    ) -> Result<son_routing::ServicePath, son_routing::RouteError> {
-        self.route(request)
-    }
-}
-
-/// Serving-engine provider of the three-level router.
-///
-/// The supercluster hierarchy is derived once from a snapshot and kept
-/// on the provider, which then *lends* it to every router it builds
-/// (the `&'a self` receiver of [`son_engine::RouterProvider::router`]
-/// exists for exactly this). The hierarchy describes a specific
-/// topology, so after churn — i.e. after installing a new snapshot
-/// into the engine — build a fresh provider from that snapshot.
-#[derive(Debug, Clone)]
-pub struct MultiLevelProvider {
-    ml: MultiLevelHfc,
-    config: son_routing::HierConfig,
-}
-
-impl MultiLevelProvider {
-    /// Derives the supercluster hierarchy from `snapshot`.
-    pub fn for_snapshot<D: DelayModel>(
-        snapshot: &son_engine::EngineSnapshot<D>,
-        zahn: &ZahnConfig,
-        config: son_routing::HierConfig,
-    ) -> Self {
-        MultiLevelProvider {
-            ml: MultiLevelHfc::build(snapshot.hfc(), snapshot.delays(), zahn),
-            config,
-        }
-    }
-
-    /// The derived supercluster hierarchy.
-    pub fn hierarchy(&self) -> &MultiLevelHfc {
-        &self.ml
-    }
-}
-
-impl<D: DelayModel> son_engine::RouterProvider<D> for MultiLevelProvider {
-    fn router<'a>(
-        &'a self,
-        snapshot: &'a son_engine::EngineSnapshot<D>,
-    ) -> Box<dyn son_routing::Router + 'a> {
-        Box::new(MultiLevelRouter::from_services(
-            snapshot.hfc(),
-            &self.ml,
-            snapshot.services(),
-            snapshot.route_delays(),
-            self.config,
-        ))
-    }
-
-    fn name(&self) -> &'static str {
-        "multilevel"
-    }
-}
-
-#[cfg(test)]
-mod router_tests {
-    use super::*;
-    use son_clustering::Clustering;
-    use son_overlay::{DelayMatrix, ProxyId, ServiceGraph, ServiceId, ServiceRequest, ServiceSet};
-    use son_routing::HierConfig;
-
-    fn sid(i: usize) -> ServiceId {
-        ServiceId::new(i)
-    }
-
-    /// Two superclusters far apart, two clusters each, three proxies
-    /// per cluster; service `i % 4` on proxy `i`, plus service 9 only
-    /// in the remote supercluster.
-    fn routed_world() -> (HfcTopology, DelayMatrix, Vec<ServiceSet>) {
-        let mut pos = Vec::new();
-        let mut labels = Vec::new();
-        let mut label = 0;
-        for super_x in [0.0, 100_000.0] {
-            for cluster_dx in [0.0, 1_000.0] {
-                for i in 0..3 {
-                    pos.push(super_x + cluster_dx + i as f64 * 2.0);
-                    labels.push(label);
-                }
-                label += 1;
-            }
-        }
-        let n = pos.len();
-        let mut values = vec![0.0; n * n];
-        for i in 0..n {
-            for j in 0..n {
-                values[i * n + j] = (pos[i] - pos[j]).abs();
-            }
-        }
-        let delays = DelayMatrix::from_values(n, values);
-        let hfc = HfcTopology::build(&Clustering::from_labels(&labels), &delays);
-        let services: Vec<ServiceSet> = (0..n)
-            .map(|i| {
-                let mut set = ServiceSet::from_iter([sid(i % 4)]);
-                if i >= 6 {
-                    set.insert(sid(9));
-                }
-                set
-            })
-            .collect();
-        (hfc, delays, services)
-    }
 
     #[test]
-    fn three_level_route_is_feasible_and_crosses_super_borders() {
-        let (hfc, delays, services) = routed_world();
+    fn wrapper_agrees_with_the_hierarchy_it_wraps() {
+        let (hfc, delays) = nested_world();
         let ml = MultiLevelHfc::build(&hfc, &delays, &ZahnConfig::default());
-        assert_eq!(ml.supercluster_count(), 2);
-        let router =
-            MultiLevelRouter::from_services(&hfc, &ml, &services, &delays, HierConfig::default());
-        // Service 9 exists only in the far supercluster: the path must
-        // cross exactly one super-border pair each way or terminate
-        // there.
-        let request = ServiceRequest::new(
-            ProxyId::new(0),
-            ServiceGraph::linear(vec![sid(9)]),
-            ProxyId::new(1),
-        );
-        let path = router.route(&request).unwrap();
-        path.validate(&request, |p, s| services[p.index()].contains(s))
-            .unwrap();
-        let supers: Vec<usize> = path
-            .hops()
-            .iter()
-            .map(|h| ml.super_of(hfc.cluster_of(h.proxy)).index())
-            .collect();
-        assert!(supers.contains(&1), "path never reached the far super");
-        // Transitions between superclusters happen only at super-border
-        // proxies.
-        let borders = ml.all_super_border_proxies();
-        for w in path.hops().windows(2) {
-            let (a, b) = (w[0].proxy, w[1].proxy);
-            let sa = ml.super_of(hfc.cluster_of(a));
-            let sb = ml.super_of(hfc.cluster_of(b));
-            if sa != sb {
-                assert!(
-                    borders.contains(&a) && borders.contains(&b),
-                    "{a} -> {b} crossed superclusters off the border"
-                );
-            }
+        let h = ml.hierarchy();
+        assert_eq!(h.depth(), 3);
+        assert_eq!(ml.supercluster_count(), h.unit_count(2));
+        for c in 0..hfc.cluster_count() {
+            assert_eq!(ml.super_of(ClusterId::new(c)).index(), h.group_of(1, c));
         }
     }
 
     #[test]
-    fn intra_super_requests_match_the_bilevel_router() {
-        let (hfc, delays, services) = routed_world();
-        let ml = MultiLevelHfc::build(&hfc, &delays, &ZahnConfig::default());
-        let three =
-            MultiLevelRouter::from_services(&hfc, &ml, &services, &delays, HierConfig::default());
-        let two = son_routing::HierarchicalRouter::from_services(
-            &hfc,
-            &services,
-            &delays,
-            HierConfig::default(),
-        );
-        // Entirely inside supercluster 0 (proxies 0..6, services 0..4).
-        let request = ServiceRequest::new(
-            ProxyId::new(0),
-            ServiceGraph::linear(vec![sid(1), sid(2)]),
-            ProxyId::new(5),
-        );
-        let p3 = three.route(&request).unwrap();
-        let p2 = two.route(&request).unwrap();
-        assert_eq!(p3, p2.path, "intra-super routing must reduce to bi-level");
-    }
-
-    #[test]
-    fn relay_only_crosses_via_super_border() {
-        let (hfc, delays, services) = routed_world();
-        let ml = MultiLevelHfc::build(&hfc, &delays, &ZahnConfig::default());
-        let router =
-            MultiLevelRouter::from_services(&hfc, &ml, &services, &delays, HierConfig::default());
-        let request = ServiceRequest::new(
-            ProxyId::new(0),
-            ServiceGraph::linear(vec![]),
-            ProxyId::new(11),
-        );
-        let path = router.route(&request).unwrap();
-        assert_eq!(path.source(), ProxyId::new(0));
-        assert_eq!(path.destination(), ProxyId::new(11));
-        // Every hop respects the hierarchy's connectivity: same
-        // cluster, a cluster-border pair, or a super-border pair.
-        let super_borders = ml.all_super_border_proxies();
-        for w in path.hops().windows(2) {
-            let (a, b) = (w[0].proxy, w[1].proxy);
-            let (ca, cb) = (hfc.cluster_of(a), hfc.cluster_of(b));
-            if ca == cb {
-                continue;
-            }
-            let (sa, sb) = (ml.super_of(ca), ml.super_of(cb));
-            if sa == sb {
-                let pair = hfc.border(ca, cb);
-                assert_eq!(
-                    (pair.local, pair.remote),
-                    (a, b),
-                    "not a cluster border hop"
-                );
-            } else {
-                assert!(
-                    super_borders.contains(&a) && super_borders.contains(&b),
-                    "not a super border hop"
-                );
-            }
-        }
-    }
-
-    #[test]
-    fn all_three_routers_serve_the_router_trait() {
-        use son_routing::{FlatRouter, ProviderIndex, Router};
-        let (hfc, delays, services) = routed_world();
-        let ml = MultiLevelHfc::build(&hfc, &delays, &ZahnConfig::default());
-        let providers = ProviderIndex::from_service_sets(&services);
-        let flat = FlatRouter::new(&providers, &delays);
-        let two = son_routing::HierarchicalRouter::from_services(
-            &hfc,
-            &services,
-            &delays,
-            HierConfig::default(),
-        );
-        let three =
-            MultiLevelRouter::from_services(&hfc, &ml, &services, &delays, HierConfig::default());
-
-        // The whole point of the trait: one generic driver, any router.
-        fn check<R: Router>(router: &R, request: &ServiceRequest, services: &[ServiceSet]) {
-            let path = router.route_path(request).expect("request is routable");
-            path.validate(request, |p, s| services[p.index()].contains(s))
-                .unwrap();
-        }
-        let requests = [
-            ServiceRequest::new(
-                ProxyId::new(0),
-                ServiceGraph::linear(vec![sid(9)]),
-                ProxyId::new(1),
-            ),
-            ServiceRequest::new(
-                ProxyId::new(0),
-                ServiceGraph::linear(vec![sid(1), sid(2)]),
-                ProxyId::new(5),
-            ),
-            ServiceRequest::new(
-                ProxyId::new(3),
-                ServiceGraph::linear(vec![]),
-                ProxyId::new(10),
-            ),
-        ];
-        for request in &requests {
-            check(&flat, request, &services);
-            check(&two, request, &services);
-            check(&three, request, &services);
-        }
-
-        // And dynamically, for heterogeneous router collections.
-        let routers: [&dyn Router; 3] = [&flat, &two, &three];
-        for (r, request) in routers.iter().zip(&requests) {
-            assert!(r.route_path(request).is_ok());
-        }
-    }
-
-    #[test]
-    fn multilevel_provider_serves_through_the_engine() {
-        use son_engine::{Engine, EngineConfig, EngineSnapshot, RouterProvider};
-        let (hfc, delays, services) = routed_world();
-        let snapshot = EngineSnapshot::new(hfc.clone(), services.clone(), delays.clone());
-        let provider = MultiLevelProvider::for_snapshot(
-            &snapshot,
-            &ZahnConfig::default(),
-            HierConfig::default(),
-        );
-        assert_eq!(RouterProvider::<DelayMatrix>::name(&provider), "multilevel");
-        let ml = provider.hierarchy().clone();
-        let direct =
-            MultiLevelRouter::from_services(&hfc, &ml, &services, &delays, HierConfig::default());
-        let engine = Engine::new(
-            snapshot,
-            provider,
-            EngineConfig {
-                workers: 2,
-                ..EngineConfig::default()
-            },
-        );
-        let batch: Vec<ServiceRequest> = (0..12)
-            .map(|k| {
-                ServiceRequest::new(
-                    ProxyId::new(k % 12),
-                    ServiceGraph::linear(vec![sid(k % 4), sid(9)]),
-                    ProxyId::new((k * 5 + 1) % 12),
-                )
-            })
-            .collect();
-        let outcome = engine.serve(&batch);
-        assert_eq!(outcome.report.router, "multilevel");
-        assert_eq!(outcome.report.errors, 0);
-        for (request, served) in batch.iter().zip(&outcome.paths) {
-            let served = served.as_ref().expect("routable");
-            served
-                .validate(request, |p, s| services[p.index()].contains(s))
-                .unwrap();
-            assert_eq!(served, &direct.route(request).unwrap());
-        }
-    }
-
-    /// The engine hands these across worker threads.
-    #[test]
-    fn multilevel_types_are_send_sync() {
-        fn assert_send_sync<T: Send + Sync>() {}
-        assert_send_sync::<MultiLevelHfc>();
-        assert_send_sync::<MultiLevelRouter<'_, DelayMatrix>>();
-        assert_send_sync::<MultiLevelProvider>();
-    }
-
-    #[test]
-    fn missing_service_is_reported_at_the_top_level() {
-        let (hfc, delays, services) = routed_world();
-        let ml = MultiLevelHfc::build(&hfc, &delays, &ZahnConfig::default());
-        let router =
-            MultiLevelRouter::from_services(&hfc, &ml, &services, &delays, HierConfig::default());
-        let request = ServiceRequest::new(
-            ProxyId::new(0),
-            ServiceGraph::linear(vec![sid(42)]),
-            ProxyId::new(11),
-        );
-        assert_eq!(
-            router.route(&request),
-            Err(son_routing::RouteError::NoProvider(sid(42)))
-        );
-    }
-
-    #[test]
-    fn multi_stage_requests_spanning_supers_validate() {
-        let (hfc, delays, services) = routed_world();
-        let ml = MultiLevelHfc::build(&hfc, &delays, &ZahnConfig::default());
-        let router =
-            MultiLevelRouter::from_services(&hfc, &ml, &services, &delays, HierConfig::default());
-        // s0 (everywhere) → s9 (far super only) → s3 (everywhere).
-        let request = ServiceRequest::new(
-            ProxyId::new(2),
-            ServiceGraph::linear(vec![sid(0), sid(9), sid(3)]),
-            ProxyId::new(4),
-        );
-        let path = router.route(&request).unwrap();
-        path.validate(&request, |p, s| services[p.index()].contains(s))
-            .unwrap();
+    #[should_panic(expected = "no superclusters")]
+    fn bilevel_hierarchies_are_rejected() {
+        let (hfc, delays) = nested_world();
+        let h = Hierarchy::build_with_depth(&hfc, &delays, &HierarchyConfig::default(), 2);
+        let _ = MultiLevelHfc::from_hierarchy(h);
     }
 }

@@ -26,18 +26,20 @@
 //! full-state HFC routes, overhead reports (Figure 9) and state
 //! protocol runs (Section 4) — everything the evaluation needs.
 
-use son_clustering::{mst_complete, Clustering, ZahnClusterer, ZahnConfig};
+use son_clustering::{mst_complete_threads, Clustering, ZahnClusterer, ZahnConfig};
 use son_coords::{select_landmarks_maxmin, EmbeddingConfig, ErrorStats, GnpEmbedding};
 use son_netsim::faults::FaultPlan;
 use son_netsim::graph::NodeId;
 use son_netsim::topology::{PhysicalNetwork, TransitStubConfig};
 use son_netsim::SimTime;
 use son_overlay::{
-    BorderSelection, CachedDelays, CoordDelays, DelayModel, HfcTopology, MeshConfig, MeshTopology,
-    ProxyId, QosProfile, QosRequirement, ServiceId, ServiceRequest, ServiceSet, StatusMap,
+    BorderSelection, CachedDelays, CoordDelays, DelayModel, HfcTopology, Hierarchy,
+    HierarchyConfig, MeshConfig, MeshTopology, ProxyId, QosProfile, QosRequirement, ServiceId,
+    ServiceRequest, ServiceSet, StatusMap,
 };
 use son_routing::{
-    FlatRouter, HierConfig, HierarchicalRouter, ProviderIndex, RouteError, ServicePath,
+    FlatRouter, HierConfig, HierarchicalRouter, MultiLevelRouter, ProviderIndex, RouteError,
+    ServicePath,
 };
 use son_state::{
     flat_overhead, hfc_overhead, OverheadKind, OverheadReport, ProtocolConfig, StateProtocol,
@@ -47,6 +49,7 @@ use son_workload::{
     assign_qos, assign_services, generate_requests, place_proxies_excluding, Environment,
     RequestProfile,
 };
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Everything needed to build a [`ServiceOverlay`].
@@ -67,6 +70,17 @@ pub struct SonConfig {
     pub border_selection: BorderSelection,
     /// State protocol timing.
     pub protocol: ProtocolConfig,
+    /// Worker threads for the parallelizable build stages — per-host
+    /// embedding solves, MST edge scans, HFC border election, client
+    /// attachment — `0` = all cores. Every stage is deterministic and
+    /// thread-count-independent, so any value produces the same
+    /// overlay, bit for bit.
+    pub threads: usize,
+    /// Cap on memoized true-delay rows (`None` = unbounded). At 10k+
+    /// proxies an unbounded cache silently materializes the O(n²)
+    /// matrix the lazy design exists to avoid; the bench sweeps set
+    /// this and assert the bound held.
+    pub delay_rows_limit: Option<usize>,
 }
 
 impl SonConfig {
@@ -106,6 +120,8 @@ impl SonConfig {
             hier: HierConfig::default(),
             border_selection: BorderSelection::default(),
             protocol: ProtocolConfig::default(),
+            threads: 1,
+            delay_rows_limit: None,
         }
     }
 }
@@ -342,6 +358,20 @@ impl OverlayBuilder {
         self
     }
 
+    /// Replaces the build thread count. Nothing reruns: every stage is
+    /// thread-count-independent, so existing results stay valid.
+    pub fn set_threads(&mut self, threads: usize) -> &mut Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Replaces the true-delay row cap; reruns the distances setup.
+    pub fn set_delay_rows_limit(&mut self, limit: Option<usize>) -> &mut Self {
+        self.config.delay_rows_limit = limit;
+        self.invalidate(BuildStage::Distances);
+        self
+    }
+
     /// Executes all dirty stages in order, timing each.
     ///
     /// # Panics
@@ -391,11 +421,15 @@ impl OverlayBuilder {
                 let physical = self.physical.as_ref().expect("stage order");
                 let landmarks = self.landmarks.as_ref().expect("stage order");
                 let attachments = self.attachments.as_ref().expect("stage order");
+                let embedding_config = EmbeddingConfig {
+                    threads: self.config.threads,
+                    ..self.config.embedding.clone()
+                };
                 let embedding = GnpEmbedding::compute(
                     physical.graph(),
                     landmarks,
                     attachments,
-                    &self.config.embedding,
+                    &embedding_config,
                 );
                 self.embedding_error =
                     Some(embedding.relative_error_stats(physical.graph(), attachments));
@@ -417,25 +451,32 @@ impl OverlayBuilder {
                 // Dijkstra per source it actually queries.
                 let physical = self.physical.as_ref().expect("stage order");
                 let attachments = self.attachments.as_ref().expect("stage order");
-                self.true_delays = Some(CachedDelays::new(
-                    physical.graph().clone(),
-                    attachments.clone(),
-                ));
+                self.true_delays = Some(match self.config.delay_rows_limit {
+                    Some(limit) => {
+                        CachedDelays::bounded(physical.graph().clone(), attachments.clone(), limit)
+                    }
+                    None => CachedDelays::new(physical.graph().clone(), attachments.clone()),
+                });
             }
             BuildStage::Clustering => {
                 // Cluster in the coordinate space.
                 let predicted = self.predicted.as_ref().expect("stage order");
                 let n = predicted.len();
-                let mst = mst_complete(n, |a, b| predicted.delay(ProxyId::new(a), ProxyId::new(b)));
+                let mst = mst_complete_threads(
+                    n,
+                    |a, b| predicted.delay(ProxyId::new(a), ProxyId::new(b)),
+                    self.config.threads,
+                );
                 self.clustering = Some(ZahnClusterer::new(self.config.zahn.clone()).cluster(&mst));
             }
             BuildStage::Hfc => {
                 let clustering = self.clustering.as_ref().expect("stage order");
                 let predicted = self.predicted.as_ref().expect("stage order");
-                self.hfc = Some(HfcTopology::build_with_selection(
+                self.hfc = Some(HfcTopology::build_with_selection_threads(
                     clustering,
                     predicted,
                     self.config.border_selection,
+                    self.config.threads,
                 ));
             }
             BuildStage::State => {
@@ -459,24 +500,30 @@ impl OverlayBuilder {
                     landmarks,
                     env.seed.wrapping_add(4),
                 );
-                self.client_proxies = Some(
-                    clients
-                        .iter()
-                        .map(|&c| {
-                            let dist = physical.graph().dijkstra(c);
-                            let (best, _) = attachments
-                                .iter()
-                                .enumerate()
-                                .min_by(|a, b| {
-                                    dist[a.1.index()]
-                                        .partial_cmp(&dist[b.1.index()])
-                                        .unwrap_or(std::cmp::Ordering::Equal)
-                                })
-                                .expect("at least one proxy exists");
-                            ProxyId::new(best)
-                        })
-                        .collect(),
-                );
+                // One Dijkstra per client — independent, so chunked
+                // across threads; concatenation order keeps the result
+                // identical to the sequential pass.
+                self.client_proxies = Some(son_par::par_map_chunks(
+                    self.config.threads,
+                    clients.len(),
+                    |range| {
+                        range
+                            .map(|k| {
+                                let dist = physical.graph().dijkstra(clients[k]);
+                                let (best, _) = attachments
+                                    .iter()
+                                    .enumerate()
+                                    .min_by(|a, b| {
+                                        dist[a.1.index()]
+                                            .partial_cmp(&dist[b.1.index()])
+                                            .unwrap_or(std::cmp::Ordering::Equal)
+                                    })
+                                    .expect("at least one proxy exists");
+                                ProxyId::new(best)
+                            })
+                            .collect()
+                    },
+                ));
                 self.clients = Some(clients);
             }
         }
@@ -710,6 +757,55 @@ impl ServiceOverlay {
             self.hfc.clone(),
             self.services.clone(),
             self.predicted.clone(),
+        )
+    }
+
+    /// Builds the recursive cluster hierarchy (proxies → clusters →
+    /// superclusters → …) over this overlay's predicted delays. Depth
+    /// follows `config` ([`Hierarchy::build`]); the build threads
+    /// default to the overlay's configured count when `config.threads`
+    /// is left at 1.
+    pub fn hierarchy(&self, config: &HierarchyConfig) -> Hierarchy {
+        let config = HierarchyConfig {
+            threads: if config.threads == 1 {
+                self.config.threads
+            } else {
+                config.threads
+            },
+            ..config.clone()
+        };
+        Hierarchy::build(&self.hfc, &self.predicted, &config)
+    }
+
+    /// Like [`ServiceOverlay::hierarchy`] but with exactly `depth`
+    /// levels (when the population allows it; see
+    /// [`Hierarchy::build_with_depth`]).
+    pub fn hierarchy_with_depth(&self, config: &HierarchyConfig, depth: usize) -> Hierarchy {
+        Hierarchy::build_with_depth(&self.hfc, &self.predicted, config, depth)
+    }
+
+    /// Engine snapshot carrying a recursive hierarchy, so
+    /// [`son_engine::MultiLevelProvider`] routes over all its levels
+    /// instead of falling back to the bi-level router.
+    pub fn engine_snapshot_with_hierarchy(
+        &self,
+        hierarchy: Arc<Hierarchy>,
+    ) -> son_engine::EngineSnapshot<CoordDelays> {
+        self.engine_snapshot().with_hierarchy(hierarchy)
+    }
+
+    /// A recursive multi-level router over `hierarchy` and this
+    /// overlay's converged state.
+    pub fn multilevel_router<'a>(
+        &'a self,
+        hierarchy: &'a Hierarchy,
+    ) -> MultiLevelRouter<'a, &'a CoordDelays> {
+        MultiLevelRouter::from_services(
+            &self.hfc,
+            hierarchy,
+            &self.services,
+            &self.predicted,
+            self.config.hier,
         )
     }
 

@@ -61,7 +61,9 @@ pub mod snapshot;
 pub use cache::{CacheStats, LookupOutcome, RouteCache, RouteKey};
 pub use engine::{AdmissionConfig, Disposition, Engine, EngineConfig, RejectReason, ServeOutcome};
 pub use report::{AdmissionStats, LatencySummary, ServeReport};
-pub use snapshot::{EngineSnapshot, FlatProvider, HierProvider, RouterProvider};
+pub use snapshot::{
+    EngineSnapshot, FlatProvider, HierProvider, MultiLevelProvider, RouterProvider,
+};
 
 #[cfg(test)]
 mod send_sync {
@@ -81,6 +83,7 @@ mod send_sync {
         assert_send_sync::<RouteCache>();
         assert_send_sync::<Engine<DelayMatrix, HierProvider>>();
         assert_send_sync::<Engine<CoordDelays, FlatProvider>>();
+        assert_send_sync::<Engine<DelayMatrix, MultiLevelProvider>>();
         assert_send_sync::<ServeReport>();
         assert_send_sync::<ServeOutcome>();
         assert_send_sync::<AdmissionStats>();

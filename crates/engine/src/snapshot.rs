@@ -17,13 +17,15 @@
 //! three-level `MultiLevelRouter` the same way.
 
 use son_overlay::{
-    ClusterId, DelayModel, Health, HfcTopology, ProxyId, ServiceRequest, ServiceSet, StatusMap,
+    ClusterId, CoordDelays, DelayModel, Health, HfcTopology, Hierarchy, ProxyId, ServiceRequest,
+    ServiceSet, StatusMap,
 };
 use son_routing::{
     BasicTraced, CostConfig, CostModel, FlatRouter, HierConfig, HierarchicalRouter,
-    LoadAwareDelays, ProviderIndex, Router, TraceRouter,
+    LoadAwareDelays, MultiLevelRouter, ProviderIndex, Router, TraceRouter,
 };
 use son_state::ClusterLoad;
+use std::sync::Arc;
 
 /// One immutable, epoch-stamped view of the overlay: everything a
 /// worker needs to answer requests.
@@ -44,6 +46,7 @@ pub struct EngineSnapshot<D> {
     delays: D,
     cost: CostModel,
     cluster_load: Option<ClusterLoad>,
+    hierarchy: Option<Arc<Hierarchy>>,
 }
 
 impl<D: DelayModel> EngineSnapshot<D> {
@@ -67,7 +70,30 @@ impl<D: DelayModel> EngineSnapshot<D> {
             delays,
             cost: CostModel::neutral(),
             cluster_load: None,
+            hierarchy: None,
         }
+    }
+
+    /// Attaches a recursive cluster hierarchy (shared by reference:
+    /// snapshot clones reuse it). [`MultiLevelProvider`] routes over it
+    /// when present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy was built over a different topology.
+    pub fn with_hierarchy(mut self, hierarchy: Arc<Hierarchy>) -> Self {
+        assert_eq!(
+            hierarchy.unit_count(1),
+            self.hfc.cluster_count(),
+            "hierarchy and topology disagree on the cluster count"
+        );
+        self.hierarchy = Some(hierarchy);
+        self
+    }
+
+    /// The attached recursive hierarchy, if any.
+    pub fn hierarchy(&self) -> Option<&Hierarchy> {
+        self.hierarchy.as_deref()
     }
 
     /// Attaches per-proxy statuses and cost weights.
@@ -174,6 +200,51 @@ impl<D: DelayModel> EngineSnapshot<D> {
     }
 }
 
+fn fnv_mix(h: &mut u64, v: u64) {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for b in v.to_le_bytes() {
+        *h = (*h ^ b as u64).wrapping_mul(PRIME);
+    }
+}
+
+impl EngineSnapshot<CoordDelays> {
+    /// An FNV-1a digest of everything routing decides on — canonical
+    /// topology snapshot, effective services, and coordinate bits —
+    /// excluding the epoch. Two builds of the same world are
+    /// interchangeable exactly when their digests match; the parallel
+    /// build path asserts equality with the sequential one through
+    /// this.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let snap = self.hfc.snapshot();
+        fnv_mix(&mut h, snap.clusters.len() as u64);
+        for members in &snap.clusters {
+            fnv_mix(&mut h, members.len() as u64);
+            for &m in members {
+                fnv_mix(&mut h, m.index() as u64);
+            }
+        }
+        for &((i, j), (local, remote)) in &snap.borders {
+            fnv_mix(&mut h, i as u64);
+            fnv_mix(&mut h, j as u64);
+            fnv_mix(&mut h, local.index() as u64);
+            fnv_mix(&mut h, remote.index() as u64);
+        }
+        for set in &self.services {
+            fnv_mix(&mut h, u64::MAX); // per-proxy separator
+            for id in set.iter() {
+                fnv_mix(&mut h, id.index() as u64);
+            }
+        }
+        for p in 0..self.delays.len() {
+            for &v in self.delays.coordinates(ProxyId::new(p)).as_slice() {
+                fnv_mix(&mut h, v.to_bits());
+            }
+        }
+        h
+    }
+}
+
 /// Builds a fresh router over a snapshot, once per worker per batch.
 ///
 /// The `&'a self` receiver lets a provider lend router inputs it owns
@@ -259,6 +330,48 @@ impl<D: DelayModel> RouterProvider<D> for FlatProvider {
     }
 }
 
+/// Provider of the recursive multi-level router.
+///
+/// Routes over the [`Hierarchy`] attached to the snapshot
+/// ([`EngineSnapshot::with_hierarchy`]); on snapshots without one it
+/// falls back to the bi-level hierarchical router, which the
+/// multi-level algorithm reproduces at depth 2 anyway.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MultiLevelProvider {
+    /// Hierarchical router tuning (shared with [`HierProvider`]).
+    pub config: HierConfig,
+}
+
+impl<D: DelayModel> RouterProvider<D> for MultiLevelProvider {
+    fn router<'a>(&'a self, snapshot: &'a EngineSnapshot<D>) -> Box<dyn Router + 'a> {
+        match snapshot.hierarchy() {
+            Some(hierarchy) => {
+                let router = MultiLevelRouter::from_services(
+                    snapshot.hfc(),
+                    hierarchy,
+                    snapshot.services(),
+                    snapshot.route_delays(),
+                    self.config,
+                );
+                match snapshot.cluster_load() {
+                    Some(load) => Box::new(router.with_cluster_load(load.clone())),
+                    None => Box::new(router),
+                }
+            }
+            None => Box::new(
+                HierProvider {
+                    config: self.config,
+                }
+                .build(snapshot),
+            ),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "multilevel"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,5 +432,141 @@ mod tests {
     fn mismatched_services_panic() {
         let snap = snapshot();
         let _ = EngineSnapshot::new(snap.hfc.clone(), vec![], snap.delays.clone());
+    }
+
+    /// Two regions far apart, two clusters each, three proxies per
+    /// cluster; service `i % 4` on proxy `i`, plus service 9 only in
+    /// the far region.
+    fn deep_world() -> (HfcTopology, DelayMatrix, Vec<ServiceSet>) {
+        let mut pos = Vec::new();
+        let mut labels = Vec::new();
+        let mut label = 0;
+        for super_x in [0.0, 100_000.0] {
+            for cluster_dx in [0.0, 1_000.0] {
+                for i in 0..3 {
+                    pos.push(super_x + cluster_dx + i as f64 * 2.0);
+                    labels.push(label);
+                }
+                label += 1;
+            }
+        }
+        let n = pos.len();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = (pos[i] - pos[j]).abs();
+            }
+        }
+        let delays = DelayMatrix::from_values(n, values);
+        let hfc = HfcTopology::build(&Clustering::from_labels(&labels), &delays);
+        let services: Vec<ServiceSet> = (0..n)
+            .map(|i| {
+                let mut set = ServiceSet::from_iter([ServiceId::new(i % 4)]);
+                if i >= 6 {
+                    set.insert(ServiceId::new(9));
+                }
+                set
+            })
+            .collect();
+        (hfc, delays, services)
+    }
+
+    #[test]
+    fn multilevel_provider_serves_through_the_engine() {
+        use crate::{Engine, EngineConfig};
+        use son_overlay::HierarchyConfig;
+        let (hfc, delays, services) = deep_world();
+        let hierarchy = Arc::new(Hierarchy::build_with_depth(
+            &hfc,
+            &delays,
+            &HierarchyConfig::default(),
+            3,
+        ));
+        assert_eq!(hierarchy.depth(), 3);
+        let snapshot = EngineSnapshot::new(hfc.clone(), services.clone(), delays.clone())
+            .with_hierarchy(hierarchy.clone());
+        let provider = MultiLevelProvider::default();
+        assert_eq!(RouterProvider::<DelayMatrix>::name(&provider), "multilevel");
+        let direct = MultiLevelRouter::from_services(
+            &hfc,
+            &hierarchy,
+            &services,
+            &delays,
+            HierConfig::default(),
+        );
+        let engine = Engine::new(
+            snapshot,
+            provider,
+            EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let batch: Vec<ServiceRequest> = (0..12)
+            .map(|k| {
+                ServiceRequest::new(
+                    ProxyId::new(k % 12),
+                    ServiceGraph::linear(vec![ServiceId::new(k % 4), ServiceId::new(9)]),
+                    ProxyId::new((k * 5 + 1) % 12),
+                )
+            })
+            .collect();
+        let outcome = engine.serve(&batch);
+        assert_eq!(outcome.report.router, "multilevel");
+        assert_eq!(outcome.report.errors, 0);
+        for (request, served) in batch.iter().zip(&outcome.paths) {
+            let served = served.as_ref().expect("routable");
+            served
+                .validate(request, |p, s| services[p.index()].contains(s))
+                .unwrap();
+            assert_eq!(served, &direct.route(request).unwrap());
+        }
+    }
+
+    #[test]
+    fn multilevel_provider_falls_back_without_a_hierarchy() {
+        let snap = snapshot();
+        let request = ServiceRequest::new(
+            ProxyId::new(0),
+            ServiceGraph::linear(vec![ServiceId::new(1), ServiceId::new(2)]),
+            ProxyId::new(5),
+        );
+        let provider = MultiLevelProvider::default();
+        let ml = provider.router(&snap).route_path(&request).unwrap();
+        let hier = HierProvider::default()
+            .router(&snap)
+            .route_path(&request)
+            .unwrap();
+        assert_eq!(ml, hier);
+    }
+
+    #[test]
+    fn digest_separates_worlds_and_ignores_epochs() {
+        use son_coords::Coordinates;
+        use son_overlay::CoordDelays;
+        let coords = |shift: f64| {
+            CoordDelays::new(
+                (0..6)
+                    .map(|i| {
+                        Coordinates::new(vec![(i / 3) as f64 * 100.0 + (i % 3) as f64 + shift, 0.0])
+                    })
+                    .collect(),
+            )
+        };
+        let build = |shift: f64, flip: bool| {
+            let delays = coords(shift);
+            let hfc = HfcTopology::build(&Clustering::from_labels(&[0, 0, 0, 1, 1, 1]), &delays);
+            let services: Vec<ServiceSet> = (0..6)
+                .map(|i| ServiceSet::from_iter([ServiceId::new(if flip { i % 2 } else { i % 3 })]))
+                .collect();
+            EngineSnapshot::new(hfc, services, delays)
+        };
+        let a = build(0.0, false);
+        let mut b = build(0.0, false);
+        assert_eq!(a.digest(), b.digest());
+        b.stamp(7);
+        assert_eq!(a.digest(), b.digest(), "epochs must not affect the digest");
+        assert_ne!(a.digest(), build(0.5, false).digest());
+        assert_ne!(a.digest(), build(0.0, true).digest());
     }
 }

@@ -83,12 +83,29 @@ impl DelayMeasurer {
     /// Panics if `from` is not a source of the underlying table.
     pub fn measure(&mut self, from: NodeId, to: NodeId) -> f64 {
         let true_delay = self.table.delay(from, to);
-        if self.config.max_noise == 0.0 {
+        Self::noisy_min(true_delay, &self.config, &mut self.rng)
+    }
+
+    /// Like [`DelayMeasurer::measure`], but drawing probe noise from a
+    /// caller-supplied RNG instead of the measurer's own stream.
+    ///
+    /// Consumers that measure independent subjects (e.g. per-host
+    /// embedding solves) can give each subject its own seeded RNG, so
+    /// the noise a subject sees no longer depends on how many other
+    /// subjects were measured before it — the property that makes
+    /// parallel measurement deterministic.
+    pub fn measure_with(&self, from: NodeId, to: NodeId, rng: &mut StdRng) -> f64 {
+        let true_delay = self.table.delay(from, to);
+        Self::noisy_min(true_delay, &self.config, rng)
+    }
+
+    fn noisy_min(true_delay: f64, config: &MeasureConfig, rng: &mut StdRng) -> f64 {
+        if config.max_noise == 0.0 {
             return true_delay;
         }
         let mut best = f64::INFINITY;
-        for _ in 0..self.config.probes.max(1) {
-            let noise = 1.0 + self.rng.gen::<f64>() * self.config.max_noise;
+        for _ in 0..config.probes.max(1) {
+            let noise = 1.0 + rng.gen::<f64>() * config.max_noise;
             best = best.min(true_delay * noise);
         }
         best
@@ -162,6 +179,27 @@ mod tests {
         };
         drop(table);
         assert!(avg(5) < avg(1));
+    }
+
+    #[test]
+    fn measure_with_is_call_order_independent() {
+        let (g, ids) = line_graph();
+        let cfg = MeasureConfig {
+            probes: 2,
+            max_noise: 0.4,
+            seed: 3,
+        };
+        let m = DelayMeasurer::new(DistanceTable::new(&g, &ids), cfg);
+        use rand::SeedableRng;
+        // The same subject seed yields the same measurement no matter
+        // what was measured before with other RNGs.
+        let mut a = StdRng::seed_from_u64(77);
+        let first = m.measure_with(ids[0], ids[2], &mut a);
+        let mut warmup = StdRng::seed_from_u64(5);
+        let _ = m.measure_with(ids[0], ids[1], &mut warmup);
+        let mut b = StdRng::seed_from_u64(77);
+        assert_eq!(m.measure_with(ids[0], ids[2], &mut b), first);
+        assert!(first >= 12.0);
     }
 
     #[test]

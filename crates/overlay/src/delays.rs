@@ -184,10 +184,17 @@ impl RowCache {
     /// until the bound holds.
     fn admit(&mut self, i: usize, row: Arc<Vec<f64>>) {
         if self.rows[i].is_none() {
+            let mut evicted = 0u64;
             while self.order.len() >= self.limit {
                 let victim = self.order.pop_front().expect("order tracks residents");
                 self.rows[victim] = None;
                 self.evictions += 1;
+                evicted += 1;
+            }
+            if evicted > 0 && son_telemetry::enabled() {
+                son_telemetry::global()
+                    .counter("delays.rows_evicted")
+                    .add(evicted);
             }
             self.order.push_back(i);
         }
@@ -231,6 +238,18 @@ impl CachedDelays {
         if let Some(row) = &self.rows.read().expect("cache lock poisoned").rows[i] {
             return Arc::clone(row);
         }
+        let row = self.compute_row(i);
+        // A concurrent query may have raced us here; either result is
+        // identical, so last write wins harmlessly.
+        self.rows
+            .write()
+            .expect("cache lock poisoned")
+            .admit(i, Arc::clone(&row));
+        row
+    }
+
+    /// One Dijkstra row, bypassing the cache entirely.
+    fn compute_row(&self, i: usize) -> Arc<Vec<f64>> {
         let a = self.attachments[i];
         let dist = self.graph.dijkstra(a);
         let row: Vec<f64> = self
@@ -245,14 +264,31 @@ impl CachedDelays {
                 d
             })
             .collect();
-        let row = Arc::new(row);
-        // A concurrent query may have raced us here; either result is
-        // identical, so last write wins harmlessly.
-        self.rows
-            .write()
-            .expect("cache lock poisoned")
-            .admit(i, Arc::clone(&row));
-        row
+        Arc::new(row)
+    }
+
+    /// Computes the rows of `sources` on `threads` scoped worker
+    /// threads (`0` = all cores) and admits them **in source order**,
+    /// so a bounded cache evicts exactly as if the sources had been
+    /// queried sequentially. Sources whose rows are already resident
+    /// are skipped.
+    pub fn prewarm(&self, sources: &[ProxyId], threads: usize) {
+        let fresh: Vec<(usize, Arc<Vec<f64>>)> =
+            son_par::par_map_chunks(threads, sources.len(), |range| {
+                range
+                    .filter_map(|k| {
+                        let i = sources[k].index();
+                        if self.rows.read().expect("cache lock poisoned").rows[i].is_some() {
+                            return None;
+                        }
+                        Some((i, self.compute_row(i)))
+                    })
+                    .collect()
+            });
+        let mut cache = self.rows.write().expect("cache lock poisoned");
+        for (i, row) in fresh {
+            cache.admit(i, row);
+        }
     }
 
     /// Number of proxies.
@@ -533,6 +569,53 @@ mod tests {
         // Re-querying a resident row evicts nothing.
         let _ = cached.row(ProxyId::new(2));
         assert_eq!(cached.evicted_rows(), 2);
+    }
+
+    #[test]
+    fn prewarm_matches_sequential_queries() {
+        let mut g = Graph::with_nodes(40);
+        for i in 0..39 {
+            g.add_edge(NodeId::new(i), NodeId::new(i + 1), (i + 1) as f64);
+        }
+        let attachments: Vec<NodeId> = (0..40).map(NodeId::new).collect();
+        let reference = DelayMatrix::from_graph(&g, &attachments);
+        let cached = CachedDelays::new(g, attachments);
+        let sources: Vec<ProxyId> = (0..40).map(ProxyId::new).collect();
+        cached.prewarm(&sources, 4);
+        assert_eq!(cached.computed_rows(), 40);
+        for i in [0usize, 7, 39] {
+            for j in 0..40 {
+                assert_eq!(
+                    cached.delay(ProxyId::new(i), ProxyId::new(j)),
+                    reference.delay(ProxyId::new(i), ProxyId::new(j))
+                );
+            }
+        }
+        // Re-prewarming resident rows is a no-op.
+        cached.prewarm(&sources, 4);
+        assert_eq!((cached.computed_rows(), cached.evicted_rows()), (40, 0));
+    }
+
+    #[test]
+    fn bounded_prewarm_evicts_in_source_order() {
+        let mut g = Graph::with_nodes(5);
+        for i in 0..4 {
+            g.add_edge(NodeId::new(i), NodeId::new(i + 1), 1.0);
+        }
+        let attachments: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+        let cached = CachedDelays::bounded(g, attachments, 2);
+        let sources: Vec<ProxyId> = (0..5).map(ProxyId::new).collect();
+        son_telemetry::set_enabled(true);
+        let before = son_telemetry::global().counter("delays.rows_evicted").get();
+        cached.prewarm(&sources, 3);
+        let after = son_telemetry::global().counter("delays.rows_evicted").get();
+        son_telemetry::set_enabled(false);
+        // Admission in source order: rows 3 and 4 survive, 0–2 evicted,
+        // exactly as if the five sources had been queried one by one.
+        assert_eq!((cached.computed_rows(), cached.evicted_rows()), (2, 3));
+        assert_eq!(after - before, 3);
+        let resident = &cached.rows.read().unwrap().order;
+        assert_eq!(resident.iter().copied().collect::<Vec<_>>(), vec![3, 4]);
     }
 
     #[test]

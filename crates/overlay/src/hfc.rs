@@ -125,24 +125,70 @@ impl HfcTopology {
         for i in 0..c {
             for j in (i + 1)..c {
                 let (bx, by) = match selection {
-                    BorderSelection::ClosestPair => {
-                        let mut best: Option<(ProxyId, ProxyId, f64)> = None;
-                        for &x in &members[i] {
-                            for &y in &members[j] {
-                                let d = delays.delay(x, y);
-                                if best.is_none_or(|(_, _, bd)| d < bd) {
-                                    best = Some((x, y, d));
-                                }
-                            }
-                        }
-                        let (bx, by, _) = best.expect("clusters are non-empty");
-                        (bx, by)
-                    }
+                    BorderSelection::ClosestPair => closest_pair(&members[i], &members[j], delays),
                     BorderSelection::FirstPair => (members[i][0], members[j][0]),
                 };
                 borders[i][j] = Some(bx);
                 borders[j][i] = Some(by);
             }
+        }
+        HfcTopology {
+            cluster_of,
+            members,
+            borders,
+        }
+    }
+
+    /// Like [`HfcTopology::build_with_selection`], but electing the
+    /// `c·(c−1)/2` border pairs on `threads` scoped worker threads
+    /// (`0` = all cores). Every pair's closest-pair scan runs in the
+    /// same ascending-id order as the sequential build, so the result
+    /// is identical for any thread count.
+    pub fn build_with_selection_threads<D: DelayModel + Sync>(
+        clustering: &Clustering,
+        delays: &D,
+        selection: BorderSelection,
+        threads: usize,
+    ) -> Self {
+        if son_par::effective_threads(threads) <= 1 {
+            return Self::build_with_selection(clustering, delays, selection);
+        }
+        let c = clustering.len();
+        let cluster_of: Vec<ClusterId> = (0..clustering.point_count())
+            .map(|p| ClusterId::new(clustering.cluster_of(p)))
+            .collect();
+        let members: Vec<Vec<ProxyId>> = (0..c)
+            .map(|i| {
+                clustering
+                    .members(i)
+                    .iter()
+                    .map(|&p| ProxyId::new(p))
+                    .collect()
+            })
+            .collect();
+        let pairs: Vec<(usize, usize)> = (0..c)
+            .flat_map(|i| ((i + 1)..c).map(move |j| (i, j)))
+            .collect();
+        let members_ref = &members;
+        let elected: Vec<(usize, usize, ProxyId, ProxyId)> =
+            son_par::par_map_chunks(threads, pairs.len(), |range| {
+                range
+                    .map(|k| {
+                        let (i, j) = pairs[k];
+                        let (bx, by) = match selection {
+                            BorderSelection::ClosestPair => {
+                                closest_pair(&members_ref[i], &members_ref[j], delays)
+                            }
+                            BorderSelection::FirstPair => (members_ref[i][0], members_ref[j][0]),
+                        };
+                        (i, j, bx, by)
+                    })
+                    .collect()
+            });
+        let mut borders = vec![vec![None; c]; c];
+        for (i, j, bx, by) in elected {
+            borders[i][j] = Some(bx);
+            borders[j][i] = Some(by);
         }
         HfcTopology {
             cluster_of,
@@ -285,16 +331,7 @@ impl HfcTopology {
     /// from scratch, with the same iteration order (ascending ids,
     /// strict improvement) as [`HfcTopology::build`].
     fn reelect_border<D: DelayModel>(&mut self, i: usize, j: usize, delays: &D) {
-        let mut best: Option<(ProxyId, ProxyId, f64)> = None;
-        for &x in &self.members[i] {
-            for &y in &self.members[j] {
-                let d = delays.delay(x, y);
-                if best.is_none_or(|(_, _, bd)| d < bd) {
-                    best = Some((x, y, d));
-                }
-            }
-        }
-        let (bx, by, _) = best.expect("clusters are non-empty");
+        let (bx, by) = closest_pair(&self.members[i], &self.members[j], delays);
         self.borders[i][j] = Some(bx);
         self.borders[j][i] = Some(by);
     }
@@ -450,6 +487,27 @@ impl HfcTopology {
     }
 }
 
+/// The closest cross pair of two non-empty member lists, scanned in
+/// ascending-id order with strict improvement (ties break toward the
+/// lowest indices — the determinism contract every build path shares).
+pub(crate) fn closest_pair<D: DelayModel>(
+    xs: &[ProxyId],
+    ys: &[ProxyId],
+    delays: &D,
+) -> (ProxyId, ProxyId) {
+    let mut best: Option<(ProxyId, ProxyId, f64)> = None;
+    for &x in xs {
+        for &y in ys {
+            let d = delays.delay(x, y);
+            if best.is_none_or(|(_, _, bd)| d < bd) {
+                best = Some((x, y, d));
+            }
+        }
+    }
+    let (bx, by, _) = best.expect("clusters are non-empty");
+    (bx, by)
+}
+
 /// See [`HfcTopology::snapshot`]: clusters sorted by their smallest
 /// member, borders keyed by positions in that order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -546,6 +604,53 @@ mod tests {
         assert!(visible.contains(&ProxyId::new(1)));
         // Proxy 5 (non-border member of C2) is invisible to proxy 0.
         assert!(!visible.contains(&ProxyId::new(5)));
+    }
+
+    #[test]
+    fn threaded_build_matches_sequential() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        let clusters = 7;
+        let per = 9;
+        let n = clusters * per;
+        let mut labels = Vec::new();
+        let mut xs = Vec::new();
+        for c in 0..clusters {
+            for _ in 0..per {
+                // Quantized positions make cross-pair distance ties
+                // likely, exercising the tie-break contract.
+                xs.push(c as f64 * 100.0 + (rng.gen::<f64>() * 20.0).round());
+                labels.push(c);
+            }
+        }
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = (xs[i] - xs[j]).abs();
+            }
+        }
+        let delays = DelayMatrix::from_values(n, values);
+        let clustering = Clustering::from_labels(&labels);
+        for selection in [BorderSelection::ClosestPair, BorderSelection::FirstPair] {
+            let seq = HfcTopology::build_with_selection(&clustering, &delays, selection);
+            for threads in [2, 4, 16] {
+                let par = HfcTopology::build_with_selection_threads(
+                    &clustering,
+                    &delays,
+                    selection,
+                    threads,
+                );
+                assert_eq!(par.snapshot(), seq.snapshot());
+                for i in seq.clusters() {
+                    for j in seq.clusters() {
+                        if i != j {
+                            assert_eq!(par.border(i, j), seq.border(i, j));
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@
 pub mod delays;
 pub mod health;
 pub mod hfc;
+pub mod hierarchy;
 pub mod mesh;
 pub mod proxy;
 pub mod qos;
@@ -40,6 +41,7 @@ pub mod sgraph;
 pub use delays::{CachedDelays, CoordDelays, DelayMatrix, DelayModel, HfcDelays};
 pub use health::{Health, ProxyStatus, StatusMap, UNCAPPED};
 pub use hfc::{BorderPair, BorderSelection, ClusterId, HfcSnapshot, HfcTopology};
+pub use hierarchy::{cluster_representatives, Hierarchy, HierarchyConfig};
 pub use mesh::{MeshConfig, MeshTopology};
 pub use proxy::{Proxy, ProxyId};
 pub use qos::{QosProfile, QosRequirement};

@@ -49,6 +49,7 @@ pub mod cost;
 pub mod fixtures;
 pub mod flat;
 pub mod hier;
+pub mod multilevel;
 pub mod path;
 mod proptests;
 pub mod providers;
@@ -60,6 +61,7 @@ pub mod trace;
 pub use cost::{CostConfig, CostModel, LoadAwareDelays};
 pub use flat::{FlatRouter, RouteError};
 pub use hier::{ChildSpec, HierConfig, HierRoute, HierarchicalRouter, RoutePlan};
+pub use multilevel::MultiLevelRouter;
 pub use path::{PathBuilder, PathHop, ServicePath, ValidatePathError};
 pub use providers::{ProviderIndex, ProviderLookup};
 pub use router::Router;

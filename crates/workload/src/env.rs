@@ -48,6 +48,27 @@ impl Environment {
         }
     }
 
+    /// An environment for an arbitrary proxy count: the Table 1 row
+    /// when one exists, otherwise Table 1's proportions extrapolated
+    /// (≈1.2 physical nodes and ≈1/6 clients per proxy, 10 landmarks).
+    /// This is the canonical shape for scale sweeps beyond 1000
+    /// proxies.
+    pub fn scaled(proxies: usize, seed: u64) -> Self {
+        if matches!(proxies, 250 | 500 | 750 | 1000) {
+            return Self::table1(proxies, seed);
+        }
+        Environment {
+            physical_nodes: (proxies * 6 / 5).max(60),
+            landmarks: 10.min(proxies / 2).max(3),
+            proxies,
+            clients: (proxies / 6).max(2),
+            services_per_proxy: (4, 10),
+            request_length: (4, 10),
+            service_universe: 60,
+            seed,
+        }
+    }
+
     /// A scaled-down environment for quick tests (not from the paper).
     pub fn small(seed: u64) -> Self {
         Environment {
@@ -102,5 +123,17 @@ mod tests {
     #[should_panic(expected = "no Table 1 row")]
     fn unknown_row_panics() {
         let _ = Environment::table1(123, 0);
+    }
+
+    #[test]
+    fn scaled_extrapolates_table1_proportions() {
+        assert_eq!(Environment::scaled(500, 7), Environment::table1(500, 7));
+        let e = Environment::scaled(10_000, 7);
+        assert_eq!(e.physical_nodes, 12_000);
+        assert_eq!(e.landmarks, 10);
+        assert_eq!(e.clients, 1_666);
+        let tiny = Environment::scaled(8, 7);
+        assert_eq!(tiny.landmarks, 4);
+        assert!(tiny.physical_nodes >= tiny.proxies);
     }
 }
