@@ -36,6 +36,16 @@
 //!                                                  print the route-provenance trace
 //!                                                  of one request, cold (cache
 //!                                                  miss) and warm (cache hit)
+//! son dissem   [--proxies N] [--seed S] [--loss P] [--smoke]
+//!                                                  run the state protocol twice
+//!                                                  under one survivable fault plan
+//!                                                  — §4 flooding, then broadcast
+//!                                                  trees — and compare; exits
+//!                                                  non-zero unless both converge
+//!                                                  with zero stale rows, the tree
+//!                                                  run is cheaper, and repeated
+//!                                                  tree runs reproduce the same
+//!                                                  trace hash
 //! son scale    [--proxies N] [--seed S] [--threads T] [--smoke]
 //!                                                  build the world twice (1 thread,
 //!                                                  then T), verify the snapshots are
@@ -56,10 +66,10 @@
 
 use son_core::export::{hfc_to_dot, hfc_to_text, physical_to_dot};
 use son_core::{
-    AdmissionConfig, BuildStage, CostConfig, Engine, EngineConfig, Environment, FaultPlan,
-    FlatProvider, Health, HierProvider, HierarchyConfig, MultiLevelProvider, NodeId, OverheadKind,
-    ProtocolConfig, ProxyId, Router, RouterProvider, Scenario, ServeOutcome, ServiceOverlay,
-    SimTime, SonConfig, StateProtocol,
+    AdmissionConfig, BuildStage, CostConfig, DissemMode, Engine, EngineConfig, Environment,
+    FaultPlan, FlatProvider, Health, HierProvider, HierarchyConfig, MultiLevelProvider, NodeId,
+    OverheadKind, ProtocolConfig, ProxyId, Router, RouterProvider, Scenario, ServeOutcome,
+    ServiceOverlay, SimTime, SonConfig, StateProtocol,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -313,6 +323,109 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
             "state protocol failed to converge ({} stale rows)",
             report.stale_entries
         ));
+    }
+    Ok(())
+}
+
+fn cmd_dissem(args: &Args) -> Result<(), String> {
+    if !(0.0..=1.0).contains(&args.loss) {
+        return Err("--loss must be in [0, 1]".to_string());
+    }
+    // Telemetry on unconditionally: the `state.tree.*` keys this
+    // command asserts on are part of what it verifies.
+    son_core::set_telemetry_enabled(true);
+    let proxies = if args.smoke {
+        args.proxies.min(60)
+    } else {
+        args.proxies.max(250)
+    };
+    let overlay = ServiceOverlay::build(&SonConfig::from_environment(environment(
+        proxies, args.seed,
+    )));
+    let n = overlay.proxy_count();
+    let loss = if args.loss > 0.0 { args.loss } else { 0.05 };
+    // The same survivable plan `son faults` uses: loss, duplication,
+    // jitter, and a crash/restart — both modes must shrug it off.
+    let plan = FaultPlan::new(args.seed)
+        .with_loss(loss)
+        .with_duplicate(0.02)
+        .with_jitter_ms(1.0)
+        .with_crash(
+            NodeId::new(n - 1),
+            SimTime::from_ms(50.0),
+            Some(SimTime::from_ms(120.0)),
+        );
+    println!(
+        "fault plan : seed {}, loss {:.0}%, dup 2%, jitter <1ms, crash p{} @50ms, restart @120ms",
+        args.seed,
+        loss * 100.0,
+        n - 1
+    );
+    let deadline = SimTime::from_ms(60_000.0);
+    let run = |mode: DissemMode| {
+        let mut protocol = overlay.faulty_state_protocol_in(mode, plan.clone());
+        let report = protocol.run_until_converged(deadline);
+        let depth = protocol.forest().map_or(0, |f| f.max_depth());
+        (report, depth)
+    };
+    let (flooding, _) = run(DissemMode::Flooding);
+    let (tree, depth) = run(DissemMode::Tree);
+    for (label, r) in [("flooding", &flooding), ("tree", &tree)] {
+        println!(
+            "{label:<10} : converged={} stale={} sent={} ({} local, {} aggregate, {} tree) \
+             ended at {}",
+            r.converged,
+            r.stale_entries,
+            r.messages_sent(),
+            r.local_messages,
+            r.aggregate_messages,
+            r.tree_messages,
+            r.ended_at,
+        );
+    }
+    println!(
+        "tree       : depth {depth}, {} sends suppressed, {} repairs, trace {:016x}",
+        tree.tree_suppressed, tree.tree_repairs, tree.trace_hash
+    );
+    println!(
+        "reduction  : {:.1}x fewer messages than flooding",
+        flooding.messages_sent() as f64 / tree.messages_sent().max(1) as f64
+    );
+    let (echo, _) = run(DissemMode::Tree);
+    let registry = son_core::telemetry();
+    for (what, ok) in [
+        (
+            "flooding converges with zero stale rows",
+            flooding.converged && flooding.stale_entries == 0,
+        ),
+        (
+            "tree converges with zero stale rows",
+            tree.converged && tree.stale_entries == 0,
+        ),
+        ("tree mode floods nothing locally", tree.local_messages == 0),
+        (
+            "tree run is cheaper than flooding",
+            tree.messages_sent() < flooding.messages_sent(),
+        ),
+        ("tree suppresses redundant sends", tree.tree_suppressed > 0),
+        ("identical runs reproduce the trace hash", echo == tree),
+        (
+            "state.tree.sent counter moved",
+            registry.counter("state.tree.sent").get() > 0,
+        ),
+        (
+            "state.tree.suppressed counter moved",
+            registry.counter("state.tree.suppressed").get() > 0,
+        ),
+        (
+            "state.tree.depth gauge is set",
+            registry.gauge("state.tree.depth").get() >= 1.0,
+        ),
+    ] {
+        if !ok {
+            return Err(format!("dissem invariant failed: {what}"));
+        }
+        println!("check      : {what} — ok");
     }
     Ok(())
 }
@@ -784,7 +897,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
         eprintln!(
-            "usage: son <build|route|overhead|export|protocol|serve|faults|overload|metrics|trace|scale> [flags]"
+            "usage: son <build|route|overhead|export|protocol|serve|faults|overload|dissem|metrics|trace|scale> [flags]"
         );
         return ExitCode::FAILURE;
     };
@@ -818,6 +931,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&args),
         "faults" => cmd_faults(&args),
         "overload" => cmd_overload(&args),
+        "dissem" => cmd_dissem(&args),
         "metrics" => cmd_metrics(&args),
         "trace" => cmd_trace(&args),
         "scale" => cmd_scale(&args),

@@ -62,11 +62,11 @@ pub use son_netsim::{
     NodeKind, Partition, PhysicalNetwork, SimStats, SimTime, Simulator, TransitStubConfig,
 };
 pub use son_overlay::{
-    cluster_representatives, BorderPair, BorderSelection, CachedDelays, ClusterId, CoordDelays,
-    DelayMatrix, DelayModel, Health, HfcDelays, HfcSnapshot, HfcTopology, Hierarchy,
-    HierarchyConfig, MeshConfig, MeshTopology, Proxy, ProxyId, ProxyStatus, QosProfile,
-    QosRequirement, ServiceGraph, ServiceId, ServiceRegistry, ServiceRequest, ServiceSet, StageId,
-    StatusMap, UNCAPPED,
+    cluster_representatives, BorderPair, BorderSelection, CachedDelays, ClusterId, ClusterTree,
+    CoordDelays, DelayMatrix, DelayModel, DissemForest, Health, HfcDelays, HfcSnapshot,
+    HfcTopology, Hierarchy, HierarchyConfig, MeshConfig, MeshTopology, Proxy, ProxyId, ProxyStatus,
+    QosProfile, QosRequirement, ServiceGraph, ServiceId, ServiceRegistry, ServiceRequest,
+    ServiceSet, StageId, StatusMap, DEFAULT_TREE_FANOUT, UNCAPPED,
 };
 pub use son_routing::fixtures;
 pub use son_routing::{
@@ -77,8 +77,9 @@ pub use son_routing::{
     ValidatePathError,
 };
 pub use son_state::{
-    flat_overhead, hfc_overhead, ClusterLoad, ClusterLoadRow, ConvergenceChecker, OverheadKind,
-    OverheadReport, ProtocolConfig, SctC, SctP, Staleness, StateProtocol, StateReport,
+    flat_overhead, hfc_overhead, ClusterLoad, ClusterLoadRow, ConvergenceChecker, DissemMode,
+    OverheadKind, OverheadReport, ProtocolConfig, SctC, SctP, Staleness, StateProtocol,
+    StateReport,
 };
 pub use son_telemetry::{
     enabled as telemetry_enabled, global as telemetry, render_prometheus,

@@ -42,8 +42,8 @@ use son_routing::{
     ServicePath,
 };
 use son_state::{
-    flat_overhead, hfc_overhead, OverheadKind, OverheadReport, ProtocolConfig, StateProtocol,
-    StateReport,
+    flat_overhead, hfc_overhead, DissemMode, OverheadKind, OverheadReport, ProtocolConfig,
+    StateProtocol, StateReport,
 };
 use son_workload::{
     assign_qos, assign_services, generate_requests, place_proxies_excluding, Environment,
@@ -884,7 +884,15 @@ impl ServiceOverlay {
     /// use [`run_state_protocol_faulty`](Self::run_state_protocol_faulty)
     /// for the one-call version.
     pub fn faulty_state_protocol(&self, plan: FaultPlan) -> StateProtocol {
+        self.faulty_state_protocol_in(self.config.protocol.mode, plan)
+    }
+
+    /// [`faulty_state_protocol`](Self::faulty_state_protocol) with the
+    /// dissemination mode overridden, so flooding and tree runs can be
+    /// compared over the identical overlay, services, and fault plan.
+    pub fn faulty_state_protocol_in(&self, mode: DissemMode, plan: FaultPlan) -> StateProtocol {
         let mut config = self.config.protocol.clone();
+        config.mode = mode;
         if config.refresh_period_ms <= 0.0 {
             config.refresh_period_ms = ProtocolConfig::resilient().refresh_period_ms;
         }
@@ -898,6 +906,18 @@ impl ServiceOverlay {
     /// tables match ground truth or `deadline` passes.
     pub fn run_state_protocol_faulty(&self, plan: FaultPlan, deadline: SimTime) -> StateReport {
         self.faulty_state_protocol(plan)
+            .run_until_converged(deadline)
+    }
+
+    /// [`run_state_protocol_faulty`](Self::run_state_protocol_faulty)
+    /// in an explicit dissemination mode.
+    pub fn run_state_protocol_faulty_in(
+        &self,
+        mode: DissemMode,
+        plan: FaultPlan,
+        deadline: SimTime,
+    ) -> StateReport {
+        self.faulty_state_protocol_in(mode, plan)
             .run_until_converged(deadline)
     }
 

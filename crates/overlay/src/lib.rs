@@ -28,6 +28,7 @@
 //! ```
 
 pub mod delays;
+pub mod dissem;
 pub mod health;
 pub mod hfc;
 pub mod hierarchy;
@@ -39,6 +40,7 @@ pub mod service;
 pub mod sgraph;
 
 pub use delays::{CachedDelays, CoordDelays, DelayMatrix, DelayModel, HfcDelays};
+pub use dissem::{ClusterTree, DissemForest, DEFAULT_TREE_FANOUT};
 pub use health::{Health, ProxyStatus, StatusMap, UNCAPPED};
 pub use hfc::{BorderPair, BorderSelection, ClusterId, HfcSnapshot, HfcTopology};
 pub use hierarchy::{cluster_representatives, Hierarchy, HierarchyConfig};

@@ -28,5 +28,5 @@ pub mod tables;
 pub use checker::{ConvergenceChecker, Staleness};
 pub use load::{ClusterLoad, ClusterLoadRow};
 pub use overhead::{flat_overhead, hfc_overhead, OverheadKind, OverheadReport};
-pub use protocol::{ProtocolConfig, StateProtocol, StateReport};
+pub use protocol::{DissemMode, ProtocolConfig, StateProtocol, StateReport};
 pub use tables::{SctC, SctP};

@@ -9,6 +9,15 @@
 //!    aggregate state message to the neighbor border proxies of other
 //!    clusters. A border proxy receiving such a message updates its
 //!    `SCT_C` and forwards it to the other proxies of its own cluster.
+//!
+//! That is [`DissemMode::Flooding`], the paper verbatim — O(m²)
+//! messages per cluster per round. [`DissemMode::Tree`] replaces the
+//! intra-cluster legs with batched table syncs along a per-cluster
+//! broadcast tree ([`son_overlay::DissemForest`]) rooted at the
+//! busiest border proxy, keeps the border-pair aggregate exchange
+//! point-to-point, and falls back to flooding repair when a tree
+//! parent goes silent. Same version guards, same anti-entropy refresh,
+//! same ground-truth convergence check.
 
 use crate::checker::{ConvergenceChecker, Staleness};
 use crate::tables::{SctC, SctP};
@@ -16,8 +25,27 @@ use son_netsim::faults::FaultPlan;
 use son_netsim::graph::NodeId;
 use son_netsim::sim::{Actor, Ctx, Simulator};
 use son_netsim::SimTime;
-use son_overlay::{ClusterId, DelayModel, HfcTopology, ProxyId, ServiceSet};
+use son_overlay::{ClusterId, DelayModel, DissemForest, HfcTopology, ProxyId, ServiceSet};
 use std::collections::BTreeMap;
+
+/// How table rows travel *inside* a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DissemMode {
+    /// Section 4 verbatim: every proxy floods its local state to every
+    /// cluster peer, and borders re-flood every known remote aggregate
+    /// — O(m²) messages per cluster per round. The baseline.
+    #[default]
+    Flooding,
+    /// Batched relay along a per-cluster [`DissemForest`] tree rooted
+    /// at the busiest border proxy: each proxy exchanges its whole
+    /// table with its tree parent and children only (O(m) messages per
+    /// cluster per round), borders exchange aggregates pairwise
+    /// without intra-cluster re-flooding, and a proxy whose parent
+    /// goes silent falls back to flooding its state until the parent
+    /// returns. Needs anti-entropy refresh to converge — use
+    /// [`ProtocolConfig::tree`].
+    Tree,
+}
 
 /// Timing parameters of the protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +64,16 @@ pub struct ProtocolConfig {
     /// message left stale is repaired by a later refresh. `0.0`
     /// disables it and preserves the legacy fixed-round quiescence.
     pub refresh_period_ms: f64,
+    /// Intra-cluster dissemination: Section 4 flooding (default) or
+    /// broadcast trees over the cluster structure.
+    pub mode: DissemMode,
+    /// Child-count bound for [`DissemMode::Tree`] broadcast trees.
+    pub tree_fanout: usize,
+    /// Tree mode: how long a parent may stay silent (no sync received)
+    /// before its children declare it gone and fall back to flooding
+    /// repair. Should cover a few refresh periods so jitter and a
+    /// quick crash/restart don't trigger it.
+    pub repair_after_ms: f64,
 }
 
 impl Default for ProtocolConfig {
@@ -45,6 +83,9 @@ impl Default for ProtocolConfig {
             aggregate_period_ms: 15.0,
             rounds: 3,
             refresh_period_ms: 0.0,
+            mode: DissemMode::Flooding,
+            tree_fanout: son_overlay::DEFAULT_TREE_FANOUT,
+            repair_after_ms: 120.0,
         }
     }
 }
@@ -59,6 +100,17 @@ impl ProtocolConfig {
         ProtocolConfig {
             refresh_period_ms: 40.0,
             ..ProtocolConfig::default()
+        }
+    }
+
+    /// The resilient preset with tree dissemination on: state travels
+    /// along per-cluster broadcast trees instead of being flooded.
+    /// Refresh is mandatory here — tree repair leans on it, and a
+    /// deep tree needs periodic rounds to push rows across its hops.
+    pub fn tree() -> Self {
+        ProtocolConfig {
+            mode: DissemMode::Tree,
+            ..ProtocolConfig::resilient()
         }
     }
 }
@@ -88,11 +140,36 @@ pub enum StateMsg {
         /// Intra-cluster forwards keep the original version.
         version: u64,
     },
+    /// Tree mode: a batch of table rows relayed along a tree edge —
+    /// periodic full-table syncs between parent and children, and
+    /// event-driven deltas cascading fresh rows through the tree.
+    /// Every row keeps the version its origin stamped.
+    TreeSync {
+        /// `SCT_P` rows: (member, services, version).
+        sctp: Vec<(ProxyId, ServiceSet, u64)>,
+        /// `SCT_C` rows: (cluster, services, version).
+        sctc: Vec<(ClusterId, ServiceSet, u64)>,
+    },
+    /// Tree mode's flooding fallback: a proxy whose parent went silent
+    /// broadcasts everything it knows to every cluster peer. Receivers
+    /// merge it like a [`TreeSync`] *and* reply with their own full
+    /// tables, so the orphan both teaches and relearns.
+    Repair {
+        /// `SCT_P` rows: (member, services, version).
+        sctp: Vec<(ProxyId, ServiceSet, u64)>,
+        /// `SCT_C` rows: (cluster, services, version).
+        sctc: Vec<(ClusterId, ServiceSet, u64)>,
+    },
 }
 
 const LOCAL_TIMER: u64 = 1;
 const AGGREGATE_TIMER: u64 = 2;
 const REFRESH_TIMER: u64 = 3;
+
+/// Versioned `SCT_P` rows as they travel in tree-mode payloads.
+type SctPRows = Vec<(ProxyId, ServiceSet, u64)>;
+/// Versioned `SCT_C` rows as they travel in tree-mode payloads.
+type SctCRows = Vec<(ClusterId, ServiceSet, u64)>;
 
 /// One proxy's protocol state machine.
 #[derive(Debug)]
@@ -105,6 +182,14 @@ pub struct ProxyActor {
     /// Remote border proxies this proxy (as a border) must advertise
     /// to: one per neighboring cluster where this proxy is the border.
     border_duties: Vec<ProxyId>,
+    /// Tree-mode parent in the cluster's broadcast tree; `None` for
+    /// the cluster root (and for every proxy in flooding mode).
+    parent: Option<ProxyId>,
+    /// Tree-mode children this proxy relays to.
+    children: Vec<ProxyId>,
+    /// Simulated µs at which the parent was last heard from (any
+    /// `TreeSync` or `Repair` it sent). Reset on (re)boot.
+    parent_heard_at: u64,
     config: ProtocolConfig,
     local_rounds_left: usize,
     aggregate_rounds_left: usize,
@@ -129,6 +214,14 @@ pub struct ProxyActor {
     /// Anti-entropy refresh rounds executed (one per `REFRESH_TIMER`
     /// firing). Survives restarts.
     pub refresh_rounds: u64,
+    /// Tree-mode messages sent (syncs, cascades, repairs and their
+    /// replies). Survives restarts like the other sent counters.
+    pub sent_tree: u64,
+    /// Messages flooding would have sent at the same decision points
+    /// but the tree did not — the measured savings.
+    pub suppressed: u64,
+    /// Repair rounds entered because the tree parent went silent.
+    pub repairs: u64,
 }
 
 impl ProxyActor {
@@ -196,15 +289,149 @@ impl ProxyActor {
         }
     }
 
+    fn tree_mode(&self) -> bool {
+        self.config.mode == DissemMode::Tree
+    }
+
+    /// Everything this proxy knows, with the versions it holds, ready
+    /// to ride a [`StateMsg::TreeSync`] or [`StateMsg::Repair`].
+    fn full_payload(&self) -> (SctPRows, SctCRows) {
+        let sctp = self
+            .sctp
+            .iter()
+            .map(|(p, s)| {
+                (
+                    p,
+                    s.clone(),
+                    self.sctp_versions.get(&p).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+        let sctc = self
+            .sctc
+            .iter()
+            .map(|(c, s)| {
+                (
+                    c,
+                    s.clone(),
+                    self.sctc_versions.get(&c).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+        (sctp, sctc)
+    }
+
+    /// One periodic tree round: full-table sync with the parent and
+    /// every child. Flooding would have sent one message per cluster
+    /// peer here — the difference is the tree's saving.
+    fn tree_sync_round(&mut self, ctx: &mut Ctx<'_, StateMsg>) {
+        let (sctp, sctc) = self.full_payload();
+        let mut sent = 0u64;
+        for &n in self.parent.iter().chain(self.children.iter()) {
+            ctx.send(
+                NodeId::new(n.index()),
+                StateMsg::TreeSync {
+                    sctp: sctp.clone(),
+                    sctc: sctc.clone(),
+                },
+            );
+            self.sent_tree += 1;
+            sent += 1;
+        }
+        self.suppressed += (self.peers.len() as u64).saturating_sub(sent);
+    }
+
+    /// Relays fresh rows to every tree neighbor except the one they
+    /// came from — the event-driven wave that lets a deep tree
+    /// converge without waiting one refresh period per hop.
+    fn cascade(
+        &mut self,
+        ctx: &mut Ctx<'_, StateMsg>,
+        except: Option<ProxyId>,
+        sctp: SctPRows,
+        sctc: SctCRows,
+    ) {
+        if sctp.is_empty() && sctc.is_empty() {
+            return;
+        }
+        for &n in self.parent.iter().chain(self.children.iter()) {
+            if Some(n) == except {
+                continue;
+            }
+            ctx.send(
+                NodeId::new(n.index()),
+                StateMsg::TreeSync {
+                    sctp: sctp.clone(),
+                    sctc: sctc.clone(),
+                },
+            );
+            self.sent_tree += 1;
+        }
+    }
+
+    /// Applies a batch of relayed rows under the same version guards
+    /// as the flooding handlers, returning the rows that actually
+    /// changed a table (fresh information worth cascading) and whether
+    /// the own-cluster aggregate moved.
+    fn merge_rows(
+        &mut self,
+        ctx: &mut Ctx<'_, StateMsg>,
+        sctp: SctPRows,
+        sctc: SctCRows,
+    ) -> (SctPRows, SctCRows, bool) {
+        let mut fresh_p = SctPRows::new();
+        for (proxy, services, version) in sctp {
+            if proxy == self.id {
+                continue;
+            }
+            if version < self.sctp_versions.get(&proxy).copied().unwrap_or(0) {
+                self.ignored_stale += 1;
+                continue;
+            }
+            self.sctp_versions.insert(proxy, version);
+            if self.sctp.update(proxy, services.clone()) {
+                fresh_p.push((proxy, services, version));
+            }
+        }
+        // The local cluster's aggregate stays derived from SCT_P, like
+        // the flooding handler does on every Local delivery.
+        let mut aggregate_changed = false;
+        if !fresh_p.is_empty() && self.sctc.update(self.cluster, self.sctp.aggregate()) {
+            self.sctc_versions
+                .insert(self.cluster, ctx.now().as_micros());
+            aggregate_changed = true;
+        }
+        let mut fresh_c = SctCRows::new();
+        for (cluster, services, version) in sctc {
+            if version < self.sctc_versions.get(&cluster).copied().unwrap_or(0) {
+                self.ignored_stale += 1;
+                continue;
+            }
+            if self.sctc.merge_update(cluster, &services) {
+                aggregate_changed |= cluster == self.cluster;
+                fresh_c.push((cluster, services, version));
+            }
+            self.sctc_versions.insert(cluster, version);
+        }
+        (fresh_p, fresh_c, aggregate_changed)
+    }
+
     /// Initial-knowledge seeding plus timer arming, shared by cold
     /// start and post-crash restart.
     fn boot(&mut self, ctx: &mut Ctx<'_, StateMsg>) {
+        let now = ctx.now().as_micros();
         // A proxy always knows itself.
         self.sctp.update(self.id, self.services.clone());
+        self.sctp_versions.insert(self.id, now);
         self.sctc.update(self.cluster, self.services.clone());
+        self.parent_heard_at = now;
         if self.local_rounds_left > 0 {
             self.local_rounds_left -= 1;
-            self.broadcast_local(ctx);
+            if self.tree_mode() {
+                self.tree_sync_round(ctx);
+            } else {
+                self.broadcast_local(ctx);
+            }
             ctx.set_timer(SimTime::from_ms(self.config.local_period_ms), LOCAL_TIMER);
         }
         if !self.border_duties.is_empty() && self.aggregate_rounds_left > 0 {
@@ -272,27 +499,75 @@ impl Actor for ProxyActor {
                 // Merge (set union): services are static, so aggregates
                 // are monotone and merging makes delivery order and
                 // duplicate retransmissions harmless.
-                self.sctc.merge_update(cluster, &services);
+                let changed = self.sctc.merge_update(cluster, &services);
                 self.sctc_versions.insert(cluster, version);
-                // A border proxy that received the message from outside
-                // its own cluster forwards it inward, unconditionally
-                // (Section 4 rule 2) — the repetition is what lets the
-                // protocol ride out message loss.
                 let from_outside = !self.peers.contains(&ProxyId::new(from.index()))
                     && ProxyId::new(from.index()) != self.id;
                 if from_outside {
-                    for &peer in &self.peers {
-                        ctx.send(
-                            NodeId::new(peer.index()),
-                            StateMsg::Aggregate {
-                                cluster,
-                                services: services.clone(),
-                                version,
-                            },
-                        );
-                        self.sent_aggregate += 1;
+                    if self.tree_mode() {
+                        // Subscription-style: the border pair exchange
+                        // already delivered the row; inward it rides
+                        // the tree, and only when it said something
+                        // new. Periodic tree refresh repairs losses.
+                        if changed {
+                            let row = vec![(cluster, services, version)];
+                            self.cascade(ctx, None, SctPRows::new(), row);
+                        } else {
+                            self.suppressed += self.peers.len() as u64;
+                        }
+                    } else {
+                        // A border proxy that received the message from
+                        // outside its own cluster forwards it inward,
+                        // unconditionally (Section 4 rule 2) — the
+                        // repetition is what lets the protocol ride out
+                        // message loss.
+                        for &peer in &self.peers {
+                            ctx.send(
+                                NodeId::new(peer.index()),
+                                StateMsg::Aggregate {
+                                    cluster,
+                                    services: services.clone(),
+                                    version,
+                                },
+                            );
+                            self.sent_aggregate += 1;
+                        }
                     }
                 }
+            }
+            StateMsg::TreeSync { sctp, sctc } => {
+                let sender = ProxyId::new(from.index());
+                if Some(sender) == self.parent {
+                    self.parent_heard_at = ctx.now().as_micros();
+                }
+                let (fresh_p, fresh_c, aggregate_changed) = self.merge_rows(ctx, sctp, sctc);
+                // Same event-driven leg as flooding: a border whose
+                // cluster aggregate just changed re-advertises to its
+                // remote pairs immediately.
+                if aggregate_changed && !self.border_duties.is_empty() {
+                    self.broadcast_aggregate(ctx);
+                }
+                self.cascade(ctx, Some(sender), fresh_p, fresh_c);
+            }
+            StateMsg::Repair { sctp, sctc } => {
+                let sender = ProxyId::new(from.index());
+                if Some(sender) == self.parent {
+                    self.parent_heard_at = ctx.now().as_micros();
+                }
+                let (fresh_p, fresh_c, aggregate_changed) = self.merge_rows(ctx, sctp, sctc);
+                if aggregate_changed && !self.border_duties.is_empty() {
+                    self.broadcast_aggregate(ctx);
+                }
+                self.cascade(ctx, Some(sender), fresh_p, fresh_c);
+                // The orphan's broadcast is also a plea: answer with
+                // everything we know so it relearns what its dead
+                // parent would have relayed.
+                let (sctp, sctc) = self.full_payload();
+                ctx.send(
+                    NodeId::new(sender.index()),
+                    StateMsg::TreeSync { sctp, sctc },
+                );
+                self.sent_tree += 1;
             }
         }
     }
@@ -301,28 +576,72 @@ impl Actor for ProxyActor {
         match token {
             LOCAL_TIMER if self.local_rounds_left > 0 => {
                 self.local_rounds_left -= 1;
-                self.broadcast_local(ctx);
+                if self.tree_mode() {
+                    self.tree_sync_round(ctx);
+                } else {
+                    self.broadcast_local(ctx);
+                }
                 ctx.set_timer(SimTime::from_ms(self.config.local_period_ms), LOCAL_TIMER);
             }
             AGGREGATE_TIMER if self.aggregate_rounds_left > 0 => {
                 self.aggregate_rounds_left -= 1;
                 self.broadcast_aggregate(ctx);
-                self.reforward_known_aggregates(ctx);
+                if self.tree_mode() {
+                    // No periodic re-flood of remote aggregates: the
+                    // tree syncs carry them batched. Account for what
+                    // flooding would have sent right here.
+                    self.suppressed +=
+                        self.sctc.len().saturating_sub(1) as u64 * self.peers.len() as u64;
+                } else {
+                    self.reforward_known_aggregates(ctx);
+                }
                 ctx.set_timer(
                     SimTime::from_ms(self.config.aggregate_period_ms),
                     AGGREGATE_TIMER,
                 );
             }
             REFRESH_TIMER => {
-                // Anti-entropy: unconditionally re-flood everything we
+                // Anti-entropy: unconditionally re-send everything we
                 // know, forever. Any row a lost message left stale is
-                // repaired at most one refresh period later.
+                // repaired at most one refresh period later — along
+                // tree edges in tree mode, by re-flooding otherwise.
                 self.refresh_rounds += 1;
-                self.broadcast_local(ctx);
-                if !self.border_duties.is_empty() {
-                    self.broadcast_aggregate(ctx);
+                if self.tree_mode() {
+                    let silent = ctx.now().as_micros().saturating_sub(self.parent_heard_at);
+                    if self.parent.is_some()
+                        && silent > (self.config.repair_after_ms * 1_000.0) as u64
+                    {
+                        // Parent gone: fall back to Section 4 flooding
+                        // until it answers again. Peers reply with
+                        // their tables, so the orphaned subtree keeps
+                        // both teaching and learning.
+                        self.repairs += 1;
+                        let (sctp, sctc) = self.full_payload();
+                        for &peer in &self.peers {
+                            ctx.send(
+                                NodeId::new(peer.index()),
+                                StateMsg::Repair {
+                                    sctp: sctp.clone(),
+                                    sctc: sctc.clone(),
+                                },
+                            );
+                            self.sent_tree += 1;
+                        }
+                    } else {
+                        self.tree_sync_round(ctx);
+                    }
+                    if !self.border_duties.is_empty() {
+                        self.broadcast_aggregate(ctx);
+                    }
+                    self.suppressed +=
+                        self.sctc.len().saturating_sub(1) as u64 * self.peers.len() as u64;
+                } else {
+                    self.broadcast_local(ctx);
+                    if !self.border_duties.is_empty() {
+                        self.broadcast_aggregate(ctx);
+                    }
+                    self.reforward_known_aggregates(ctx);
                 }
-                self.reforward_known_aggregates(ctx);
                 ctx.set_timer(
                     SimTime::from_ms(self.config.refresh_period_ms),
                     REFRESH_TIMER,
@@ -379,9 +698,24 @@ pub struct StateReport {
     pub stale_ignored: u64,
     /// Anti-entropy refresh rounds executed across all proxies.
     pub refresh_rounds: u64,
+    /// Tree-mode messages sent (syncs, cascades, repairs and replies).
+    /// Zero in flooding mode.
+    pub tree_messages: u64,
+    /// Messages flooding would have sent that tree mode did not.
+    pub tree_suppressed: u64,
+    /// Tree-mode repair rounds entered (parent silence fallbacks).
+    pub tree_repairs: u64,
     /// FNV-1a digest of the full event trace — identical seeds and
     /// fault plans reproduce identical hashes.
     pub trace_hash: u64,
+}
+
+impl StateReport {
+    /// Everything the protocol put on the wire: local + aggregate +
+    /// tree messages. The number the flooding-vs-tree comparison uses.
+    pub fn messages_sent(&self) -> u64 {
+        self.local_messages + self.aggregate_messages + self.tree_messages
+    }
 }
 
 /// Drives the protocol for a whole overlay.
@@ -412,6 +746,9 @@ pub struct StateProtocol {
     simulator: Simulator<ProxyActor, Box<dyn FnMut(NodeId, NodeId) -> SimTime>>,
     checker: ConvergenceChecker,
     config: ProtocolConfig,
+    /// The broadcast trees rows travel along in [`DissemMode::Tree`];
+    /// `None` in flooding mode.
+    forest: Option<DissemForest>,
     /// Counter values already folded into the telemetry registry.
     /// Simulator and actor counters are cumulative over the protocol's
     /// lifetime while registry counters only grow, so each report folds
@@ -430,6 +767,9 @@ struct FoldedCounters {
     aggregate: u64,
     stale: u64,
     refresh: u64,
+    tree: u64,
+    suppressed: u64,
+    repairs: u64,
 }
 
 impl std::fmt::Debug for StateProtocol {
@@ -463,6 +803,8 @@ impl StateProtocol {
             "one service set per proxy required"
         );
         let n = hfc.proxy_count();
+        let forest = (config.mode == DissemMode::Tree)
+            .then(|| DissemForest::build(hfc, delays, config.tree_fanout));
         let mut actors = Vec::with_capacity(n);
         for (p, service_set) in services.iter().enumerate() {
             let id = ProxyId::new(p);
@@ -483,12 +825,18 @@ impl StateProtocol {
                     border_duties.push(pair.remote);
                 }
             }
+            let (parent, children) = forest.as_ref().map_or((None, Vec::new()), |f| {
+                (f.parent_of(id), f.children_of(id).to_vec())
+            });
             actors.push(ProxyActor {
                 id,
                 cluster,
                 services: service_set.clone(),
                 peers,
                 border_duties,
+                parent,
+                children,
+                parent_heard_at: 0,
                 config: config.clone(),
                 local_rounds_left: config.rounds,
                 aggregate_rounds_left: config.rounds,
@@ -500,6 +848,9 @@ impl StateProtocol {
                 sent_aggregate: 0,
                 ignored_stale: 0,
                 refresh_rounds: 0,
+                sent_tree: 0,
+                suppressed: 0,
+                repairs: 0,
             });
         }
 
@@ -514,8 +865,15 @@ impl StateProtocol {
             simulator: Simulator::new(actors, delay_fn),
             checker,
             config,
+            forest,
             folded: FoldedCounters::default(),
         }
+    }
+
+    /// The dissemination trees of a [`DissemMode::Tree`] run; `None`
+    /// in flooding mode.
+    pub fn forest(&self) -> Option<&DissemForest> {
+        self.forest.as_ref()
     }
 
     /// Injects reproducible random message loss: every protocol
@@ -610,6 +968,9 @@ impl StateProtocol {
             messages_duplicated: stats.messages_duplicated,
             stale_ignored: actors.iter().map(|a| a.ignored_stale).sum(),
             refresh_rounds: actors.iter().map(|a| a.refresh_rounds).sum(),
+            tree_messages: actors.iter().map(|a| a.sent_tree).sum(),
+            tree_suppressed: actors.iter().map(|a| a.suppressed).sum(),
+            tree_repairs: actors.iter().map(|a| a.repairs).sum(),
             trace_hash: stats.trace_hash,
         };
         self.fold_into_registry(&report);
@@ -631,6 +992,9 @@ impl StateProtocol {
             aggregate: report.aggregate_messages,
             stale: report.stale_ignored,
             refresh: report.refresh_rounds,
+            tree: report.tree_messages,
+            suppressed: report.tree_suppressed,
+            repairs: report.tree_repairs,
         };
         if !son_telemetry::enabled() {
             return;
@@ -660,8 +1024,20 @@ impl StateProtocol {
             ),
             ("state.stale_ignored", report.stale_ignored, prev.stale),
             ("state.refresh_rounds", report.refresh_rounds, prev.refresh),
+            ("state.tree.sent", report.tree_messages, prev.tree),
+            (
+                "state.tree.suppressed",
+                report.tree_suppressed,
+                prev.suppressed,
+            ),
+            ("state.tree.repairs", report.tree_repairs, prev.repairs),
         ] {
             registry.counter(name).add(now.saturating_sub(before));
+        }
+        if let Some(forest) = &self.forest {
+            registry
+                .gauge("state.tree.depth")
+                .set(forest.max_depth() as f64);
         }
         registry
             .gauge("state.convergence_ms")
@@ -1163,5 +1539,160 @@ mod fault_tolerance_tests {
         let (a, b) = (run(42), run(42));
         assert_eq!(a, b);
         assert_ne!(a.trace_hash, run(43).trace_hash);
+    }
+}
+
+#[cfg(test)]
+mod tree_tests {
+    use super::*;
+    use son_clustering::Clustering;
+    use son_overlay::{DelayMatrix, ServiceId};
+
+    /// 30 proxies, 3 clusters of 10 — big enough clusters that the
+    /// fanout-4 trees grow real interior nodes and flooding's m(m-1)
+    /// per-round cost dwarfs the tree's 2(m-1).
+    fn world() -> (HfcTopology, DelayMatrix, Vec<ServiceSet>) {
+        let n = 30;
+        let pos: Vec<f64> = (0..n)
+            .map(|i| (i / 10) as f64 * 50.0 + (i % 10) as f64 * 3.0)
+            .collect();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                values[i * n + j] = (pos[i] - pos[j]).abs();
+            }
+        }
+        let delays = DelayMatrix::from_values(n, values);
+        let labels: Vec<usize> = (0..n).map(|i| i / 10).collect();
+        let hfc = HfcTopology::build(&Clustering::from_labels(&labels), &delays);
+        let services: Vec<ServiceSet> = (0..n)
+            .map(|i| ServiceSet::from_iter([ServiceId::new(i)]))
+            .collect();
+        (hfc, delays, services)
+    }
+
+    #[test]
+    fn tree_mode_converges_with_correct_tables() {
+        let (hfc, delays, services) = world();
+        let mut protocol = StateProtocol::new(&hfc, services, &delays, ProtocolConfig::tree());
+        let report = protocol.run_until_converged(SimTime::from_ms(5_000.0));
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.stale_entries, 0);
+        assert!(report.tree_messages > 0);
+        assert_eq!(report.local_messages, 0, "no intra-cluster flooding");
+        // Ground truth, not self-report: every proxy holds the full
+        // cluster in SCT_P and all three aggregates in SCT_C.
+        for p in 0..30 {
+            let (sctp, sctc) = protocol.tables_of(ProxyId::new(p));
+            assert_eq!(sctp.len(), 10, "proxy {p}");
+            assert_eq!(sctc.len(), 3, "proxy {p}");
+        }
+        let forest = protocol.forest().expect("tree mode builds a forest");
+        assert!(forest.max_depth() >= 2, "fanout 4 over 10 members");
+    }
+
+    #[test]
+    fn tree_mode_sends_far_fewer_messages_than_flooding() {
+        let (hfc, delays, services) = world();
+        let run = |config: ProtocolConfig| {
+            let mut protocol = StateProtocol::new(&hfc, services.clone(), &delays, config);
+            let report = protocol.run_until(SimTime::from_ms(400.0));
+            assert!(report.converged, "{report:?}");
+            report
+        };
+        let flooding = run(ProtocolConfig::resilient());
+        let tree = run(ProtocolConfig::tree());
+        // Same horizon, same timers, same world: the tree must cut
+        // total message volume by well over the 3x the bench targets.
+        assert!(
+            tree.messages_sent() * 3 <= flooding.messages_sent(),
+            "tree {} vs flooding {}",
+            tree.messages_sent(),
+            flooding.messages_sent()
+        );
+        assert!(tree.tree_suppressed > 0, "suppression must be counted");
+    }
+
+    #[test]
+    fn orphans_repair_through_a_permanent_parent_crash() {
+        let (hfc, delays, services) = world();
+        let mut protocol =
+            StateProtocol::new(&hfc, services.clone(), &delays, ProtocolConfig::tree());
+        // Pick a non-root, non-border tree parent: its children lose
+        // their only sync source and must flood a Repair.
+        let duties = hfc.border_duty_counts();
+        let forest = protocol.forest().unwrap();
+        let victim = (0..30)
+            .map(ProxyId::new)
+            .find(|p| {
+                forest.parent_of(*p).is_some()
+                    && !forest.children_of(*p).is_empty()
+                    && duties[p.index()] == 0
+            })
+            .expect("a 10-member fanout-4 tree has interior non-border nodes");
+        protocol.install_faults(FaultPlan::new(1).with_crash(
+            NodeId::new(victim.index()),
+            SimTime::from_ms(60.0),
+            None,
+        ));
+        let report = protocol.run_until_converged(SimTime::from_ms(5_000.0));
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.stale_entries, 0);
+        assert_eq!(report.crashed_proxies, 1);
+        assert!(report.tree_repairs > 0, "orphans must have repaired");
+    }
+
+    #[test]
+    fn tree_mode_survives_loss_duplication_and_healed_partitions() {
+        let (hfc, delays, services) = world();
+        let mut protocol = StateProtocol::new(&hfc, services, &delays, ProtocolConfig::tree());
+        protocol.install_faults(
+            FaultPlan::new(7)
+                .with_loss(0.2)
+                .with_duplicate(0.05)
+                .with_jitter_ms(1.0)
+                .with_partition(
+                    SimTime::ZERO,
+                    SimTime::from_ms(100.0),
+                    (0..10).map(NodeId::new).collect(),
+                ),
+        );
+        let report = protocol.run_until_converged(SimTime::from_ms(5_000.0));
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.stale_entries, 0);
+        assert!(report.messages_dropped > 0, "loss must actually bite");
+    }
+
+    #[test]
+    fn tree_runs_are_deterministic_and_seed_sensitive() {
+        let (hfc, delays, services) = world();
+        let run = |seed: u64| {
+            let mut protocol =
+                StateProtocol::new(&hfc, services.clone(), &delays, ProtocolConfig::tree());
+            protocol.install_faults(
+                FaultPlan::new(seed)
+                    .with_loss(0.15)
+                    .with_duplicate(0.05)
+                    .with_jitter_ms(1.0),
+            );
+            protocol.run_until_converged(SimTime::from_ms(5_000.0))
+        };
+        let (a, b) = (run(42), run(42));
+        assert_eq!(a, b);
+        assert_ne!(a.trace_hash, run(43).trace_hash);
+    }
+
+    #[test]
+    fn flooding_trace_is_untouched_by_the_tree_machinery() {
+        // The tree code must be invisible when the mode is off: a
+        // flooding run reports zero tree activity.
+        let (hfc, delays, services) = world();
+        let mut protocol = StateProtocol::new(&hfc, services, &delays, ProtocolConfig::resilient());
+        let report = protocol.run_until_converged(SimTime::from_ms(5_000.0));
+        assert!(report.converged);
+        assert_eq!(report.tree_messages, 0);
+        assert_eq!(report.tree_suppressed, 0);
+        assert_eq!(report.tree_repairs, 0);
+        assert!(protocol.forest().is_none());
     }
 }

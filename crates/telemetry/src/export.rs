@@ -139,6 +139,10 @@ mod tests {
         reg.counter("engine.cache.hits").add(42);
         reg.counter_with("engine.errors", &[("worker", "0")]).add(1);
         reg.gauge("state.convergence_ms").set(125.5);
+        // Tree-dissemination keys: a counter and a gauge, as
+        // `StateProtocol` folds them.
+        reg.counter("state.tree.sent").add(7);
+        reg.gauge("state.tree.depth").set(3.0);
         let h = reg.histogram_with("engine.serve_us", &[("worker", "0")]);
         for v in [10.0, 20.0, 30.0, 40.0] {
             h.record(v);

@@ -1,0 +1,158 @@
+//! Property: tree-based dissemination is as survivable as flooding —
+//! any survivable fault plan (i.i.d. loss up to 30%, duplication,
+//! jitter, a temporary partition of one whole cluster, and a
+//! crash/restart) converges with zero stale entries, identical seeds
+//! replay identical event digests, and the tree run is strictly
+//! cheaper than flooding over the same world and plan.
+
+use proptest::prelude::*;
+use son_core::{
+    Clustering, DelayMatrix, DissemMode, FaultPlan, HfcTopology, NodeId, ProtocolConfig, ProxyId,
+    ServiceId, ServiceSet, SimTime, StateProtocol, StateReport,
+};
+
+/// `clusters` planted communities of `size` proxies on a line — the
+/// same world `tests/state_faults.rs` uses for the flooding baseline.
+fn world(clusters: usize, size: usize) -> (HfcTopology, DelayMatrix, Vec<ServiceSet>) {
+    let n = clusters * size;
+    let pos: Vec<f64> = (0..n)
+        .map(|i| (i / size) as f64 * 300.0 + (i % size) as f64 * 4.0)
+        .collect();
+    let mut values = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            values[i * n + j] = (pos[i] - pos[j]).abs();
+        }
+    }
+    let delays = DelayMatrix::from_values(n, values);
+    let labels: Vec<usize> = (0..n).map(|i| i / size).collect();
+    let hfc = HfcTopology::build(&Clustering::from_labels(&labels), &delays);
+    let services: Vec<ServiceSet> = (0..n)
+        .map(|i| ServiceSet::from_iter([ServiceId::new(i % 7), ServiceId::new(7 + i % 5)]))
+        .collect();
+    (hfc, delays, services)
+}
+
+fn run_plan(
+    clusters: usize,
+    size: usize,
+    mode: DissemMode,
+    plan: FaultPlan,
+    deadline_ms: f64,
+) -> (StateReport, StateProtocol) {
+    let (hfc, delays, services) = world(clusters, size);
+    let config = ProtocolConfig {
+        mode,
+        ..ProtocolConfig::resilient()
+    };
+    let mut protocol = StateProtocol::new(&hfc, services, &delays, config);
+    protocol.install_faults(plan);
+    let report = protocol.run_until_converged(SimTime::from_ms(deadline_ms));
+    (report, protocol)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(18))]
+    #[test]
+    fn tree_mode_survives_any_survivable_plan(
+        shape in (2usize..5, 3usize..6),
+        loss in 0.0f64..0.3,
+        duplicate in 0.0f64..0.1,
+        jitter_ms in 0.0f64..2.0,
+        seed in 0u64..1_000_000,
+        disruption in (0usize..1000, 10.0f64..120.0, 10.0f64..150.0),
+    ) {
+        let (clusters, size) = shape;
+        let (crash_pick, partition_start, partition_len) = disruption;
+        let n = clusters * size;
+        // Cluster 0 is cut off for a bounded window — never permanent.
+        let island: Vec<NodeId> = (0..size).map(NodeId::new).collect();
+        // Any proxy may crash — tree roots and interior relays
+        // included; it always comes back 40ms later.
+        let victim = NodeId::new(crash_pick % n);
+        let crash_at = 30.0 + (crash_pick % 50) as f64;
+        let mut plan = FaultPlan::new(seed)
+            .with_duplicate(duplicate)
+            .with_partition(
+                SimTime::from_ms(partition_start),
+                SimTime::from_ms(partition_start + partition_len),
+                island,
+            )
+            .with_crash(
+                victim,
+                SimTime::from_ms(crash_at),
+                Some(SimTime::from_ms(crash_at + 40.0)),
+            );
+        if loss > 0.0 {
+            plan = plan.with_loss(loss);
+        }
+        if jitter_ms > 0.0 {
+            plan = plan.with_jitter_ms(jitter_ms);
+        }
+        let (report, protocol) = run_plan(clusters, size, DissemMode::Tree, plan, 30_000.0);
+        prop_assert!(report.converged, "{report:?}");
+        prop_assert_eq!(report.stale_entries, 0);
+        prop_assert_eq!(report.crashed_proxies, 0);
+        prop_assert_eq!(report.local_messages, 0, "tree mode must not flood");
+        // The restarted proxy relearned its whole cluster through the
+        // tree (or a repair, if its parent was slow to come back).
+        let (sctp, sctc) = protocol.tables_of(ProxyId::new(victim.index()));
+        prop_assert_eq!(sctp.len(), size);
+        prop_assert_eq!(sctc.len(), clusters);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn identical_seeds_reproduce_identical_tree_traces(
+        seed in 0u64..1_000_000,
+        loss in 0.0f64..0.3,
+    ) {
+        let plan = || {
+            let mut p = FaultPlan::new(seed)
+                .with_duplicate(0.05)
+                .with_jitter_ms(1.0)
+                .with_crash(
+                    NodeId::new(2),
+                    SimTime::from_ms(40.0),
+                    Some(SimTime::from_ms(80.0)),
+                );
+            if loss > 0.0 {
+                p = p.with_loss(loss);
+            }
+            p
+        };
+        let (a, _) = run_plan(3, 4, DissemMode::Tree, plan(), 30_000.0);
+        let (b, _) = run_plan(3, 4, DissemMode::Tree, plan(), 30_000.0);
+        prop_assert_eq!(a, b);
+        // A perturbed seed must not replay the same digest (the world
+        // is identical, only the fault RNG differs).
+        if loss > 0.0 {
+            let (c, _) = run_plan(3, 4, DissemMode::Tree, plan().with_seed(seed + 1), 30_000.0);
+            prop_assert_ne!(a.trace_hash, c.trace_hash);
+        }
+    }
+}
+
+/// Not a property — a deterministic apples-to-apples count: over the
+/// identical fault-free world, the tree run converges on strictly
+/// fewer sends than flooding.
+#[test]
+fn tree_is_cheaper_than_flooding_on_the_same_world() {
+    let run = |mode| {
+        let (report, _) = run_plan(3, 8, mode, FaultPlan::new(7), 30_000.0);
+        assert!(report.converged, "{report:?}");
+        assert_eq!(report.stale_entries, 0);
+        report
+    };
+    let flooding = run(DissemMode::Flooding);
+    let tree = run(DissemMode::Tree);
+    assert!(
+        tree.messages_sent() < flooding.messages_sent(),
+        "tree {} vs flooding {}",
+        tree.messages_sent(),
+        flooding.messages_sent()
+    );
+    assert!(tree.tree_suppressed > 0, "suppression must be accounted");
+}
