@@ -24,8 +24,8 @@
 use son_bench::environment_for;
 use son_bench::{bench_artifact, write_bench_artifact, Json};
 use son_core::{
-    zipf_request_mix, Engine, EngineConfig, HierProvider, ServeOutcome, ServiceOverlay,
-    ServiceRequest, SonConfig,
+    zipf_request_mix, Engine, EngineConfig, Health, HierProvider, NonRepeatingWorkload, ProxyId,
+    ServeOutcome, ServiceId, ServiceOverlay, ServiceRequest, SonConfig,
 };
 
 /// Zipf exponent for the request mix (web-trace territory).
@@ -140,6 +140,214 @@ fn cell_row(cell: &Cell, baseline_rps: f64) -> Json {
     ])
 }
 
+/// A Zipf-shaped stream of *distinct* requests over the overlay's own
+/// clusters: same popularity structure as the sweep's mix, zero
+/// exact-key reuse.
+fn unique_workload(overlay: &ServiceOverlay, seed: u64) -> NonRepeatingWorkload {
+    let hfc = overlay.hfc();
+    let clusters: Vec<Vec<ProxyId>> = hfc.clusters().map(|c| hfc.members(c).to_vec()).collect();
+    let chains: Vec<Vec<ServiceId>> = (0..10)
+        .map(|k| {
+            vec![
+                ServiceId::new(k),
+                ServiceId::new(k + 1),
+                ServiceId::new(k + 2),
+            ]
+        })
+        .collect();
+    let populated = clusters.iter().filter(|c| !c.is_empty()).count();
+    let shapes = 64.min(populated * (populated - 1) * chains.len());
+    NonRepeatingWorkload::new(&clusters, &chains, shapes, ZIPF_S, seed)
+}
+
+fn cache_v2_engine(
+    overlay: &ServiceOverlay,
+    csp: bool,
+    stale_budget: u64,
+) -> Engine<son_core::CoordDelays, HierProvider> {
+    Engine::new(
+        overlay.engine_snapshot(),
+        HierProvider {
+            config: overlay.config().hier,
+        },
+        EngineConfig {
+            workers: 1,
+            csp_cache: csp,
+            stale_serve_budget: stale_budget,
+            ..EngineConfig::default()
+        },
+    )
+}
+
+/// The honest benchmark: every request is a distinct exact key, so the
+/// exact cache contributes nothing and any warm-pass speedup is the
+/// CSP frontier tier's alone. Both engines serve identical sequences;
+/// their answers are asserted bit-identical (zero cost deviation), and
+/// in full mode the CSP engine must clear 1.5x the exact-key-only
+/// baseline.
+fn nonrepeat_section(overlay: &ServiceOverlay, proxies: usize, smoke: bool) -> Json {
+    let mut workload = unique_workload(overlay, 42 ^ 0xBEEF);
+    // Two passes must both fit in the distinct-request universe; clamp
+    // (and say so) rather than silently repeating a key.
+    let desired = if smoke { 300 } else { 2_000 };
+    let count = desired.min(workload.remaining() / 2);
+    if count < desired {
+        println!(
+            "  (workload holds {} distinct requests: clamping passes to {count})",
+            workload.remaining()
+        );
+    }
+    let cold_batch = workload.take(count);
+    let warm_batch = workload.take(count); // new exact keys, same shapes
+
+    let csp = cache_v2_engine(overlay, true, 0);
+    let base = cache_v2_engine(overlay, false, 0);
+    let csp_cold = csp.serve(&cold_batch);
+    let base_cold = base.serve(&cold_batch);
+    let csp_warm = csp.serve(&warm_batch);
+    let base_warm = base.serve(&warm_batch);
+
+    // The tier must be a pure speedup: identical routes either way.
+    assert_eq!(csp_cold.paths, base_cold.paths, "cold routes deviated");
+    assert_eq!(csp_warm.paths, base_warm.paths, "warm routes deviated");
+    // Honesty check: the workload really never repeats an exact key.
+    assert_eq!(csp_cold.report.cache.hits, 0);
+    assert_eq!(csp_warm.report.cache.hits, 0);
+    assert!(
+        csp_warm.report.cache.csp_hits > 0,
+        "frontier tier never engaged"
+    );
+
+    let ratio = csp_warm.report.requests_per_sec / base_warm.report.requests_per_sec;
+    let cold_to_warm = csp_warm.report.requests_per_sec / csp_cold.report.requests_per_sec;
+    println!("\nNon-repeating workload ({proxies} proxies, {count} unique req/pass, 1 worker):");
+    println!(
+        "  exact-key baseline {:>8.0} req/s | csp tier {:>8.0} req/s | csp speedup {ratio:.2}x",
+        base_warm.report.requests_per_sec, csp_warm.report.requests_per_sec,
+    );
+    println!(
+        "  honest cold->warm {cold_to_warm:.2}x | csp hit rate {:.0}% ({} hits, {} misses)",
+        csp_warm.report.cache.csp_hit_rate() * 100.0,
+        csp_warm.report.cache.csp_hits,
+        csp_warm.report.cache.csp_misses,
+    );
+    if !smoke {
+        assert!(
+            ratio >= 1.5,
+            "CSP tier speedup {ratio:.2}x below the required 1.5x at {proxies} proxies"
+        );
+    }
+    Json::obj([
+        ("mode", Json::from("nonrepeat")),
+        ("proxies", Json::from(proxies)),
+        ("unique_requests", Json::from(count)),
+        (
+            "baseline_rps",
+            Json::from(base_warm.report.requests_per_sec),
+        ),
+        ("csp_rps", Json::from(csp_warm.report.requests_per_sec)),
+        ("csp_speedup", Json::from(ratio)),
+        ("cold_to_warm", Json::from(cold_to_warm)),
+        (
+            "csp_hit_rate",
+            Json::from(csp_warm.report.cache.csp_hit_rate()),
+        ),
+        ("exact_hits", Json::from(csp_warm.report.cache.hits)),
+        ("csp_hits", Json::from(csp_warm.report.cache.csp_hits)),
+    ])
+}
+
+/// Churn: warm the cache, install the next epoch, kill one non-border
+/// proxy live, re-serve. The SWR engine (budget = batch) bridges the
+/// install from stale entries validated against the new health view;
+/// the control engine (budget 0) re-solves everything. Tail latency
+/// stays bounded, no stale route crosses the dead proxy, and every
+/// stale-served key is revalidated before the batch returns.
+fn churn_section(overlay: &ServiceOverlay, proxies: usize, smoke: bool) -> Json {
+    let mut workload = unique_workload(overlay, 42 ^ 0xD00D);
+    let count = (if smoke { 200 } else { 1_000 }).min(workload.remaining());
+    let batch = workload.take(count);
+
+    let swr = cache_v2_engine(overlay, true, count as u64);
+    let control = cache_v2_engine(overlay, true, 0);
+    swr.serve(&batch);
+    control.serve(&batch);
+
+    let snapshot = overlay.engine_snapshot();
+    let victim = (0..proxies)
+        .rev()
+        .map(ProxyId::new)
+        .find(|&p| !snapshot.is_border(p))
+        .expect("some proxy is not a border");
+    swr.install_snapshot(overlay.engine_snapshot());
+    control.install_snapshot(overlay.engine_snapshot());
+    swr.set_health(victim, Health::Down);
+    control.set_health(victim, Health::Down);
+
+    let swr_out = swr.serve(&batch);
+    let control_out = control.serve(&batch);
+
+    for (label, outcome) in [("swr", &swr_out), ("control", &control_out)] {
+        for path in outcome.paths.iter().flatten() {
+            assert!(
+                path.hops().iter().all(|h| h.proxy != victim),
+                "{label}: served a route through the down proxy"
+            );
+        }
+    }
+    assert!(
+        swr_out.report.cache.stale_served > 0,
+        "churn never exercised stale serving"
+    );
+    assert!(
+        swr_out.report.cache.revalidations > 0,
+        "stale-served keys were not revalidated"
+    );
+    assert_eq!(control_out.report.cache.stale_served, 0);
+
+    let swr_p50 = swr_out.report.latency.p50_us;
+    let control_p50 = control_out.report.latency.p50_us;
+    let swr_p99 = swr_out.report.latency.p99_us;
+    let control_p99 = control_out.report.latency.p99_us;
+    println!("\nChurn ({proxies} proxies, epoch bump + 1 proxy down, {count} req):");
+    println!(
+        "  swr: {} stale served, {} revalidated, p50 {swr_p50:.0}us p99 {swr_p99:.0}us",
+        swr_out.report.cache.stale_served, swr_out.report.cache.revalidations,
+    );
+    println!("  control (budget 0): p50 {control_p50:.0}us p99 {control_p99:.0}us");
+    if !smoke {
+        // Stale serving answers from the cache instead of re-solving,
+        // so the typical request gets cheaper; and it must never *add*
+        // tail latency beyond jitter (both engines pay the same flat
+        // failover for routes the dead proxy invalidated).
+        assert!(
+            swr_p50 < control_p50,
+            "stale serving must undercut re-solves: swr p50 {swr_p50:.0}us vs control {control_p50:.0}us"
+        );
+        assert!(
+            swr_p99 <= control_p99 * 3.0,
+            "stale serving blew up the tail: swr p99 {swr_p99:.0}us vs control {control_p99:.0}us"
+        );
+    }
+    Json::obj([
+        ("mode", Json::from("churn")),
+        ("proxies", Json::from(proxies)),
+        ("requests", Json::from(count)),
+        (
+            "stale_served",
+            Json::from(swr_out.report.cache.stale_served),
+        ),
+        (
+            "revalidations",
+            Json::from(swr_out.report.cache.revalidations),
+        ),
+        ("swr_p50_us", Json::from(swr_p50)),
+        ("control_p50_us", Json::from(control_p50)),
+        ("swr_p99_us", Json::from(swr_p99)),
+        ("control_p99_us", Json::from(control_p99)),
+    ])
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let sweep = if smoke { SMOKE } else { FULL };
@@ -151,6 +359,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let last_size = *sweep.sizes.last().expect("sweep has sizes");
     for &proxies in sweep.sizes {
         let overlay =
             ServiceOverlay::build(&SonConfig::from_environment(environment_for(proxies, 42)));
@@ -180,6 +389,14 @@ fn main() {
                 w.requests_per_sec / baseline_rps,
             );
             rows.push(cell_row(&cell, baseline_rps));
+        }
+
+        // Cache v2 sections at the largest size: the honest
+        // non-repeating workload and the stale-while-revalidate churn
+        // drill, with their invariants hard-asserted.
+        if proxies == last_size {
+            rows.push(nonrepeat_section(&overlay, proxies, smoke));
+            rows.push(churn_section(&overlay, proxies, smoke));
         }
     }
 

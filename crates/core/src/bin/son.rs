@@ -68,8 +68,8 @@ use son_core::export::{hfc_to_dot, hfc_to_text, physical_to_dot};
 use son_core::{
     AdmissionConfig, BuildStage, CostConfig, DissemMode, Engine, EngineConfig, Environment,
     FaultPlan, FlatProvider, Health, HierProvider, HierarchyConfig, MultiLevelProvider, NodeId,
-    OverheadKind, ProtocolConfig, ProxyId, Router, RouterProvider, Scenario, ServeOutcome,
-    ServiceOverlay, SimTime, SonConfig, StateProtocol,
+    NonRepeatingWorkload, OverheadKind, ProtocolConfig, ProxyId, Router, RouterProvider, Scenario,
+    ServeOutcome, ServiceId, ServiceOverlay, SimTime, SonConfig, StateProtocol,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -515,6 +515,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             r.cache.hits,
             r.cache.misses
         );
+        println!(
+            "  cache v2 : csp {} hit / {} miss | stale served {} (revalidated {}) | negative {}",
+            r.cache.csp_hits,
+            r.cache.csp_misses,
+            r.cache.stale_served,
+            r.cache.revalidations,
+            r.cache.negative_hits
+        );
     }
     let busiest = warm.report.busiest_borders();
     print!("borders    :");
@@ -522,6 +530,82 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         print!(" {proxy}×{load}");
     }
     println!(" ({} border proxies carried traffic)", busiest.len());
+
+    // Smoke mode also drives the cache-v2 machinery end to end on a
+    // non-repeating workload (zero exact-key reuse, so any speedup is
+    // the CSP tier's) plus one churn step, and asserts the invariants
+    // CI depends on.
+    if args.smoke && args.router == "hier" {
+        let hfc = overlay.hfc();
+        let clusters: Vec<Vec<ProxyId>> = hfc.clusters().map(|c| hfc.members(c).to_vec()).collect();
+        let populated = clusters.iter().filter(|c| !c.is_empty()).count();
+        if populated < 2 {
+            println!("cache v2   : skipped (single-cluster world)");
+            return Ok(());
+        }
+        let chains: Vec<Vec<ServiceId>> = (0..6)
+            .map(|k| vec![ServiceId::new(k), ServiceId::new(k + 1)])
+            .collect();
+        let shapes = 12.min(populated * (populated - 1) * chains.len());
+        let mut workload =
+            NonRepeatingWorkload::new(&clusters, &chains, shapes, 0.9, args.seed ^ 0xCAFE);
+        let unique_batch = workload.take(200.min(workload.remaining()));
+        let engine = Engine::new(
+            overlay.engine_snapshot(),
+            HierProvider {
+                config: overlay.config().hier,
+            },
+            EngineConfig {
+                workers: args.workers,
+                stale_serve_budget: 64,
+                ..EngineConfig::default()
+            },
+        );
+        let unique = engine.serve(&unique_batch);
+        // Churn: next epoch plus one live failure; the same keys are
+        // now stale-serve candidates, validated against the new view.
+        engine.install_snapshot(overlay.engine_snapshot());
+        let victim = ProxyId::new(proxies - 1);
+        engine.set_health(victim, Health::Down);
+        let churned = engine.serve(&unique_batch);
+        println!(
+            "cache v2   : {} unique req | csp {} hit / {} miss | churn: {} stale served, {} revalidated",
+            unique_batch.len(),
+            unique.report.cache.csp_hits,
+            unique.report.cache.csp_misses,
+            churned.report.cache.stale_served,
+            churned.report.cache.revalidations
+        );
+        let no_down_traversal = churned
+            .paths
+            .iter()
+            .flatten()
+            .all(|p| p.hops().iter().all(|h| h.proxy != victim));
+        for (what, ok) in [
+            (
+                "non-repeating workload has zero exact-key hits",
+                unique.report.cache.hits == 0,
+            ),
+            (
+                "csp tier reuses frontiers across unique requests",
+                unique.report.cache.csp_hits > 0,
+            ),
+            (
+                "churn serves stale routes within budget",
+                churned.report.cache.stale_served > 0,
+            ),
+            (
+                "stale-served keys get revalidated",
+                churned.report.cache.revalidations > 0,
+            ),
+            ("no served route crosses the down proxy", no_down_traversal),
+        ] {
+            if !ok {
+                return Err(format!("serve smoke check failed: {what}"));
+            }
+        }
+        println!("smoke checks passed");
+    }
     Ok(())
 }
 

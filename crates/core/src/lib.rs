@@ -53,9 +53,10 @@ pub use son_coords::{
     ErrorStats, GnpEmbedding, NelderMeadConfig,
 };
 pub use son_engine::{
-    AdmissionConfig, AdmissionStats, CacheStats, Disposition, Engine, EngineConfig, EngineSnapshot,
-    FlatProvider, HierProvider, LatencySummary, LookupOutcome, MultiLevelProvider, RejectReason,
-    RouteCache, RouteKey, RouterProvider, ServeOutcome, ServeReport,
+    AdmissionConfig, AdmissionStats, CacheStats, CspCache, CspKey, Disposition, Engine,
+    EngineConfig, EngineSnapshot, FlatProvider, HierProvider, LatencySummary, LookupOutcome,
+    MultiLevelProvider, NegativeCache, RejectReason, RouteCache, RouteKey, RouterProvider,
+    ServeOutcome, ServeReport, SwrLookup,
 };
 pub use son_netsim::{
     Actor, CrashEvent, Ctx, DelayMeasurer, EventQueue, FaultPlan, Graph, MeasureConfig, NodeId,
@@ -88,6 +89,6 @@ pub use son_telemetry::{
 };
 pub use son_workload::{
     assign_services, generate_requests, place_proxies, place_proxies_excluding,
-    table1_environments, zipf_request_mix, Environment, RequestProfile, Scenario, ScenarioPhase,
-    Zipf,
+    table1_environments, zipf_request_mix, Environment, NonRepeatingWorkload, RequestProfile,
+    Scenario, ScenarioPhase, Zipf,
 };

@@ -22,10 +22,10 @@
 //! locks.
 
 use son_overlay::{ClusterId, ServiceRequest};
-use son_routing::ServicePath;
+use son_routing::{CspFrontier, RouteError, ServicePath};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Canonical cache key: the ingress cluster plus a lossless encoding
 /// of the request (source, destination, stage services, stage edges).
@@ -108,7 +108,9 @@ struct Shard {
     order: VecDeque<RouteKey>,
 }
 
-/// Monotonic counters describing cache behavior since construction.
+/// Monotonic counters describing cache behavior since construction —
+/// across all tiers: the exact-key route cache, the CSP frontier tier,
+/// the stale-while-revalidate path, and the negative cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache (same epoch).
@@ -122,6 +124,21 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries removed to make room (capacity evictions only).
     pub evictions: u64,
+    /// Exact-key misses answered by replaying a cached CSP frontier
+    /// (the inter-cluster solve was skipped).
+    pub csp_hits: u64,
+    /// Exact-key misses that also missed the CSP tier (a full solve
+    /// ran; the frontier was cached for later requests).
+    pub csp_misses: u64,
+    /// Requests served a route from the previous epoch under the
+    /// stale-while-revalidate budget.
+    pub stale_served: u64,
+    /// Stale-served entries recomputed against the current snapshot by
+    /// a worker after its serving loop.
+    pub revalidations: u64,
+    /// Unroutable requests fast-rejected from the negative cache
+    /// without re-running the failed solve.
+    pub negative_hits: u64,
 }
 
 impl CacheStats {
@@ -134,6 +151,11 @@ impl CacheStats {
             stale_drops: self.stale_drops - earlier.stale_drops,
             insertions: self.insertions - earlier.insertions,
             evictions: self.evictions - earlier.evictions,
+            csp_hits: self.csp_hits - earlier.csp_hits,
+            csp_misses: self.csp_misses - earlier.csp_misses,
+            stale_served: self.stale_served - earlier.stale_served,
+            revalidations: self.revalidations - earlier.revalidations,
+            negative_hits: self.negative_hits - earlier.negative_hits,
         }
     }
 
@@ -146,6 +168,34 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// CSP-tier hits over all CSP-tier lookups, 0.0 when the tier was
+    /// never consulted.
+    pub fn csp_hit_rate(&self) -> f64 {
+        let total = self.csp_hits + self.csp_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.csp_hits as f64 / total as f64
+        }
+    }
+}
+
+/// How a stale-while-revalidate lookup resolved (see
+/// [`RouteCache::lookup_swr`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwrLookup {
+    /// Entry present at the serving epoch — a plain hit.
+    Hit(ServicePath),
+    /// Entry from exactly the previous epoch, handed out under the
+    /// stale-serve budget. The entry stays resident until a worker
+    /// revalidates (overwrites) it.
+    Stale(ServicePath),
+    /// No entry for the key.
+    Miss,
+    /// Entry from another epoch outside the budget (or too old);
+    /// dropped.
+    StaleDrop,
 }
 
 /// The concurrent route cache. See the module docs for the design.
@@ -158,6 +208,7 @@ pub struct RouteCache {
     stale_drops: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    stale_served: AtomicU64,
 }
 
 impl RouteCache {
@@ -178,6 +229,7 @@ impl RouteCache {
             stale_drops: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            stale_served: AtomicU64::new(0),
         }
     }
 
@@ -218,6 +270,53 @@ impl RouteCache {
                 drop(shard);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 (None, LookupOutcome::Miss)
+            }
+        }
+    }
+
+    /// Like [`RouteCache::lookup`], but with stale-while-revalidate: an
+    /// entry from exactly the previous epoch may be handed out if a
+    /// token can be taken from `budget` (the engine resets the budget on
+    /// every snapshot install). A stale-served entry stays resident —
+    /// the caller owes a revalidation that overwrites it at the current
+    /// epoch — so one hot key may consume several tokens within a
+    /// batch, and the budget bounds the *total* number of stale routes
+    /// handed out, not the number of distinct keys.
+    ///
+    /// The token is taken under the shard lock, so the budget is never
+    /// exceeded even under concurrent lookups. With an exhausted (or
+    /// zero) budget this is exactly [`RouteCache::lookup_explain`].
+    pub fn lookup_swr(&self, key: &RouteKey, epoch: u64, budget: &AtomicU64) -> SwrLookup {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        match shard.entries.get(key) {
+            Some(entry) if entry.epoch == epoch => {
+                let path = entry.path.clone();
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                SwrLookup::Hit(path)
+            }
+            Some(entry)
+                if entry.epoch + 1 == epoch
+                    && budget
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                        .is_ok() =>
+            {
+                let path = entry.path.clone();
+                drop(shard);
+                self.stale_served.fetch_add(1, Ordering::Relaxed);
+                SwrLookup::Stale(path)
+            }
+            Some(_) => {
+                shard.entries.remove(key);
+                drop(shard);
+                self.stale_drops.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                SwrLookup::StaleDrop
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                SwrLookup::Miss
             }
         }
     }
@@ -270,7 +369,11 @@ impl RouteCache {
         self.len() == 0
     }
 
-    /// A consistent snapshot of the counters.
+    /// A consistent snapshot of the counters. The CSP-tier, negative,
+    /// and revalidation counters belong to their own structures; the
+    /// engine merges all tiers in [`Engine::cache_stats`].
+    ///
+    /// [`Engine::cache_stats`]: crate::Engine::cache_stats
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -278,7 +381,304 @@ impl RouteCache {
             stale_drops: self.stale_drops.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            stale_served: self.stale_served.load(Ordering::Relaxed),
+            ..CacheStats::default()
         }
+    }
+}
+
+/// Key of the CSP frontier tier: the parts of a request the
+/// cluster-level solve actually depends on — ingress cluster, source
+/// class, destination *cluster*, and the service-DAG shape. The
+/// concrete destination proxy (and, for sources the planner has no
+/// coordinates for, the concrete source) is deliberately absent:
+/// requests differing only in those endpoints share one frontier and
+/// replay the cheap closing + intra-cluster legs per request.
+///
+/// The source class mirrors the router's back-tracking visibility rule:
+/// a source whose coordinates the destination proxy knows (a border, or
+/// a member of the destination's cluster) contributes internal-distance
+/// terms to the DP, so it keys by identity; any other source is
+/// cost-invisible and collapses to a shared sentinel.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CspKey {
+    ingress: u32,
+    source_class: u32,
+    dest_cluster: u32,
+    words: Vec<u32>,
+}
+
+impl CspKey {
+    /// Encodes the frontier key for `request` entering at `ingress`
+    /// with its destination in `dest_cluster`. `known_source` carries
+    /// the source proxy's index when the planner knows its coordinates
+    /// (it is a border or lives in `dest_cluster`), `None` otherwise.
+    ///
+    /// Returns `None` for empty service graphs — their cluster-level
+    /// cost is a single concrete-endpoint lookup with nothing to
+    /// reuse, so they bypass the CSP tier.
+    pub fn encode(
+        ingress: ClusterId,
+        dest_cluster: ClusterId,
+        known_source: Option<u32>,
+        request: &ServiceRequest,
+    ) -> Option<Self> {
+        let graph = &request.graph;
+        if graph.is_empty() {
+            return None;
+        }
+        let mut words = Vec::with_capacity(1 + 2 * graph.len());
+        words.push(graph.len() as u32);
+        for stage in graph.stage_ids() {
+            words.push(graph.service(stage).index() as u32);
+        }
+        for stage in graph.stage_ids() {
+            let preds = graph.predecessors(stage);
+            words.push(preds.len() as u32);
+            words.extend(preds.iter().map(|p| p.index() as u32));
+        }
+        Some(CspKey {
+            ingress: ingress.index() as u32,
+            source_class: known_source.unwrap_or(u32::MAX),
+            dest_cluster: dest_cluster.index() as u32,
+            words,
+        })
+    }
+
+    /// FNV-1a over the key, used for shard selection.
+    fn shard_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |w: u32| {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        mix(self.ingress);
+        mix(self.source_class);
+        mix(self.dest_cluster);
+        for &w in &self.words {
+            mix(w);
+        }
+        h
+    }
+}
+
+#[derive(Debug)]
+struct CspEntry {
+    epoch: u64,
+    frontier: Arc<CspFrontier>,
+}
+
+#[derive(Debug, Default)]
+struct CspShard {
+    entries: HashMap<CspKey, CspEntry>,
+    order: VecDeque<CspKey>,
+}
+
+/// The CSP frontier tier: sharded, epoch-strict (no stale-serve — a
+/// frontier from another epoch is dropped on sight), FIFO-bounded.
+/// Values are shared [`Arc`]s because one frontier may carry many
+/// candidates and is replayed by many concurrent workers.
+#[derive(Debug)]
+pub struct CspCache {
+    shards: Vec<Mutex<CspShard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CspCache {
+    /// Creates a frontier cache with `shards` lock partitions and room
+    /// for `capacity` entries in total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        assert!(shards > 0, "the cache needs at least one shard");
+        CspCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(CspShard::default()))
+                .collect(),
+            capacity_per_shard: capacity.div_ceil(shards).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CspKey) -> &Mutex<CspShard> {
+        &self.shards[(key.shard_hash() % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks `key` up for the serving `epoch`; entries from any other
+    /// epoch are dropped and counted as misses.
+    pub fn lookup(&self, key: &CspKey, epoch: u64) -> Option<Arc<CspFrontier>> {
+        let mut shard = self.shard(key).lock().expect("csp shard poisoned");
+        match shard.entries.get(key) {
+            Some(entry) if entry.epoch == epoch => {
+                let frontier = Arc::clone(&entry.frontier);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(frontier)
+            }
+            Some(_) => {
+                shard.entries.remove(key);
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a solved frontier under `key` for `epoch`, evicting in
+    /// FIFO order when the shard is full.
+    pub fn insert(&self, key: CspKey, epoch: u64, frontier: Arc<CspFrontier>) {
+        let mut shard = self.shard(&key).lock().expect("csp shard poisoned");
+        while shard.entries.len() >= self.capacity_per_shard {
+            let Some(victim) = shard.order.pop_front() else {
+                break;
+            };
+            shard.entries.remove(&victim);
+        }
+        if shard
+            .entries
+            .insert(key.clone(), CspEntry { epoch, frontier })
+            .is_none()
+        {
+            shard.order.push_back(key);
+        }
+    }
+
+    /// Number of resident frontiers (all epochs).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("csp shard poisoned").entries.len())
+            .sum()
+    }
+
+    /// Returns `true` if no frontiers are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses) so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[derive(Debug)]
+struct NegEntry {
+    epoch: u64,
+    health_gen: u64,
+    error: RouteError,
+}
+
+/// Negative cache: remembers deterministic routing failures
+/// (`NoProvider`, `Infeasible`) so repeated unroutable requests
+/// fast-reject instead of re-running the full failed solve.
+///
+/// Entries are valid only while **both** the snapshot epoch and the
+/// engine's health generation (bumped on every live `set_health`)
+/// match the values they were recorded under — any world change, even
+/// one unrelated to the blocking proxy, re-runs the solve. That
+/// over-invalidation is deliberate: it guarantees no key can stay
+/// poisoned after the blocking proxy recovers.
+#[derive(Debug)]
+pub struct NegativeCache {
+    inner: Mutex<NegShard>,
+    capacity: usize,
+    hits: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct NegShard {
+    entries: HashMap<RouteKey, NegEntry>,
+    order: VecDeque<RouteKey>,
+}
+
+impl NegativeCache {
+    /// Creates a negative cache bounded to `capacity` entries (FIFO).
+    pub fn new(capacity: usize) -> Self {
+        NegativeCache {
+            inner: Mutex::new(NegShard::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the recorded error if a valid entry exists for `key`;
+    /// invalid entries (other epoch or health generation) are dropped
+    /// on sight.
+    pub fn lookup(&self, key: &RouteKey, epoch: u64, health_gen: u64) -> Option<RouteError> {
+        let mut inner = self.inner.lock().expect("negative cache poisoned");
+        match inner.entries.get(key) {
+            Some(entry) if entry.epoch == epoch && entry.health_gen == health_gen => {
+                let error = entry.error.clone();
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(error)
+            }
+            Some(_) => {
+                inner.entries.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Records a failed solve under `key` for (`epoch`, `health_gen`).
+    pub fn insert(&self, key: RouteKey, epoch: u64, health_gen: u64, error: RouteError) {
+        let mut inner = self.inner.lock().expect("negative cache poisoned");
+        while inner.entries.len() >= self.capacity {
+            let Some(victim) = inner.order.pop_front() else {
+                break;
+            };
+            inner.entries.remove(&victim);
+        }
+        if inner
+            .entries
+            .insert(
+                key.clone(),
+                NegEntry {
+                    epoch,
+                    health_gen,
+                    error,
+                },
+            )
+            .is_none()
+        {
+            inner.order.push_back(key);
+        }
+    }
+
+    /// Number of resident entries (valid or not).
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("negative cache poisoned")
+            .entries
+            .len()
+    }
+
+    /// Returns `true` if no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fast rejects served so far.
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
     }
 }
 
@@ -379,5 +779,127 @@ mod tests {
         cache.insert(key.clone(), 1, path(0, 2));
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.lookup(&key, 1), Some(path(0, 2)));
+    }
+
+    #[test]
+    fn swr_serves_previous_epoch_within_budget() {
+        let cache = RouteCache::new(2, 64);
+        let key = RouteKey::encode(ClusterId::new(0), &request(0, &[1], 2));
+        cache.insert(key.clone(), 5, path(0, 2));
+        let budget = AtomicU64::new(2);
+        // Current epoch: plain hit, no token spent.
+        assert_eq!(
+            cache.lookup_swr(&key, 5, &budget),
+            SwrLookup::Hit(path(0, 2))
+        );
+        assert_eq!(budget.load(Ordering::Relaxed), 2);
+        // One epoch behind: stale-served twice, then the budget is dry
+        // and the entry is dropped like a plain stale lookup.
+        assert_eq!(
+            cache.lookup_swr(&key, 6, &budget),
+            SwrLookup::Stale(path(0, 2))
+        );
+        assert_eq!(
+            cache.lookup_swr(&key, 6, &budget),
+            SwrLookup::Stale(path(0, 2))
+        );
+        assert_eq!(budget.load(Ordering::Relaxed), 0);
+        assert_eq!(cache.lookup_swr(&key, 6, &budget), SwrLookup::StaleDrop);
+        assert_eq!(cache.lookup_swr(&key, 6, &budget), SwrLookup::Miss);
+        let stats = cache.stats();
+        assert_eq!(stats.stale_served, 2);
+        assert_eq!(stats.stale_drops, 1);
+    }
+
+    #[test]
+    fn swr_never_serves_entries_older_than_one_epoch() {
+        let cache = RouteCache::new(2, 64);
+        let key = RouteKey::encode(ClusterId::new(0), &request(0, &[1], 2));
+        cache.insert(key.clone(), 5, path(0, 2));
+        let budget = AtomicU64::new(10);
+        assert_eq!(cache.lookup_swr(&key, 7, &budget), SwrLookup::StaleDrop);
+        assert_eq!(budget.load(Ordering::Relaxed), 10, "no token spent");
+    }
+
+    fn frontier(n: usize) -> Arc<CspFrontier> {
+        Arc::new(CspFrontier {
+            candidates: (0..n)
+                .map(|i| son_routing::CspCandidate {
+                    chain: vec![(son_overlay::StageId::new(0), ClusterId::new(i))],
+                    cost: i as f64,
+                    cluster: ClusterId::new(i),
+                    entry: ProxyId::new(i),
+                })
+                .collect(),
+        })
+    }
+
+    #[test]
+    fn csp_keys_share_endpoints_but_not_shapes() {
+        let c0 = ClusterId::new(0);
+        let c2 = ClusterId::new(2);
+        // Same shape, different concrete endpoints, both sources
+        // unknown: one key.
+        let a = CspKey::encode(c0, c2, None, &request(1, &[4, 5], 8)).unwrap();
+        let b = CspKey::encode(c0, c2, None, &request(2, &[4, 5], 9)).unwrap();
+        assert_eq!(a, b);
+        // A known source keys by identity.
+        let known = CspKey::encode(c0, c2, Some(1), &request(1, &[4, 5], 8)).unwrap();
+        assert_ne!(a, known);
+        // Different chain, ingress, or destination cluster: distinct.
+        assert_ne!(
+            a,
+            CspKey::encode(c0, c2, None, &request(1, &[5, 4], 8)).unwrap()
+        );
+        assert_ne!(
+            a,
+            CspKey::encode(c2, c2, None, &request(1, &[4, 5], 8)).unwrap()
+        );
+        assert_ne!(
+            a,
+            CspKey::encode(c0, c0, None, &request(1, &[4, 5], 8)).unwrap()
+        );
+        // Empty graphs have no frontier to share.
+        assert_eq!(CspKey::encode(c0, c2, None, &request(1, &[], 8)), None);
+    }
+
+    #[test]
+    fn csp_cache_is_epoch_strict_and_bounded() {
+        let cache = CspCache::new(1, 2);
+        let c0 = ClusterId::new(0);
+        let keys: Vec<CspKey> = (0..3)
+            .map(|i| CspKey::encode(c0, ClusterId::new(i), None, &request(0, &[1], 2)).unwrap())
+            .collect();
+        cache.insert(keys[0].clone(), 1, frontier(1));
+        assert_eq!(cache.lookup(&keys[0], 1).unwrap(), frontier(1));
+        // Another epoch: dropped on sight, no stale serve for frontiers.
+        assert_eq!(cache.lookup(&keys[0], 2), None);
+        assert!(cache.is_empty());
+        // FIFO bound.
+        for key in &keys {
+            cache.insert(key.clone(), 3, frontier(2));
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(&keys[0], 3), None);
+        assert!(cache.lookup(&keys[2], 3).is_some());
+        let (hits, misses) = cache.counters();
+        assert_eq!((hits, misses), (2, 2));
+    }
+
+    #[test]
+    fn negative_cache_invalidates_on_epoch_and_health_gen() {
+        let cache = NegativeCache::new(8);
+        let key = RouteKey::encode(ClusterId::new(0), &request(0, &[1], 2));
+        cache.insert(key.clone(), 4, 7, RouteError::Infeasible);
+        assert_eq!(cache.lookup(&key, 4, 7), Some(RouteError::Infeasible));
+        assert_eq!(cache.hit_count(), 1);
+        // Health view moved: entry invalid and dropped — no poisoning.
+        assert_eq!(cache.lookup(&key, 4, 8), None);
+        assert!(cache.is_empty());
+        // Epoch moved: same story.
+        cache.insert(key.clone(), 4, 7, RouteError::Infeasible);
+        assert_eq!(cache.lookup(&key, 5, 7), None);
+        assert!(cache.is_empty());
+        assert_eq!(cache.hit_count(), 1);
     }
 }

@@ -25,13 +25,15 @@
 //! thread count matter even on a single core. Set it to 0 to benchmark
 //! pure route computation.
 
-use crate::cache::{CacheStats, LookupOutcome, RouteCache, RouteKey};
+use crate::cache::{
+    CacheStats, CspCache, CspKey, LookupOutcome, NegativeCache, RouteCache, RouteKey, SwrLookup,
+};
 use crate::report::{AdmissionStats, LatencySummary, ServeReport};
 use crate::snapshot::{EngineSnapshot, RouterProvider};
 use son_overlay::{DelayModel, Health, ProxyId, ServiceRequest};
 use son_routing::{
-    trace_hops, CostModel, FlatRouter, LoadAwareDelays, ProviderIndex, RouteError, Router,
-    ServicePath,
+    trace_hops, CostModel, CspRouter, FlatRouter, LoadAwareDelays, ProviderIndex, RouteError,
+    Router, ServicePath,
 };
 use son_telemetry::{CacheOutcome, Histogram, LocalHistogram, RouteTrace};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -80,6 +82,18 @@ pub struct EngineConfig {
     pub dispatch_us_per_delay: f64,
     /// Admission control and failover retry.
     pub admission: AdmissionConfig,
+    /// Second cache tier: reuse solved cluster-level service paths
+    /// (CSP sink frontiers) across requests that share a shape but not
+    /// exact endpoints. Replay is bit-identical to an uncached solve,
+    /// so this only changes speed, never answers.
+    pub csp_cache: bool,
+    /// Total CSP-frontier entries before FIFO eviction.
+    pub csp_cache_capacity: usize,
+    /// Stale-while-revalidate: how many requests per installed
+    /// snapshot may be answered from the *previous* epoch's exact
+    /// cache while a fresh solve revalidates the entry in the
+    /// background of the batch. 0 keeps the legacy epoch-strict cache.
+    pub stale_serve_budget: u64,
 }
 
 impl Default for EngineConfig {
@@ -90,6 +104,9 @@ impl Default for EngineConfig {
             cache_capacity: 65_536,
             dispatch_us_per_delay: 0.0,
             admission: AdmissionConfig::default(),
+            csp_cache: true,
+            csp_cache_capacity: 16_384,
+            stale_serve_budget: 0,
         }
     }
 }
@@ -219,7 +236,23 @@ pub struct Engine<D, P> {
     config: EngineConfig,
     snapshot: Mutex<Arc<EngineSnapshot<D>>>,
     cache: RouteCache,
+    /// Second tier: solved CSP sink frontiers, shared across requests
+    /// with the same shape (ingress cluster, source class, destination
+    /// cluster, service DAG) but different exact endpoints.
+    csp: CspCache,
+    /// Unroutable outcomes, keyed exactly and invalidated by epoch
+    /// *and* health-generation so a recovered proxy un-poisons its
+    /// keys.
+    negative: NegativeCache,
     epoch: AtomicU64,
+    /// Bumped by every `set_health`; negative entries recorded under an
+    /// older generation are invalid.
+    health_gen: AtomicU64,
+    /// Remaining stale-serve tokens for the current epoch; reset to
+    /// [`EngineConfig::stale_serve_budget`] on every snapshot install.
+    stale_budget: AtomicU64,
+    /// Stale entries refreshed by a post-loop revalidation solve.
+    revalidations: AtomicU64,
     /// Live health overrides (`set_health`), consulted on every cache
     /// hit *independently of epochs*: a proxy that turns `Down` after a
     /// path was cached invalidates that path immediately, no snapshot
@@ -241,7 +274,12 @@ where
             config,
             snapshot: Mutex::new(Arc::new(snapshot)),
             cache: RouteCache::new(config.cache_shards, config.cache_capacity),
+            csp: CspCache::new(config.cache_shards, config.csp_cache_capacity),
+            negative: NegativeCache::new(4096),
             epoch: AtomicU64::new(0),
+            health_gen: AtomicU64::new(0),
+            stale_budget: AtomicU64::new(config.stale_serve_budget),
+            revalidations: AtomicU64::new(0),
             live: RwLock::new(Vec::new()),
         }
     }
@@ -257,6 +295,10 @@ where
             live.resize(proxy.index() + 1, None);
         }
         live[proxy.index()] = Some(health);
+        // Any health change — including a recovery — invalidates every
+        // cached unroutable verdict: no key stays poisoned once the
+        // proxy that blocked it comes back.
+        self.health_gen.fetch_add(1, Ordering::SeqCst);
     }
 
     /// The live health override for `proxy`, if one is set.
@@ -322,10 +364,18 @@ where
         &self.config
     }
 
-    /// Lifetime cache counters (per-batch deltas are in each
-    /// [`ServeReport`]).
+    /// Lifetime cache counters across all tiers (per-batch deltas are
+    /// in each [`ServeReport`]): the exact route cache, the CSP
+    /// frontier tier, the negative cache, and the stale-while-
+    /// revalidate machinery.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        let mut stats = self.cache.stats();
+        let (csp_hits, csp_misses) = self.csp.counters();
+        stats.csp_hits = csp_hits;
+        stats.csp_misses = csp_misses;
+        stats.negative_hits = self.negative.hit_count();
+        stats.revalidations = self.revalidations.load(Ordering::Relaxed);
+        stats
     }
 
     /// Publishes a rebuilt overlay view under the next epoch and
@@ -343,6 +393,10 @@ where
             .write()
             .expect("live health lock poisoned")
             .clear();
+        // Refill the stale-serve allowance: the *previous* epoch's
+        // routes may bridge this install, bounded by the budget.
+        self.stale_budget
+            .store(self.config.stale_serve_budget, Ordering::SeqCst);
         epoch
     }
 
@@ -404,7 +458,7 @@ where
             vec![None; workers]
         };
 
-        let stats_before = self.cache.stats();
+        let stats_before = self.cache_stats();
         let started = Instant::now();
         let ctx = constraints.as_ref();
         let produced: Vec<Vec<WorkerItem>> = thread::scope(|scope| {
@@ -500,7 +554,7 @@ where
                 0.0
             },
             latency: LatencySummary::from_histogram(&batch_latency),
-            cache: self.cache.stats().since(&stats_before),
+            cache: self.cache_stats().since(&stats_before),
             border_load,
             admission,
             admitted_load,
@@ -520,6 +574,21 @@ where
             registry
                 .counter("engine.cache.evictions")
                 .add(report.cache.evictions);
+            registry
+                .counter("engine.cache.csp_hits")
+                .add(report.cache.csp_hits);
+            registry
+                .counter("engine.cache.csp_misses")
+                .add(report.cache.csp_misses);
+            registry
+                .counter("engine.cache.stale_served")
+                .add(report.cache.stale_served);
+            registry
+                .counter("engine.cache.revalidations")
+                .add(report.cache.revalidations);
+            registry
+                .counter("engine.cache.negative_hits")
+                .add(report.cache.negative_hits);
             registry
                 .counter("engine.requests")
                 .add(requests.len() as u64);
@@ -568,7 +637,9 @@ where
     }
 
     /// One worker's batch share: build a router, then answer each
-    /// assigned request cache-first.
+    /// assigned request cache-first. Stale-served keys collected along
+    /// the way are revalidated with fresh solves *after* the serving
+    /// loop, so revalidation never sits on a request's latency path.
     fn run_worker(
         &self,
         snap: &EngineSnapshot<D>,
@@ -579,6 +650,15 @@ where
         ctx: Option<&BatchConstraints>,
     ) -> Vec<WorkerItem> {
         let router = self.provider.router(snap);
+        // The CSP tier needs a router that can expose its cluster-level
+        // sink frontier; providers that can't (flat, or multi-level with
+        // a hierarchy) return `None` and the tier is bypassed.
+        let csp_router = if self.config.csp_cache {
+            self.provider.csp_router(snap)
+        } else {
+            None
+        };
+        let csp = csp_router.as_deref();
         // Retry re-routes go through a flat fallback router — complete
         // over the full topology, so with the avoid-set folded into its
         // cost model it finds whatever healthy path remains.
@@ -587,6 +667,10 @@ where
         // the shared per-worker one once per batch, so the per-request
         // cost of instrumentation is three plain writes, not atomics.
         let mut local_latency = latency_hist.map(|_| LocalHistogram::new());
+        // Dedup is a hash probe, not a scan: the stale-serve fast path
+        // must stay O(1) however long the revalidation queue grows.
+        let mut queued: std::collections::HashSet<RouteKey> = std::collections::HashSet::new();
+        let mut revalidate: Vec<(RouteKey, usize)> = Vec::new();
         let mut out = Vec::with_capacity(indices.len());
         for &i in indices {
             let request = &requests[i];
@@ -594,15 +678,33 @@ where
             let key = RouteKey::encode(snap.ingress(request), request);
             let (result, retries, degraded, health_drops, backoff_us) = match ctx {
                 None => {
-                    let result = match self.cache.lookup(&key, epoch) {
-                        Some(path) => Ok(path),
-                        None => match router.route_path(request) {
-                            Ok(path) => {
-                                self.cache.insert(key.clone(), epoch, path.clone());
+                    let result = match self.cache.lookup_swr(&key, epoch, &self.stale_budget) {
+                        SwrLookup::Hit(path) => Ok(path),
+                        SwrLookup::Stale(path) => {
+                            // A previous-epoch route may be served only
+                            // if every hop still exists, still offers
+                            // its service, and is routable in the
+                            // *current* snapshot.
+                            if self.stale_path_usable(snap, &path, None) {
+                                if queued.insert(key.clone()) {
+                                    revalidate.push((key.clone(), i));
+                                }
                                 Ok(path)
+                            } else {
+                                self.cache.remove(&key);
+                                self.route_uncached(
+                                    snap,
+                                    epoch,
+                                    request,
+                                    &key,
+                                    router.as_ref(),
+                                    csp,
+                                )
                             }
-                            Err(err) => Err(err),
-                        },
+                        }
+                        SwrLookup::Miss | SwrLookup::StaleDrop => {
+                            self.route_uncached(snap, epoch, request, &key, router.as_ref(), csp)
+                        }
                     };
                     (result, 0, false, 0, 0.0)
                 }
@@ -612,8 +714,11 @@ where
                     request,
                     &key,
                     router.as_ref(),
+                    csp,
                     fallback.as_ref().expect("fallback built with ctx"),
                     ctx,
+                    (&mut queued, &mut revalidate),
+                    i,
                 ),
             };
             if self.config.dispatch_us_per_delay > 0.0 {
@@ -641,7 +746,137 @@ where
         if let (Some(local), Some(hist)) = (local_latency.as_mut(), latency_hist) {
             local.flush_into(hist);
         }
+        // Revalidate every stale-served key with a fresh current-epoch
+        // solve. This runs after the last request is answered, so the
+        // serving loop pays cache-lookup latency while the cache still
+        // converges to current-epoch truth within the batch.
+        for (key, i) in revalidate {
+            let request = &requests[i];
+            match self.solve_fresh(snap, epoch, request, router.as_ref(), csp) {
+                Ok(path) => {
+                    let ok_for_ctx = ctx.is_none_or(|c| c.first_down_hop(&path).is_none());
+                    if ok_for_ctx {
+                        self.cache.insert(key, epoch, path);
+                    } else {
+                        self.cache.remove(&key);
+                    }
+                }
+                Err(err) => {
+                    self.cache.remove(&key);
+                    if ctx.is_none_or(|c| !c.admission.enabled)
+                        && matches!(err, RouteError::NoProvider(_) | RouteError::Infeasible)
+                    {
+                        let gen = self.health_gen.load(Ordering::SeqCst);
+                        self.negative.insert(key, epoch, gen, err);
+                    }
+                }
+            }
+            self.revalidations.fetch_add(1, Ordering::Relaxed);
+        }
         out
+    }
+
+    /// Whether a previous-epoch cached path is still servable over the
+    /// current snapshot (and, when constrained, the live health view):
+    /// every hop must exist, still advertise its assigned service, and
+    /// be routable. This is what keeps "no served route traverses a
+    /// `Down` proxy" structural even for stale-served routes.
+    fn stale_path_usable(
+        &self,
+        snap: &EngineSnapshot<D>,
+        path: &ServicePath,
+        ctx: Option<&BatchConstraints>,
+    ) -> bool {
+        let n = snap.proxy_count();
+        for hop in path.hops() {
+            if hop.proxy.index() >= n {
+                return false;
+            }
+            if let Some(s) = hop.service {
+                if !snap.services()[hop.proxy.index()].contains(s) {
+                    return false;
+                }
+            }
+            if !snap.is_routable(hop.proxy) {
+                return false;
+            }
+        }
+        ctx.is_none_or(|ctx| ctx.first_down_hop(path).is_none())
+    }
+
+    /// The (ingress, source class, destination cluster, DAG) key under
+    /// which this request's CSP frontier is shared. `None` when the
+    /// request has an empty service graph (the CSP tier is bypassed —
+    /// frontier replay is not defined there).
+    fn csp_key(&self, snap: &EngineSnapshot<D>, request: &ServiceRequest) -> Option<CspKey> {
+        let ingress = snap.ingress(request);
+        let dest_cluster = snap.hfc().cluster_of(request.destination);
+        let known = if snap.is_border(request.source) || ingress == dest_cluster {
+            Some(request.source.index() as u32)
+        } else {
+            None
+        };
+        CspKey::encode(ingress, dest_cluster, known, request)
+    }
+
+    /// One full routing computation with the CSP tier folded in: a
+    /// frontier hit skips the inter-cluster DP and replays only the
+    /// cheap per-request closing and intra-cluster legs; a miss solves
+    /// the frontier once and shares it. Replay is bit-identical to
+    /// `router.route_path` by construction (see `son_routing::csp`).
+    fn solve_fresh(
+        &self,
+        snap: &EngineSnapshot<D>,
+        epoch: u64,
+        request: &ServiceRequest,
+        router: &dyn Router,
+        csp: Option<&dyn CspRouter>,
+    ) -> Result<ServicePath, RouteError> {
+        let Some(csp_router) = csp else {
+            return router.route_path(request);
+        };
+        let Some(ckey) = self.csp_key(snap, request) else {
+            return router.route_path(request);
+        };
+        match self.csp.lookup(&ckey, epoch) {
+            Some(frontier) => csp_router.route_from_frontier(request, &frontier),
+            None => match csp_router.solve_frontier(request) {
+                Ok(frontier) => {
+                    let frontier = Arc::new(frontier);
+                    self.csp.insert(ckey, epoch, Arc::clone(&frontier));
+                    csp_router.route_from_frontier(request, &frontier)
+                }
+                Err(err) => Err(err),
+            },
+        }
+    }
+
+    /// Uncached unconstrained solve: negative fast-reject, then the
+    /// CSP-aware fresh solve, then cache fill (positive or negative).
+    fn route_uncached(
+        &self,
+        snap: &EngineSnapshot<D>,
+        epoch: u64,
+        request: &ServiceRequest,
+        key: &RouteKey,
+        router: &dyn Router,
+        csp: Option<&dyn CspRouter>,
+    ) -> Result<ServicePath, RouteError> {
+        let health_gen = self.health_gen.load(Ordering::SeqCst);
+        if let Some(err) = self.negative.lookup(key, epoch, health_gen) {
+            return Err(err);
+        }
+        let result = self.solve_fresh(snap, epoch, request, router, csp);
+        match &result {
+            Ok(path) => self.cache.insert(key.clone(), epoch, path.clone()),
+            Err(err) => {
+                if matches!(err, RouteError::NoProvider(_) | RouteError::Infeasible) {
+                    self.negative
+                        .insert(key.clone(), epoch, health_gen, err.clone());
+                }
+            }
+        }
+        result
     }
 
     /// The admission/failover pipeline for one request:
@@ -659,7 +894,9 @@ where
     ///
     /// Every *served* path is health-checked here, which is what makes
     /// "no served route traverses a `Down` proxy" structural rather
-    /// than statistical.
+    /// than statistical — including routes served stale: a
+    /// previous-epoch entry is validated against the current snapshot
+    /// *and* the live health view before it is ever handed out.
     #[allow(clippy::too_many_arguments)]
     fn serve_constrained(
         &self,
@@ -668,8 +905,14 @@ where
         request: &ServiceRequest,
         key: &RouteKey,
         router: &dyn Router,
+        csp: Option<&dyn CspRouter>,
         fallback: &ProviderIndex,
         ctx: &BatchConstraints,
+        revalidate: (
+            &mut std::collections::HashSet<RouteKey>,
+            &mut Vec<(RouteKey, usize)>,
+        ),
+        index: usize,
     ) -> (Result<ServicePath, RouteError>, u32, bool, u64, f64) {
         let mut health_drops = 0u64;
         let mut retries = 0u32;
@@ -677,18 +920,41 @@ where
         let mut avoid: Vec<ProxyId> = Vec::new();
         let mut overloaded = false;
 
+        // Negative fast-reject: an unroutable verdict recorded under
+        // this epoch and health generation is final — recomputing (and
+        // re-retrying) it would reach the same answer.
+        let health_gen = self.health_gen.load(Ordering::SeqCst);
+        if let Some(err) = self.negative.lookup(key, epoch, health_gen) {
+            return (Err(err), 0, false, 0, 0.0);
+        }
+
         let mut candidate: Result<(ServicePath, bool), RouteError> =
-            match self.cache.lookup(key, epoch) {
-                Some(path) => {
+            match self.cache.lookup_swr(key, epoch, &self.stale_budget) {
+                SwrLookup::Hit(path) => {
                     if ctx.first_down_hop(&path).is_some() {
                         self.cache.remove(key);
                         health_drops += 1;
-                        router.route_path(request).map(|p| (p, false))
+                        self.solve_fresh(snap, epoch, request, router, csp)
+                            .map(|p| (p, false))
                     } else {
                         Ok((path, true))
                     }
                 }
-                None => router.route_path(request).map(|p| (p, false)),
+                SwrLookup::Stale(path) => {
+                    if self.stale_path_usable(snap, &path, Some(ctx)) {
+                        if revalidate.0.insert(key.clone()) {
+                            revalidate.1.push((key.clone(), index));
+                        }
+                        Ok((path, true))
+                    } else {
+                        self.cache.remove(key);
+                        self.solve_fresh(snap, epoch, request, router, csp)
+                            .map(|p| (p, false))
+                    }
+                }
+                SwrLookup::Miss | SwrLookup::StaleDrop => self
+                    .solve_fresh(snap, epoch, request, router, csp)
+                    .map(|p| (p, false)),
             };
 
         let mut attempt = 0u32;
@@ -727,6 +993,16 @@ where
                     None if overloaded => RouteError::Overloaded,
                     None => RouteError::Infeasible,
                 };
+                // Cache the unroutable verdict, but only when admission
+                // is off: with token buckets active the final error can
+                // depend on this batch's token state, which the
+                // (epoch, health-gen) key does not capture.
+                if !ctx.admission.enabled
+                    && matches!(err, RouteError::NoProvider(_) | RouteError::Infeasible)
+                {
+                    self.negative
+                        .insert(key.clone(), epoch, health_gen, err.clone());
+                }
                 return (Err(err), retries, false, health_drops, backoff_us);
             }
             attempt += 1;

@@ -58,7 +58,9 @@ pub mod engine;
 pub mod report;
 pub mod snapshot;
 
-pub use cache::{CacheStats, LookupOutcome, RouteCache, RouteKey};
+pub use cache::{
+    CacheStats, CspCache, CspKey, LookupOutcome, NegativeCache, RouteCache, RouteKey, SwrLookup,
+};
 pub use engine::{AdmissionConfig, Disposition, Engine, EngineConfig, RejectReason, ServeOutcome};
 pub use report::{AdmissionStats, LatencySummary, ServeReport};
 pub use snapshot::{

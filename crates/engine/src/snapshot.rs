@@ -21,7 +21,7 @@ use son_overlay::{
     ServiceSet, StatusMap,
 };
 use son_routing::{
-    BasicTraced, CostConfig, CostModel, FlatRouter, HierConfig, HierarchicalRouter,
+    BasicTraced, CostConfig, CostModel, CspRouter, FlatRouter, HierConfig, HierarchicalRouter,
     LoadAwareDelays, MultiLevelRouter, ProviderIndex, Router, TraceRouter,
 };
 use son_state::ClusterLoad;
@@ -268,6 +268,19 @@ pub trait RouterProvider<D: DelayModel>: Sync {
     fn traced_router<'a>(&'a self, snapshot: &'a EngineSnapshot<D>) -> Box<dyn TraceRouter + 'a> {
         Box::new(BasicTraced::new(self.router(snapshot), self.name()))
     }
+
+    /// Constructs a frontier-capable router for the engine's CSP cache
+    /// tier, or `None` when this provider's routing strategy has no
+    /// reusable cluster-level solve. The returned router must agree
+    /// bit-for-bit with [`RouterProvider::router`] — the engine mixes
+    /// frontier replays and plain solves within one batch.
+    fn csp_router<'a>(
+        &'a self,
+        snapshot: &'a EngineSnapshot<D>,
+    ) -> Option<Box<dyn CspRouter + 'a>> {
+        let _ = snapshot;
+        None
+    }
 }
 
 /// Provider of the paper's hierarchical (divide-and-conquer) router —
@@ -307,6 +320,13 @@ impl<D: DelayModel> RouterProvider<D> for HierProvider {
 
     fn traced_router<'a>(&'a self, snapshot: &'a EngineSnapshot<D>) -> Box<dyn TraceRouter + 'a> {
         Box::new(self.build(snapshot))
+    }
+
+    fn csp_router<'a>(
+        &'a self,
+        snapshot: &'a EngineSnapshot<D>,
+    ) -> Option<Box<dyn CspRouter + 'a>> {
+        Some(Box::new(self.build(snapshot)))
     }
 }
 
@@ -369,6 +389,24 @@ impl<D: DelayModel> RouterProvider<D> for MultiLevelProvider {
 
     fn name(&self) -> &'static str {
         "multilevel"
+    }
+
+    fn csp_router<'a>(
+        &'a self,
+        snapshot: &'a EngineSnapshot<D>,
+    ) -> Option<Box<dyn CspRouter + 'a>> {
+        // The recursive router has no single-level frontier to reuse;
+        // the bi-level fallback (no hierarchy attached) is the plain
+        // hierarchical router and shares its frontier implementation.
+        match snapshot.hierarchy() {
+            Some(_) => None,
+            None => Some(Box::new(
+                HierProvider {
+                    config: self.config,
+                }
+                .build(snapshot),
+            )),
+        }
     }
 }
 

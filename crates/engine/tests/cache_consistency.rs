@@ -11,7 +11,7 @@ use rand::{Rng, SeedableRng};
 use son_clustering::Clustering;
 use son_engine::{Engine, EngineConfig, EngineSnapshot, FlatProvider, HierProvider};
 use son_overlay::{
-    DelayMatrix, HfcTopology, ProxyId, ServiceGraph, ServiceId, ServiceRequest, ServiceSet,
+    DelayMatrix, Health, HfcTopology, ProxyId, ServiceGraph, ServiceId, ServiceRequest, ServiceSet,
 };
 
 const PROXIES: usize = 24;
@@ -86,4 +86,85 @@ proptest! {
         prop_assert_eq!(hit.report.cache.hits, 1);
         prop_assert_eq!(&hit.paths[0], &miss.paths[0]);
     }
+
+    /// Stale-while-revalidate never serves a route through a `Down`
+    /// proxy: warm the cache, install the next epoch, kill one proxy
+    /// live, and serve the same batch with a stale budget large enough
+    /// to cover all of it. Every stale-served path must have been
+    /// validated against the *current* health view first.
+    #[test]
+    fn swr_never_serves_a_route_through_a_down_proxy(
+        seed in 0u64..500,
+        victim in 0usize..PROXIES,
+        chain in proptest::collection::vec(0usize..SERVICES, 1..4),
+    ) {
+        let engine = Engine::new(
+            snapshot(seed),
+            HierProvider::default(),
+            EngineConfig { stale_serve_budget: 64, ..EngineConfig::default() },
+        );
+        let batch: Vec<ServiceRequest> = (0..16)
+            .map(|k| request(k % PROXIES, (k * 5 + 7) % PROXIES, &chain))
+            .collect();
+        engine.serve(&batch);
+        engine.install_snapshot(snapshot(seed));
+        engine.set_health(ProxyId::new(victim), Health::Down);
+        let churned = engine.serve(&batch);
+        for path in churned.paths.iter().flatten() {
+            prop_assert!(
+                path.hops().iter().all(|h| h.proxy.index() != victim),
+                "served a route through the Down proxy {}",
+                victim
+            );
+        }
+    }
+}
+
+/// The stale-serve budget bounds total stale serves even while
+/// installs and health flips race the serving threads: each of the
+/// `installs + 1` budget windows can hand out at most `BUDGET` stale
+/// routes, whatever the interleaving.
+#[test]
+fn stale_budget_is_respected_under_concurrent_churn() {
+    const BUDGET: u64 = 5;
+    const INSTALLS: u64 = 4;
+    let engine = Engine::new(
+        snapshot(42),
+        HierProvider::default(),
+        EngineConfig {
+            workers: 2,
+            stale_serve_budget: BUDGET,
+            ..EngineConfig::default()
+        },
+    );
+    let batch: Vec<ServiceRequest> = (0..40)
+        .map(|k| {
+            request(
+                k % PROXIES,
+                (k * 7 + 3) % PROXIES,
+                &[k % SERVICES, (k + 2) % SERVICES],
+            )
+        })
+        .collect();
+    engine.serve(&batch);
+
+    std::thread::scope(|scope| {
+        let eng = &engine;
+        scope.spawn(move || {
+            for i in 0..INSTALLS {
+                eng.install_snapshot(snapshot(42));
+                eng.set_health(ProxyId::new((i as usize * 3) % PROXIES), Health::Draining);
+                std::thread::yield_now();
+            }
+        });
+        for _ in 0..6 {
+            eng.serve(&batch);
+        }
+    });
+
+    let stale_served = engine.cache_stats().stale_served;
+    assert!(
+        stale_served <= BUDGET * (INSTALLS + 1),
+        "{stale_served} stale serves exceed {INSTALLS} installs x budget {BUDGET}"
+    );
 }

@@ -1,0 +1,141 @@
+//! Negative-cache behavior through the full engine: deterministic
+//! unroutable verdicts are remembered and fast-rejected, and both
+//! invalidation axes work — an epoch bump (new snapshot) and a health
+//! recovery (live `set_health`) each force a fresh solve, so no key
+//! can stay poisoned.
+
+use son_clustering::Clustering;
+use son_engine::{Engine, EngineConfig, EngineSnapshot, HierProvider};
+use son_overlay::{
+    DelayMatrix, Health, HfcTopology, ProxyId, ServiceGraph, ServiceId, ServiceRequest, ServiceSet,
+};
+
+const PROXIES: usize = 12;
+const CLUSTERS: usize = 3;
+
+/// A line-delay world where proxy `i` offers service `i % 4` — and
+/// proxy 0 additionally is the *only* provider of service 9.
+fn snapshot() -> EngineSnapshot<DelayMatrix> {
+    let mut values = vec![0.0; PROXIES * PROXIES];
+    for i in 0..PROXIES {
+        for j in 0..PROXIES {
+            values[i * PROXIES + j] = (i as f64 - j as f64).abs();
+        }
+    }
+    let delays = DelayMatrix::from_values(PROXIES, values);
+    let labels: Vec<usize> = (0..PROXIES).map(|i| i * CLUSTERS / PROXIES).collect();
+    let hfc = HfcTopology::build(&Clustering::from_labels(&labels), &delays);
+    let services = (0..PROXIES)
+        .map(|i| {
+            if i == 0 {
+                ServiceSet::from_iter([ServiceId::new(0), ServiceId::new(9)])
+            } else {
+                ServiceSet::from_iter([ServiceId::new(i % 4)])
+            }
+        })
+        .collect();
+    EngineSnapshot::new(hfc, services, delays)
+}
+
+fn request(src: usize, dst: usize, chain: &[usize]) -> ServiceRequest {
+    ServiceRequest::new(
+        ProxyId::new(src),
+        ServiceGraph::linear(chain.iter().map(|&s| ServiceId::new(s)).collect()),
+        ProxyId::new(dst),
+    )
+}
+
+#[test]
+fn unroutable_requests_fast_reject_on_repeat() {
+    let engine = Engine::new(snapshot(), HierProvider::default(), EngineConfig::default());
+    // Service 17 exists nowhere: deterministically unroutable.
+    let batch = vec![request(1, 10, &[17])];
+
+    let first = engine.serve(&batch);
+    assert!(first.paths[0].is_err());
+    assert_eq!(
+        first.report.cache.negative_hits, 0,
+        "first failure is computed"
+    );
+
+    let second = engine.serve(&batch);
+    assert!(second.paths[0].is_err());
+    assert_eq!(
+        second.report.cache.negative_hits, 1,
+        "repeat failure is cached"
+    );
+    assert_eq!(
+        second.paths[0], first.paths[0],
+        "the cached verdict is the computed one"
+    );
+}
+
+#[test]
+fn epoch_bump_invalidates_negative_entries() {
+    let engine = Engine::new(snapshot(), HierProvider::default(), EngineConfig::default());
+    let batch = vec![request(2, 11, &[17])];
+    engine.serve(&batch);
+    assert_eq!(engine.serve(&batch).report.cache.negative_hits, 1);
+
+    engine.install_snapshot(snapshot());
+    let fresh = engine.serve(&batch);
+    assert!(fresh.paths[0].is_err());
+    assert_eq!(
+        fresh.report.cache.negative_hits, 0,
+        "a new epoch re-runs the solve instead of trusting the old verdict"
+    );
+    // And the recomputed verdict is cached again under the new epoch.
+    assert_eq!(engine.serve(&batch).report.cache.negative_hits, 1);
+}
+
+#[test]
+fn health_recovery_unpoisons_negative_entries() {
+    let engine = Engine::new(snapshot(), HierProvider::default(), EngineConfig::default());
+    // Service 9 is offered only by proxy 0; the request is routable
+    // exactly while proxy 0 is alive.
+    let batch = vec![request(3, 11, &[9])];
+    assert!(engine.serve(&batch).paths[0].is_ok(), "routable while up");
+
+    engine.set_health(ProxyId::new(0), Health::Down);
+    let blocked = engine.serve(&batch);
+    assert!(blocked.paths[0].is_err(), "sole provider down: unroutable");
+    let repeat = engine.serve(&batch);
+    assert!(repeat.paths[0].is_err());
+    assert_eq!(
+        repeat.report.cache.negative_hits, 1,
+        "the unroutable verdict is served from the negative cache"
+    );
+
+    // Recovery bumps the health generation: the poisoned key must be
+    // re-solved, not fast-rejected forever.
+    engine.set_health(ProxyId::new(0), Health::Up);
+    let recovered = engine.serve(&batch);
+    assert_eq!(recovered.report.cache.negative_hits, 0);
+    assert!(
+        recovered.paths[0].is_ok(),
+        "route must come back once the blocking proxy recovers: {:?}",
+        recovered.paths[0]
+    );
+    assert!(recovered.paths[0]
+        .as_ref()
+        .unwrap()
+        .hops()
+        .iter()
+        .any(|h| h.proxy.index() == 0));
+}
+
+#[test]
+fn overloaded_outcomes_are_never_negative_cached() {
+    // With admission enabled the final error can depend on the batch's
+    // token state, so nothing is inserted: the same request must be
+    // recomputed (negative_hits stays 0), and succeed again once
+    // capacity frees up in the next batch.
+    let mut config = EngineConfig::default();
+    config.admission.enabled = true;
+    let engine = Engine::new(snapshot(), HierProvider::default(), config);
+    let batch = vec![request(1, 10, &[17])];
+    engine.serve(&batch);
+    let repeat = engine.serve(&batch);
+    assert!(repeat.paths[0].is_err());
+    assert_eq!(repeat.report.cache.negative_hits, 0);
+}

@@ -20,6 +20,7 @@
 //!    the flat service-DAG method over `SCT_P`, then compose the child
 //!    paths and the border glue hops into the final service path.
 
+use crate::csp::{CspCandidate, CspFrontier, CspRouter};
 use crate::flat::RouteError;
 use crate::path::{PathBuilder, ServicePath};
 use crate::providers::ProviderIndex;
@@ -309,6 +310,21 @@ where
         let dest_cluster = self.hfc.cluster_of(request.destination);
         let (estimate, chain) =
             self.cluster_level_path(request, source_cluster, dest_cluster, excluded)?;
+        Ok(self.plan_from_chain(request, estimate, chain))
+    }
+
+    /// Step 3 of Section 5 alone: dissects an already-selected
+    /// cluster-level chain into child requests. Shared by the plain
+    /// planning path and the frontier-replay path so both produce the
+    /// same plan from the same chain by construction.
+    fn plan_from_chain(
+        &self,
+        request: &ServiceRequest,
+        estimate: f64,
+        chain: Vec<(StageId, ClusterId)>,
+    ) -> RoutePlan {
+        let source_cluster = self.hfc.cluster_of(request.source);
+        let dest_cluster = self.hfc.cluster_of(request.destination);
         let groups = dissect(&chain);
 
         let mut children = Vec::with_capacity(groups.len());
@@ -348,11 +364,11 @@ where
             });
             prev_cluster = cluster;
         }
-        Ok(RoutePlan {
+        RoutePlan {
             csp: chain,
             estimate,
             children,
-        })
+        }
     }
 
     /// Solves one child request optimally within its cluster (what the
@@ -438,11 +454,14 @@ where
 
     /// Computes the cluster-level shortest service path.
     ///
-    /// States are `(stage, cluster, entry proxy)`: the entry proxy — the
-    /// border through which the path entered the stage's cluster (or
-    /// the source proxy while still in the source's cluster) — is what
-    /// lets the pass account for internal border-to-border distances
-    /// (the back-tracking refinement).
+    /// Implemented as the destination-independent [`sink_frontier`] DP
+    /// followed by the cheap [`close_frontier`] replay — one code path
+    /// whether the frontier came from a fresh solve or a cache, which
+    /// is what makes CSP-tier caching bit-identical to uncached
+    /// routing.
+    ///
+    /// [`sink_frontier`]: HierarchicalRouter::sink_frontier
+    /// [`close_frontier`]: HierarchicalRouter::close_frontier
     fn cluster_level_path(
         &self,
         request: &ServiceRequest,
@@ -450,14 +469,41 @@ where
         dest_cluster: ClusterId,
         excluded: &[(StageId, ClusterId)],
     ) -> Result<(f64, Vec<(StageId, ClusterId)>), RouteError> {
-        let graph = &request.graph;
-        if graph.is_empty() {
+        if request.graph.is_empty() {
             let (cost, _) = self.inter_cluster_cost(request.source, source_cluster, dest_cluster);
             if !cost.is_finite() {
                 return Err(RouteError::Infeasible);
             }
             return Ok((cost, Vec::new()));
         }
+        let frontier = self.sink_frontier(request, source_cluster, dest_cluster, excluded)?;
+        self.close_frontier(request, dest_cluster, &frontier)
+    }
+
+    /// The cluster-level DP (Section 5 steps 1–2) up to — but not
+    /// including — the closing leg at the destination: every sink
+    /// state is backtracked into a [`CspCandidate`] and returned.
+    ///
+    /// States are `(stage, cluster, entry proxy)`: the entry proxy — the
+    /// border through which the path entered the stage's cluster (or
+    /// the source proxy while still in the source's cluster) — is what
+    /// lets the pass account for internal border-to-border distances
+    /// (the back-tracking refinement). State *keys* normalize entries
+    /// the planner has no coordinates for (a non-border source outside
+    /// the destination's cluster) to a shared sentinel: such entries
+    /// never contribute a cost term, so collapsing them keeps the DP
+    /// exact while making the map's iteration order — and therefore
+    /// every tie-break — independent of the concrete source proxy.
+    /// That invariance is what lets a frontier computed for one source
+    /// be replayed verbatim for another.
+    fn sink_frontier(
+        &self,
+        request: &ServiceRequest,
+        source_cluster: ClusterId,
+        dest_cluster: ClusterId,
+        excluded: &[(StageId, ClusterId)],
+    ) -> Result<CspFrontier, RouteError> {
+        let graph = &request.graph;
 
         // Candidate clusters per stage, from aggregate state; the load
         // summary (when attached) rules out clusters with no routable
@@ -494,60 +540,97 @@ where
                         cluster,
                         dest_cluster,
                     );
-                    upsert(&mut states[si], key(cluster, entry), cost, None);
+                    let k = self.state_key(cluster, entry, dest_cluster);
+                    upsert(&mut states[si], k, cost, None, entry);
                 } else {
                     for &pred in graph.predecessors(stage) {
                         let pi = pred.index();
-                        let prev_states: Vec<(StateKey, f64)> =
-                            states[pi].iter().map(|(&k, &(c, _))| (k, c)).collect();
-                        for (pkey, pcost) in prev_states {
-                            let (pcluster, pentry) = unkey(pkey);
+                        let prev_states: Vec<(StateKey, f64, ProxyId)> = states[pi]
+                            .iter()
+                            .map(|(&k, &(c, _, e))| (k, c, e))
+                            .collect();
+                        for (pkey, pcost, pentry) in prev_states {
+                            let pcluster = ClusterId::new(pkey.0 as usize);
                             let (step, entry) =
                                 self.inter_cluster_step(pentry, pcluster, cluster, dest_cluster);
-                            upsert(
-                                &mut states[si],
-                                key(cluster, entry),
-                                pcost + step,
-                                Some((pi, pkey)),
-                            );
+                            let k = self.state_key(cluster, entry, dest_cluster);
+                            upsert(&mut states[si], k, pcost + step, Some((pi, pkey)), entry);
                         }
                     }
                 }
             }
         }
 
-        // Close at the destination.
-        let mut best: Option<(f64, usize, StateKey)> = None;
+        // Backtrack every sink state, in the exact order the closing
+        // loop will enumerate them.
+        let mut out = Vec::new();
         for sink in graph.sinks() {
             let si = sink.index();
-            for (&k, &(cost, _)) in &states[si] {
-                let (cluster, entry) = unkey(k);
-                let (close, _) = self.close_at_destination(entry, cluster, dest_cluster, request);
-                let total = cost + close;
-                // Non-finite totals (a `Down` border or a saturated
-                // cluster on every remaining route) are unroutable.
-                if total.is_finite() && best.is_none_or(|(b, _, _)| total < b) {
-                    best = Some((total, si, k));
+            for (&k, &(cost, _, entry)) in &states[si] {
+                let cluster = ClusterId::new(k.0 as usize);
+                let mut chain = Vec::new();
+                let (mut ci, mut ck) = (si, k);
+                loop {
+                    chain.push((StageId::new(ci), ClusterId::new(ck.0 as usize)));
+                    match states[ci].get(&ck).and_then(|&(_, prev, _)| prev) {
+                        Some((pi, pk)) => {
+                            ci = pi;
+                            ck = pk;
+                        }
+                        None => break,
+                    }
                 }
+                chain.reverse();
+                out.push(CspCandidate {
+                    chain,
+                    cost,
+                    cluster,
+                    entry,
+                });
             }
         }
-        let (total, mut si, mut k) = best.ok_or(RouteError::Infeasible)?;
+        if out.is_empty() {
+            return Err(RouteError::Infeasible);
+        }
+        Ok(CspFrontier { candidates: out })
+    }
 
-        // Backtrack the chain.
-        let mut chain = Vec::new();
-        loop {
-            let (cluster, _) = unkey(k);
-            chain.push((StageId::new(si), cluster));
-            match states[si].get(&k).and_then(|&(_, prev)| prev) {
-                Some((psi, pk)) => {
-                    si = psi;
-                    k = pk;
-                }
-                None => break,
+    /// The closing loop of the cluster-level solve: adds the final leg
+    /// to the concrete destination per candidate and picks the cheapest
+    /// finite total, first-seen winning ties — exactly the selection
+    /// the monolithic solve performed.
+    fn close_frontier(
+        &self,
+        request: &ServiceRequest,
+        dest_cluster: ClusterId,
+        frontier: &CspFrontier,
+    ) -> Result<(f64, Vec<(StageId, ClusterId)>), RouteError> {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, cand) in frontier.candidates.iter().enumerate() {
+            let (close, _) =
+                self.close_at_destination(cand.entry, cand.cluster, dest_cluster, request);
+            let total = cand.cost + close;
+            // Non-finite totals (a `Down` border or a saturated
+            // cluster on every remaining route) are unroutable.
+            if total.is_finite() && best.is_none_or(|(b, _)| total < b) {
+                best = Some((total, i));
             }
         }
-        chain.reverse();
-        Ok((total, chain))
+        let (total, i) = best.ok_or(RouteError::Infeasible)?;
+        Ok((total, frontier.candidates[i].chain.clone()))
+    }
+
+    /// The normalized DP state key for (cluster, entry): entries the
+    /// planner knows coordinates for keep their identity; unknown
+    /// entries (only ever the request source) collapse to a shared
+    /// sentinel so key order never depends on the concrete source.
+    fn state_key(&self, cluster: ClusterId, entry: ProxyId, dest_cluster: ClusterId) -> StateKey {
+        let e = if self.hfc.is_border(entry) || self.hfc.cluster_of(entry) == dest_cluster {
+            entry.index() as u32
+        } else {
+            UNKNOWN_ENTRY
+        };
+        (cluster.index() as u32, e)
     }
 
     /// Whether CSP selection may map stages into `cluster` at all
@@ -648,26 +731,26 @@ where
     }
 }
 
-/// A cluster-level DAG state: (cluster, entry proxy).
+/// A cluster-level DAG state: (cluster, normalized entry proxy).
 type StateKey = (u32, u32);
 /// Back-pointer to the predecessor state: (stage index, state).
 type PrevRef = (usize, StateKey);
-/// Best known cost and predecessor per state, for one stage.
-type StateMap = BTreeMap<StateKey, (f64, Option<PrevRef>)>;
+/// Best known cost, predecessor, and *actual* entry proxy per state,
+/// for one stage. The key's entry component is normalized (unknown
+/// proxies collapse to [`UNKNOWN_ENTRY`]); the value carries the real
+/// proxy because subsequent steps look its cluster and delays up.
+type StateMap = BTreeMap<StateKey, (f64, Option<PrevRef>, ProxyId)>;
 
-fn key(cluster: ClusterId, entry: ProxyId) -> (u32, u32) {
-    (cluster.index() as u32, entry.index() as u32)
-}
+/// Key sentinel for an entry proxy the planner has no coordinates for.
+/// Such entries contribute no internal-distance terms, so all of them
+/// are cost-equivalent and may share one DP state.
+const UNKNOWN_ENTRY: u32 = u32::MAX;
 
-fn unkey(k: (u32, u32)) -> (ClusterId, ProxyId) {
-    (ClusterId::new(k.0 as usize), ProxyId::new(k.1 as usize))
-}
-
-fn upsert(map: &mut StateMap, k: StateKey, cost: f64, prev: Option<PrevRef>) {
+fn upsert(map: &mut StateMap, k: StateKey, cost: f64, prev: Option<PrevRef>, entry: ProxyId) {
     match map.get(&k) {
-        Some(&(existing, _)) if existing <= cost => {}
+        Some(&(existing, _, _)) if existing <= cost => {}
         _ => {
-            map.insert(k, (cost, prev));
+            map.insert(k, (cost, prev, entry));
         }
     }
 }
@@ -691,6 +774,37 @@ fn dissect(chain: &[(StageId, ClusterId)]) -> Vec<Group> {
         }
     }
     groups
+}
+
+impl<D> CspRouter for HierarchicalRouter<'_, D>
+where
+    D: DelayModel,
+{
+    fn solve_frontier(&self, request: &ServiceRequest) -> Result<CspFrontier, RouteError> {
+        // Empty service graphs have no DP to reuse; callers route them
+        // through the plain path (see the trait docs).
+        if request.graph.is_empty() {
+            return Err(RouteError::Infeasible);
+        }
+        let source_cluster = self.hfc.cluster_of(request.source);
+        let dest_cluster = self.hfc.cluster_of(request.destination);
+        self.sink_frontier(request, source_cluster, dest_cluster, &[])
+    }
+
+    fn route_from_frontier(
+        &self,
+        request: &ServiceRequest,
+        frontier: &CspFrontier,
+    ) -> Result<ServicePath, RouteError> {
+        let dest_cluster = self.hfc.cluster_of(request.destination);
+        let (estimate, chain) = self.close_frontier(request, dest_cluster, frontier)?;
+        let plan = self.plan_from_chain(request, estimate, chain);
+        let mut answers = Vec::with_capacity(plan.children.len());
+        for child in &plan.children {
+            answers.push(self.solve_child(child).ok_or(RouteError::Infeasible)?);
+        }
+        Ok(self.compose(request, plan, &answers).path)
+    }
 }
 
 #[cfg(test)]
@@ -894,6 +1008,66 @@ mod tests {
                 "full-state route ({lf}) must not exceed aggregated route ({lh}) \
                  for {src}→{dst} via {svc:?}"
             );
+        }
+    }
+
+    #[test]
+    fn frontier_replay_matches_plain_route() {
+        let (hfc, delays, services) = paper_example();
+        let router =
+            HierarchicalRouter::from_services(&hfc, &services, &delays, HierConfig::default());
+        let cases = [
+            (2usize, vec![1usize, 2, 3, 4, 5], 9usize),
+            (3, vec![4, 5], 10),
+            (12, vec![1, 2], 9),
+            (8, vec![5, 2], 1),
+            (7, vec![2, 3], 6),
+        ];
+        for (src, svc, dst) in cases {
+            let request = ServiceRequest::new(
+                ProxyId::new(src),
+                ServiceGraph::linear(svc.iter().map(|&i| sid(i)).collect()),
+                ProxyId::new(dst),
+            );
+            let plain = router.route(&request).unwrap();
+            let frontier = router.solve_frontier(&request).unwrap();
+            let replayed = router.route_from_frontier(&request, &frontier).unwrap();
+            assert_eq!(
+                plain.path, replayed,
+                "frontier replay diverged for {src}→{dst} via {svc:?}"
+            );
+        }
+    }
+
+    /// The reuse the serving engine relies on: a frontier computed for
+    /// one unknown source (non-border, outside the destination's
+    /// cluster) replayed for *another* unknown source in the same
+    /// cluster must give exactly that source's own route.
+    #[test]
+    fn frontier_is_shareable_across_unknown_sources() {
+        let (hfc, delays, services) = paper_example();
+        let router =
+            HierarchicalRouter::from_services(&hfc, &services, &delays, HierConfig::default());
+        // C0 = {0, 1, 2, 3}; borders of C0 are 0 and 1, so 2 and 3 are
+        // interchangeable unknown sources for a C2 destination.
+        for (a, b) in [(2usize, 3usize), (3, 2)] {
+            assert!(!hfc.is_border(ProxyId::new(a)) && !hfc.is_border(ProxyId::new(b)));
+            let req_a = ServiceRequest::new(
+                ProxyId::new(a),
+                ServiceGraph::linear(vec![sid(1), sid(2), sid(5)]),
+                ProxyId::new(9),
+            );
+            let req_b = ServiceRequest::new(
+                ProxyId::new(b),
+                ServiceGraph::linear(vec![sid(1), sid(2), sid(5)]),
+                ProxyId::new(10),
+            );
+            let frontier_a = router.solve_frontier(&req_a).unwrap();
+            let frontier_b = router.solve_frontier(&req_b).unwrap();
+            let borrowed = router.route_from_frontier(&req_b, &frontier_a).unwrap();
+            let own = router.route(&req_b).unwrap();
+            assert_eq!(frontier_a, frontier_b, "frontiers must be source-invariant");
+            assert_eq!(borrowed, own.path, "replay via {a}'s frontier diverged");
         }
     }
 

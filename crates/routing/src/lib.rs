@@ -46,6 +46,7 @@
 //! ```
 
 pub mod cost;
+pub mod csp;
 pub mod fixtures;
 pub mod flat;
 pub mod hier;
@@ -59,6 +60,7 @@ pub mod session;
 pub mod trace;
 
 pub use cost::{CostConfig, CostModel, LoadAwareDelays};
+pub use csp::{CspCandidate, CspFrontier, CspRouter};
 pub use flat::{FlatRouter, RouteError};
 pub use hier::{ChildSpec, HierConfig, HierRoute, HierarchicalRouter, RoutePlan};
 pub use multilevel::MultiLevelRouter;

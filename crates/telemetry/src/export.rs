@@ -137,6 +137,10 @@ mod tests {
     fn demo_registry() -> Registry {
         let reg = Registry::new();
         reg.counter("engine.cache.hits").add(42);
+        // Cache-v2 keys: the CSP frontier tier and stale-while-
+        // revalidate counters the engine folds per batch.
+        reg.counter("engine.cache.csp_hits").add(17);
+        reg.counter("engine.cache.stale_served").add(3);
         reg.counter_with("engine.errors", &[("worker", "0")]).add(1);
         reg.gauge("state.convergence_ms").set(125.5);
         // Tree-dissemination keys: a counter and a gauge, as

@@ -17,6 +17,7 @@
 pub mod env;
 pub mod generate;
 pub mod scenario;
+pub mod unique;
 pub mod zipf;
 
 pub use env::{table1_environments, Environment};
@@ -25,4 +26,5 @@ pub use generate::{
     RequestProfile,
 };
 pub use scenario::{Scenario, ScenarioPhase};
+pub use unique::NonRepeatingWorkload;
 pub use zipf::{zipf_request_mix, Zipf};
