@@ -46,6 +46,25 @@
 //!                                                  run is cheaper, and repeated
 //!                                                  tree runs reproduce the same
 //!                                                  trace hash
+//! son flight   [--proxies N] [--seed S] [--requests K] [--workers W]
+//!              [--dump path] [--since N] [--smoke]
+//!                                                  serve a batch with the flight
+//!                                                  recorder on, inject a rejection
+//!                                                  spike, and print per-request
+//!                                                  timelines (cache verdict →
+//!                                                  disposition), per-worker stage
+//!                                                  timings, and the anomaly
+//!                                                  snapshot the spike froze;
+//!                                                  --dump writes the events as
+//!                                                  JSON, --since skips sequence
+//!                                                  numbers below N
+//! son slo      [--proxies N] [--seed S] [--requests K] [--workers W] [--smoke]
+//!                                                  serve cold+warm batches with a
+//!                                                  sliding-window SLO tracker
+//!                                                  attached and print each sealed
+//!                                                  window's availability,
+//!                                                  rejection rate, burn rate and
+//!                                                  p99 against the objectives
 //! son scale    [--proxies N] [--seed S] [--threads T] [--smoke]
 //!                                                  build the world twice (1 thread,
 //!                                                  then T), verify the snapshots are
@@ -88,6 +107,8 @@ struct Args {
     request: usize,
     threads: usize,
     metrics: Option<std::path::PathBuf>,
+    dump: Option<std::path::PathBuf>,
+    since: u64,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -104,6 +125,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         request: 0,
         threads: 0,
         metrics: None,
+        dump: None,
+        since: 0,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -157,6 +180,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?
             }
             "--metrics" => args.metrics = Some(value("--metrics")?.into()),
+            "--dump" => args.dump = Some(value("--dump")?.into()),
+            "--since" => {
+                args.since = value("--since")?
+                    .parse()
+                    .map_err(|e| format!("--since: {e}"))?
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -770,6 +799,9 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
     engine.serve(&batch);
     engine.serve(&batch);
     overlay.run_state_protocol();
+    // Recorder totals ride along so `son metrics` carries the flight.*
+    // family even when the ring itself was off for the run.
+    son_core::flight().publish(son_core::telemetry());
     print!("{}", son_core::render_prometheus(son_core::telemetry()));
     Ok(())
 }
@@ -977,11 +1009,334 @@ fn cmd_scale(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn event_json(event: &son_core::FlightEvent) -> son_core::Json {
+    use son_core::Json;
+    let or_null = |absent: bool, v: f64| if absent { Json::Null } else { Json::Num(v) };
+    Json::obj([
+        ("seq", Json::Num(event.seq as f64)),
+        ("tick", Json::Num(event.tick as f64)),
+        ("kind", Json::Str(event.kind.label())),
+        (
+            "request",
+            or_null(event.request == son_core::NO_REQUEST, event.request as f64),
+        ),
+        (
+            "proxy",
+            or_null(event.proxy == son_core::NO_PROXY, event.proxy as f64),
+        ),
+        (
+            "worker",
+            or_null(event.worker == son_core::NO_WORKER, event.worker as f64),
+        ),
+        ("epoch", Json::Num(event.epoch as f64)),
+        ("value", Json::Num(event.value)),
+    ])
+}
+
+fn cmd_flight(args: &Args) -> Result<(), String> {
+    use son_core::{FlightEvent, FlightKind, SloConfig, SloTracker};
+    use std::collections::BTreeMap;
+    // The recorder is the product here: telemetry and the flight ring
+    // go on before anything runs so every event lands on the timeline.
+    son_core::set_telemetry_enabled(true);
+    let recorder = son_core::flight();
+    recorder.set_enabled(true);
+    let proxies = if args.smoke {
+        args.proxies.min(60)
+    } else {
+        args.proxies
+    };
+    let overlay = ServiceOverlay::build(&SonConfig::from_environment(environment(
+        proxies, args.seed,
+    )));
+    let engine = Engine::new(
+        overlay.engine_snapshot(),
+        HierProvider {
+            config: overlay.config().hier,
+        },
+        EngineConfig {
+            workers: args.workers,
+            // Full-fidelity timelines: a debug run records every
+            // request, not the production 1-in-8 sample.
+            flight_sample: 1,
+            ..EngineConfig::default()
+        },
+    );
+    let slo = Arc::new(SloTracker::new(SloConfig {
+        window_ticks: 8,
+        ..SloConfig::default()
+    }));
+    engine.attach_slo(Arc::clone(&slo));
+
+    // Healthy pass: every request's timeline ends in a disposition.
+    let batch = overlay.generate_client_requests(args.requests.max(16), args.seed ^ 0xF00D);
+    let healthy = engine.serve(&batch);
+    println!(
+        "healthy    : {} req, {} errors, {} flight events so far",
+        batch.len(),
+        healthy.report.errors,
+        recorder.recorded()
+    );
+
+    // Rejection spike: every proxy goes Down, so the same batch is shed
+    // as NoIngress before any worker spawns — the SLO ticks are
+    // sequential and the spike window's rejection rate is
+    // deterministically 1.0, which must fire the anomaly trigger and
+    // freeze the ring.
+    for p in 0..overlay.proxy_count() {
+        engine.set_health(ProxyId::new(p), Health::Down);
+    }
+    let spike = engine.serve(&batch);
+    println!(
+        "spike      : {} req, {} rejected no-ingress",
+        batch.len(),
+        spike.report.admission.rejected_no_ingress
+    );
+
+    let events = recorder.since(args.since);
+    let mut timelines: BTreeMap<u64, Vec<&FlightEvent>> = BTreeMap::new();
+    for event in &events {
+        if event.request != son_core::NO_REQUEST {
+            timelines.entry(event.request).or_default().push(event);
+        }
+    }
+    println!(
+        "timelines  : {} requests across {} events (seq >= {})",
+        timelines.len(),
+        events.len(),
+        args.since
+    );
+    for (rid, line) in timelines.iter().take(3) {
+        println!("request #{rid}:");
+        for event in line {
+            println!("  {}", event.render());
+        }
+    }
+    if timelines.len() > 3 {
+        println!("... and {} more requests", timelines.len() - 3);
+    }
+    println!("stage times (per worker, per batch):");
+    for event in events
+        .iter()
+        .filter(|e| matches!(e.kind, FlightKind::StageTime(_)))
+    {
+        println!("  {}", event.render());
+    }
+    let anomaly = recorder.anomaly();
+    match &anomaly {
+        Some(snap) => println!(
+            "anomaly    : {} at tick {} (window {}): observed {:.2} vs threshold {:.2}, \
+             {} events frozen",
+            FlightKind::Anomaly(snap.kind).label(),
+            snap.tick,
+            snap.window,
+            snap.observed,
+            snap.threshold,
+            snap.events.len()
+        ),
+        None => println!("anomaly    : none"),
+    }
+    let registry = son_core::telemetry();
+    recorder.publish(registry);
+    slo.publish(registry);
+    for key in [
+        "flight.events",
+        "flight.dropped",
+        "flight.anomalies",
+        "slo.windows",
+        "slo.breaches",
+    ] {
+        println!("{key:<16} : {}", registry.gauge(key).get());
+    }
+
+    if let Some(path) = &args.dump {
+        let json = son_core::Json::Arr(events.iter().map(event_json).collect());
+        std::fs::write(path, json.render())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "dump       : {} events written to {}",
+            events.len(),
+            path.display()
+        );
+    }
+
+    if args.smoke {
+        let n = batch.len() as u64;
+        let complete = (0..n).all(|rid| {
+            timelines.get(&rid).is_some_and(|line| {
+                line.iter()
+                    .any(|e| matches!(e.kind, FlightKind::CacheVerdict(_)))
+                    && matches!(
+                        line.last().map(|e| &e.kind),
+                        Some(FlightKind::Disposition(_))
+                    )
+            })
+        });
+        let shed = (n..2 * n).all(|rid| {
+            timelines.get(&rid).is_some_and(|line| {
+                line.iter().any(|e| {
+                    matches!(
+                        e.kind,
+                        FlightKind::Disposition(son_core::DispositionMark::RejectNoIngress)
+                    )
+                })
+            })
+        });
+        let stage_events = events
+            .iter()
+            .filter(|e| matches!(e.kind, FlightKind::StageTime(_)))
+            .count();
+        for (what, ok) in [
+            (
+                "every healthy request has a cache verdict ending in a disposition",
+                complete,
+            ),
+            ("every spike request was shed as no-ingress", shed),
+            (
+                "the rejection spike froze the ring",
+                anomaly
+                    .as_ref()
+                    .is_some_and(|s| matches!(s.kind, son_core::AnomalyKind::RejectionRate)),
+            ),
+            (
+                "the frozen snapshot holds events",
+                anomaly.as_ref().is_some_and(|s| !s.events.is_empty()),
+            ),
+            (
+                "per-worker stage timings are on the timeline",
+                stage_events >= 7,
+            ),
+            ("no events were dropped", recorder.dropped() == 0),
+        ] {
+            if !ok {
+                return Err(format!("flight smoke check failed: {what}"));
+            }
+            println!("check      : {what} — ok");
+        }
+        println!("smoke checks passed");
+    }
+    Ok(())
+}
+
+fn cmd_slo(args: &Args) -> Result<(), String> {
+    use son_core::{SloConfig, SloTracker};
+    son_core::set_telemetry_enabled(true);
+    let proxies = if args.smoke {
+        args.proxies.min(60)
+    } else {
+        args.proxies
+    };
+    let overlay = ServiceOverlay::build(&SonConfig::from_environment(environment(
+        proxies, args.seed,
+    )));
+    let engine = Engine::new(
+        overlay.engine_snapshot(),
+        HierProvider {
+            config: overlay.config().hier,
+        },
+        EngineConfig {
+            workers: args.workers,
+            ..EngineConfig::default()
+        },
+    );
+    let window = 8u64;
+    let slo = Arc::new(SloTracker::new(SloConfig {
+        window_ticks: window,
+        ..SloConfig::default()
+    }));
+    engine.attach_slo(Arc::clone(&slo));
+    let batch = overlay.generate_client_requests(args.requests.max(32), args.seed ^ 0xF00D);
+    let cold = engine.serve(&batch);
+    let warm = engine.serve(&batch);
+    println!(
+        "serving    : {} req cold + warm, {} + {} errors",
+        batch.len(),
+        cold.report.errors,
+        warm.report.errors
+    );
+    let config = slo.config();
+    println!(
+        "objectives : availability >= {:.3}, p99 <= {:.0}us, rejection trigger {:.2}, \
+         window {} ticks",
+        config.availability_objective,
+        config.p99_objective_us,
+        config.rejection_trigger,
+        config.window_ticks
+    );
+    println!("window  end_tick  served  rejected  avail  burn    p99_us  status");
+    for f in slo.frames() {
+        println!(
+            "{:>6}  {:>8}  {:>6}  {:>8}  {:>5.3}  {:>4.2}  {:>8.0}  {}",
+            f.index,
+            f.end_tick,
+            f.served,
+            f.rejected,
+            f.availability,
+            f.burn_rate,
+            f.latency.p99,
+            if f.availability_ok && f.latency_ok {
+                "ok"
+            } else {
+                "BREACH"
+            },
+        );
+    }
+    let registry = son_core::telemetry();
+    slo.publish(registry);
+    for key in [
+        "slo.availability",
+        "slo.objective.availability",
+        "slo.objective.p99_us",
+        "slo.windows",
+        "slo.breaches",
+        "slo.window.availability",
+        "slo.window.rejection_rate",
+        "slo.window.burn_rate",
+        "slo.window.p99_us",
+    ] {
+        println!("{key:<26} : {:.4}", registry.gauge(key).get());
+    }
+    if args.smoke {
+        let ticks = slo.ticks();
+        let frames = slo.frames();
+        let errors = (cold.report.errors + warm.report.errors) as u64;
+        for (what, ok) in [
+            (
+                "ticks advance once per request",
+                ticks == 2 * batch.len() as u64,
+            ),
+            (
+                "windows seal every window_ticks requests",
+                slo.sealed() == ticks / window && slo.sealed() >= 2,
+            ),
+            (
+                "served + rejected counters conserve the batches",
+                slo.served_total() + slo.rejected_total() == ticks,
+            ),
+            (
+                "SLO rejections equal the engine's errors",
+                slo.rejected_total() == errors,
+            ),
+            (
+                "every sealed frame holds exactly one window of deltas",
+                frames.iter().all(|f| f.served + f.rejected == window),
+            ),
+        ] {
+            if !ok {
+                return Err(format!("slo smoke check failed: {what}"));
+            }
+            println!("check      : {what} — ok");
+        }
+        println!("smoke checks passed");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
         eprintln!(
-            "usage: son <build|route|overhead|export|protocol|serve|faults|overload|dissem|metrics|trace|scale> [flags]"
+            "usage: son <build|route|overhead|export|protocol|serve|faults|overload|dissem|metrics|trace|flight|slo|scale> [flags]"
         );
         return ExitCode::FAILURE;
     };
@@ -1018,6 +1373,8 @@ fn main() -> ExitCode {
         "dissem" => cmd_dissem(&args),
         "metrics" => cmd_metrics(&args),
         "trace" => cmd_trace(&args),
+        "flight" => cmd_flight(&args),
+        "slo" => cmd_slo(&args),
         "scale" => cmd_scale(&args),
         other => Err(format!("unknown command {other}")),
     };

@@ -56,7 +56,7 @@ pub use son_engine::{
     AdmissionConfig, AdmissionStats, CacheStats, CspCache, CspKey, Disposition, Engine,
     EngineConfig, EngineSnapshot, FlatProvider, HierProvider, LatencySummary, LookupOutcome,
     MultiLevelProvider, NegativeCache, RejectReason, RouteCache, RouteKey, RouterProvider,
-    ServeOutcome, ServeReport, SwrLookup,
+    ServeOutcome, ServeReport, StageBreakdown, SwrLookup, WorkerStats,
 };
 pub use son_netsim::{
     Actor, CrashEvent, Ctx, DelayMeasurer, EventQueue, FaultPlan, Graph, MeasureConfig, NodeId,
@@ -83,9 +83,12 @@ pub use son_state::{
     StateReport,
 };
 pub use son_telemetry::{
-    enabled as telemetry_enabled, global as telemetry, render_prometheus,
-    set_enabled as set_telemetry_enabled, snapshot_json, write_json_snapshot, CacheOutcome,
-    Histogram, Json, LocalHistogram, Registry, RouteTrace, Span,
+    enabled as telemetry_enabled, flight, global as telemetry, render_prometheus,
+    set_enabled as set_telemetry_enabled, snapshot_json, write_json_snapshot, AnomalyKind,
+    AnomalySnapshot, CacheOutcome, CacheVerdict, DispositionMark, FlightEvent, FlightKind,
+    FlightRecorder, Histogram, HistogramCells, Json, LocalHistogram, Registry, RouteTrace,
+    SloConfig, SloTracker, Span, Stage as FlightStage, WindowFrame, NO_PROXY, NO_REQUEST,
+    NO_WORKER,
 };
 pub use son_workload::{
     assign_services, generate_requests, place_proxies, place_proxies_excluding,

@@ -28,14 +28,17 @@
 use crate::cache::{
     CacheStats, CspCache, CspKey, LookupOutcome, NegativeCache, RouteCache, RouteKey, SwrLookup,
 };
-use crate::report::{AdmissionStats, LatencySummary, ServeReport};
+use crate::report::{AdmissionStats, LatencySummary, ServeReport, WorkerStats};
 use crate::snapshot::{EngineSnapshot, RouterProvider};
 use son_overlay::{DelayModel, Health, ProxyId, ServiceRequest};
 use son_routing::{
     trace_hops, CostModel, CspRouter, FlatRouter, LoadAwareDelays, ProviderIndex, RouteError,
     Router, ServicePath,
 };
-use son_telemetry::{CacheOutcome, Histogram, LocalHistogram, RouteTrace};
+use son_telemetry::flight::{
+    flight, CacheVerdict, DispositionMark, FlightEvent, FlightKind, Stage, NO_REQUEST,
+};
+use son_telemetry::{CacheOutcome, Histogram, LocalHistogram, RouteTrace, SloTracker};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
@@ -94,6 +97,16 @@ pub struct EngineConfig {
     /// cache while a fresh solve revalidates the entry in the
     /// background of the batch. 0 keeps the legacy epoch-strict cache.
     pub stale_serve_budget: u64,
+    /// Flight-recorder sampling: per-request events (cache verdicts,
+    /// dispositions, retries) are emitted for requests whose id is a
+    /// multiple of this stride, rounded up to a power of two so the
+    /// per-request test is a mask, not a division. Structural events —
+    /// snapshot installs, stage timings, anomalies — are never
+    /// sampled. 1 records every request (`son flight` and the timeline
+    /// tests use this); the default of 16 keeps the always-on cost of
+    /// an enabled recorder inside the telemetry budget on warm serve
+    /// paths. 0 behaves as 1.
+    pub flight_sample: u64,
 }
 
 impl Default for EngineConfig {
@@ -107,6 +120,7 @@ impl Default for EngineConfig {
             csp_cache: true,
             csp_cache_capacity: 16_384,
             stale_serve_budget: 0,
+            flight_sample: 16,
         }
     }
 }
@@ -164,6 +178,142 @@ struct WorkerItem {
     retries: u32,
     degraded: bool,
     health_drops: u64,
+}
+
+/// Which stage accumulator a measured section charges.
+#[derive(Clone, Copy)]
+enum StageSlot {
+    Cache,
+    Route,
+    Admit,
+}
+
+/// Every `STAGE_SAMPLE`-th request per worker has its stages clocked;
+/// the accumulated times are scaled back up by the observed sampling
+/// ratio when the worker folds its stats. A clock read costs tens of
+/// nanoseconds on a virtualized box — two per stage on every request
+/// would alone eat the telemetry overhead budget on warm cache hits.
+const STAGE_SAMPLE: u64 = 64;
+
+/// Per-worker stage time accumulator (µs). When `on` is false every
+/// `measure` call runs its section with zero instrumentation — no clock
+/// reads — so the telemetry-off serve path is unchanged. When on, only
+/// requests armed by [`StageAcc::arm`] (1 in [`STAGE_SAMPLE`]) are
+/// clocked.
+struct StageAcc {
+    on: bool,
+    armed: bool,
+    seen: u64,
+    sampled: u64,
+    cache_us: f64,
+    route_us: f64,
+    admit_us: f64,
+}
+
+impl StageAcc {
+    fn new(on: bool) -> StageAcc {
+        StageAcc {
+            on,
+            armed: false,
+            seen: 0,
+            sampled: 0,
+            cache_us: 0.0,
+            route_us: 0.0,
+            admit_us: 0.0,
+        }
+    }
+
+    /// Called once per request, before its first measured section:
+    /// decides whether this request's stages are clocked. The first
+    /// request of every worker always is, so any batch with at least
+    /// one request yields a non-zero breakdown.
+    #[inline]
+    fn arm(&mut self) {
+        if self.on {
+            self.armed = self.seen.is_multiple_of(STAGE_SAMPLE);
+            self.seen += 1;
+            self.sampled += u64::from(self.armed);
+        }
+    }
+
+    /// Estimated scale-up from sampled stage time to whole-shard stage
+    /// time: the inverse of the realized sampling fraction.
+    fn scale(&self) -> f64 {
+        if self.sampled == 0 {
+            0.0
+        } else {
+            self.seen as f64 / self.sampled as f64
+        }
+    }
+
+    #[inline]
+    fn measure<T>(&mut self, slot: StageSlot, f: impl FnOnce() -> T) -> T {
+        if !self.armed {
+            return f();
+        }
+        let begun = Instant::now();
+        let out = f();
+        let us = begun.elapsed().as_secs_f64() * 1e6;
+        match slot {
+            StageSlot::Cache => self.cache_us += us,
+            StageSlot::Route => self.route_us += us,
+            StageSlot::Admit => self.admit_us += us,
+        }
+        out
+    }
+}
+
+/// Per-request identity threaded through the routing helpers so deep
+/// call sites (cache verdicts, CSP hits, retries) can emit flight
+/// events tied to the right request. `flight_on` is latched once per
+/// batch; when false every emit is a plain branch.
+#[derive(Clone, Copy)]
+struct ReqCtx {
+    rid: u64,
+    worker: usize,
+    flight_on: bool,
+}
+
+impl ReqCtx {
+    /// A context that suppresses flight events (revalidation solves —
+    /// background work not attributable to one request's timeline).
+    fn silent() -> ReqCtx {
+        ReqCtx {
+            rid: NO_REQUEST,
+            worker: 0,
+            flight_on: false,
+        }
+    }
+
+    #[inline]
+    fn emit(&self, kind: FlightKind, epoch: u64) {
+        if self.flight_on {
+            flight().record(
+                FlightEvent::new(kind)
+                    .tick(self.rid)
+                    .request(self.rid)
+                    .epoch(epoch)
+                    .worker(self.worker),
+            );
+        }
+    }
+
+    #[inline]
+    fn verdict(&self, verdict: CacheVerdict, epoch: u64) {
+        self.emit(FlightKind::CacheVerdict(verdict), epoch);
+    }
+}
+
+/// Maps a request outcome onto the flight recorder's disposition
+/// taxonomy (mirrors the `Disposition` computed during merge).
+fn disposition_mark(result: &Result<ServicePath, RouteError>, degraded: bool) -> DispositionMark {
+    match result {
+        Ok(_) if degraded => DispositionMark::Degraded,
+        Ok(_) => DispositionMark::Optimal,
+        Err(RouteError::NoIngress) => DispositionMark::RejectNoIngress,
+        Err(RouteError::Overloaded) => DispositionMark::RejectOverloaded,
+        Err(_) => DispositionMark::RejectUnroutable,
+    }
 }
 
 /// The per-batch context shared by every worker when health or
@@ -258,6 +408,14 @@ pub struct Engine<D, P> {
     /// path was cached invalidates that path immediately, no snapshot
     /// install required.
     live: RwLock<Vec<Option<Health>>>,
+    /// Monotone request-id source. Each `serve` call reserves a
+    /// contiguous block so flight events from concurrent workers can be
+    /// correlated back to individual requests.
+    request_ids: AtomicU64,
+    /// Optional SLO tracker ([`Engine::attach_slo`]), advanced one tick
+    /// per request so sliding windows move on served traffic, never on
+    /// wall clock.
+    slo: Mutex<Option<Arc<SloTracker>>>,
 }
 
 impl<D, P> Engine<D, P>
@@ -281,7 +439,35 @@ where
             stale_budget: AtomicU64::new(config.stale_serve_budget),
             revalidations: AtomicU64::new(0),
             live: RwLock::new(Vec::new()),
+            request_ids: AtomicU64::new(0),
+            slo: Mutex::new(None),
         }
+    }
+
+    /// Attaches a sliding-window SLO tracker: every subsequent request
+    /// advances it one tick (served with its latency, or rejected), so
+    /// windows seal on request-count boundaries. Window seals that
+    /// breach an objective fire the flight recorder's anomaly trigger.
+    pub fn attach_slo(&self, tracker: Arc<SloTracker>) {
+        *self.slo.lock().expect("slo lock poisoned") = Some(tracker);
+    }
+
+    /// The attached SLO tracker, if any.
+    pub fn slo(&self) -> Option<Arc<SloTracker>> {
+        self.slo.lock().expect("slo lock poisoned").clone()
+    }
+
+    /// Request ids handed out so far — the flight recorder's tick scale.
+    fn tick_now(&self) -> u64 {
+        self.request_ids.load(Ordering::Relaxed)
+    }
+
+    /// Sampling mask for per-request flight events: the configured
+    /// stride rounded up to a power of two, minus one, so the
+    /// per-request sampling test is `rid & mask == 0` — one AND
+    /// instead of a hardware division on the serve hot path.
+    fn flight_sample_mask(&self) -> u64 {
+        self.config.flight_sample.max(1).next_power_of_two() - 1
     }
 
     /// Overrides one proxy's health *live* — between snapshot installs.
@@ -299,6 +485,21 @@ where
         // cached unroutable verdict: no key stays poisoned once the
         // proxy that blocked it comes back.
         self.health_gen.fetch_add(1, Ordering::SeqCst);
+        let rec = flight();
+        if rec.is_enabled() {
+            let ordinal = match health {
+                Health::Up => 0.0,
+                Health::Draining => 1.0,
+                Health::Down => 2.0,
+            };
+            rec.record(
+                FlightEvent::new(FlightKind::HealthTransition)
+                    .tick(self.tick_now())
+                    .epoch(self.epoch())
+                    .proxy(proxy.index() as u32)
+                    .value(ordinal),
+            );
+        }
     }
 
     /// The live health override for `proxy`, if one is set.
@@ -397,6 +598,14 @@ where
         // routes may bridge this install, bounded by the budget.
         self.stale_budget
             .store(self.config.stale_serve_budget, Ordering::SeqCst);
+        let rec = flight();
+        if rec.is_enabled() {
+            rec.record(
+                FlightEvent::new(FlightKind::SnapshotInstall)
+                    .tick(self.tick_now())
+                    .epoch(epoch),
+            );
+        }
         epoch
     }
 
@@ -458,24 +667,86 @@ where
             vec![None; workers]
         };
 
+        // Reserve a contiguous request-id block for the batch: request
+        // `i` of this batch is `rid_base + i` everywhere — flight
+        // events, SLO ticks, worker shards — so timelines from
+        // concurrent workers reassemble by id.
+        let rid_base = self
+            .request_ids
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        // SLO tracking is telemetry: while the global switch is off an
+        // attached tracker lies dormant (no ticks, no seals), so a
+        // telemetry-off serve is byte-for-byte the uninstrumented path.
+        let slo_guard = self.slo.lock().expect("slo lock poisoned").clone();
+        let slo: Option<&SloTracker> = slo_guard.as_deref().filter(|_| telemetry_on);
+        let flight_on = flight().is_enabled();
+        // Pre-rejections are decided before any worker runs, so their
+        // SLO ticks and dispositions are recorded up front — a batch
+        // that sheds everything still advances the windows.
+        let sample_mask = self.flight_sample_mask();
+        for &i in &pre_rejected {
+            if let Some(slo) = slo {
+                slo.record(false, 0.0);
+            }
+            let rid = rid_base + i as u64;
+            if flight_on && rid & sample_mask == 0 {
+                flight().record(
+                    FlightEvent::new(FlightKind::Disposition(DispositionMark::RejectNoIngress))
+                        .tick(rid)
+                        .request(rid)
+                        .epoch(epoch),
+                );
+            }
+        }
+
         let stats_before = self.cache_stats();
         let started = Instant::now();
         let ctx = constraints.as_ref();
-        let produced: Vec<Vec<WorkerItem>> = thread::scope(|scope| {
-            let handles: Vec<_> = assigned
-                .iter()
-                .zip(&worker_hists)
-                .map(|(indices, hist)| {
-                    scope.spawn(move || {
-                        self.run_worker(snap, epoch, requests, indices, hist.as_ref(), ctx)
+        // A single worker runs inline: spawning a thread just to join
+        // it costs tens of microseconds of syscall latency per batch
+        // and adds scheduler jitter to every latency measurement.
+        let produced: Vec<(Vec<WorkerItem>, WorkerStats)> = if workers == 1 {
+            vec![self.run_worker(
+                snap,
+                epoch,
+                requests,
+                &assigned[0],
+                worker_hists[0].as_ref(),
+                ctx,
+                0,
+                started,
+                rid_base,
+                slo,
+            )]
+        } else {
+            thread::scope(|scope| {
+                let handles: Vec<_> = assigned
+                    .iter()
+                    .zip(&worker_hists)
+                    .enumerate()
+                    .map(|(w, (indices, hist))| {
+                        scope.spawn(move || {
+                            self.run_worker(
+                                snap,
+                                epoch,
+                                requests,
+                                indices,
+                                hist.as_ref(),
+                                ctx,
+                                w,
+                                started,
+                                rid_base,
+                                slo,
+                            )
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("engine worker panicked"))
-                .collect()
-        });
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("engine worker panicked"))
+                    .collect()
+            })
+        };
         let elapsed = started.elapsed().as_secs_f64();
 
         // Merge back into request order; tally errors, latencies,
@@ -493,7 +764,17 @@ where
             admission.rejected += 1;
             admission.rejected_no_ingress += 1;
         }
-        for item in produced.into_iter().flatten() {
+        let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
+        let mut items: Vec<WorkerItem> = Vec::with_capacity(requests.len());
+        for (list, mut stats) in produced {
+            // Idle is the wall the batch spent waiting on *other*
+            // workers after this one finished — the shard-imbalance
+            // cost the attribution bench quantifies.
+            stats.idle_us = (elapsed * 1e6 - stats.busy_us).max(0.0);
+            worker_stats.push(stats);
+            items.extend(list);
+        }
+        for item in items {
             batch_latency.record(item.latency_us);
             admission.retries += u64::from(item.retries);
             admission.health_drops += item.health_drops;
@@ -558,6 +839,7 @@ where
             border_load,
             admission,
             admitted_load,
+            worker_stats,
         };
         if telemetry_on {
             let registry = son_telemetry::global();
@@ -625,6 +907,52 @@ where
                         .set(load as f64);
                 }
             }
+            // Per-worker time attribution: where each worker's
+            // microseconds went, and how deep its shard queue was.
+            for stats in &report.worker_stats {
+                let worker = stats.worker.to_string();
+                let labels: &[(&str, &str)] = &[("worker", &worker)];
+                for (name, us) in [
+                    ("engine.worker.busy_us", stats.busy_us),
+                    ("engine.worker.idle_us", stats.idle_us),
+                    ("engine.worker.queue_us", stats.queue_us),
+                    ("engine.worker.route_us", stats.route_us),
+                    ("engine.worker.admit_us", stats.admit_us),
+                    ("engine.worker.cache_us", stats.cache_us),
+                    ("engine.worker.dispatch_us", stats.dispatch_us),
+                ] {
+                    registry.counter_with(name, labels).add(us as u64);
+                }
+                registry
+                    .gauge_with("engine.worker.queue_depth", labels)
+                    .set(stats.requests as f64);
+            }
+        }
+        if flight_on {
+            // One stage-timing event per worker per stage per batch:
+            // the timeline shows where the batch's time went without
+            // per-request event volume.
+            let rec = flight();
+            let tick = self.tick_now();
+            for stats in &report.worker_stats {
+                for (stage, us) in [
+                    (Stage::Busy, stats.busy_us),
+                    (Stage::Idle, stats.idle_us),
+                    (Stage::Queue, stats.queue_us),
+                    (Stage::Route, stats.route_us),
+                    (Stage::Admit, stats.admit_us),
+                    (Stage::Cache, stats.cache_us),
+                    (Stage::Dispatch, stats.dispatch_us),
+                ] {
+                    rec.record(
+                        FlightEvent::new(FlightKind::StageTime(stage))
+                            .tick(tick)
+                            .epoch(epoch)
+                            .worker(stats.worker)
+                            .value(us),
+                    );
+                }
+            }
         }
         ServeOutcome {
             paths: paths
@@ -640,6 +968,12 @@ where
     /// assigned request cache-first. Stale-served keys collected along
     /// the way are revalidated with fresh solves *after* the serving
     /// loop, so revalidation never sits on a request's latency path.
+    ///
+    /// Alongside the answers, the worker measures where its time went
+    /// ([`WorkerStats`]): queue wait, route computation, admission
+    /// checks, cache work, and dispatch holds. Route/admit/cache
+    /// sections are clocked only while telemetry is enabled.
+    #[allow(clippy::too_many_arguments)]
     fn run_worker(
         &self,
         snap: &EngineSnapshot<D>,
@@ -648,7 +982,16 @@ where
         indices: &[usize],
         latency_hist: Option<&Histogram>,
         ctx: Option<&BatchConstraints>,
-    ) -> Vec<WorkerItem> {
+        worker: usize,
+        batch_started: Instant,
+        rid_base: u64,
+        slo: Option<&SloTracker>,
+    ) -> (Vec<WorkerItem>, WorkerStats) {
+        let worker_started = Instant::now();
+        let flight_on = flight().is_enabled();
+        let mut acc = StageAcc::new(son_telemetry::enabled());
+        let mut queue_us = 0.0f64;
+        let mut dispatch_us = 0.0f64;
         let router = self.provider.router(snap);
         // The CSP tier needs a router that can expose its cluster-level
         // sink frontier; providers that can't (flat, or multi-level with
@@ -664,9 +1007,15 @@ where
         // cost model it finds whatever healthy path remains.
         let fallback = ctx.map(|_| ProviderIndex::from_service_sets(snap.services()));
         // Latencies accumulate in a plain local histogram and fold into
-        // the shared per-worker one once per batch, so the per-request
-        // cost of instrumentation is three plain writes, not atomics.
-        let mut local_latency = latency_hist.map(|_| LocalHistogram::new());
+        // the shared sinks (per-worker metric series, SLO tracker) at
+        // window seals and batch end, so the per-request cost of
+        // instrumentation is three plain writes, not atomics.
+        let mut local_latency = if latency_hist.is_some() || slo.is_some() {
+            Some(LocalHistogram::new())
+        } else {
+            None
+        };
+        let sample_mask = self.flight_sample_mask();
         // Dedup is a hash probe, not a scan: the stale-serve fast path
         // must stay O(1) however long the revalidation queue grows.
         let mut queued: std::collections::HashSet<RouteKey> = std::collections::HashSet::new();
@@ -674,23 +1023,42 @@ where
         let mut out = Vec::with_capacity(indices.len());
         for &i in indices {
             let request = &requests[i];
+            let rid = rid_base + i as u64;
+            let rc = ReqCtx {
+                rid,
+                worker,
+                flight_on: flight_on && rid & sample_mask == 0,
+            };
+            acc.arm();
             let begun = Instant::now();
+            queue_us += begun.duration_since(batch_started).as_secs_f64() * 1e6;
             let key = RouteKey::encode(snap.ingress(request), request);
             let (result, retries, degraded, health_drops, backoff_us) = match ctx {
                 None => {
-                    let result = match self.cache.lookup_swr(&key, epoch, &self.stale_budget) {
-                        SwrLookup::Hit(path) => Ok(path),
+                    let lookup = acc.measure(StageSlot::Cache, || {
+                        self.cache.lookup_swr(&key, epoch, &self.stale_budget)
+                    });
+                    let result = match lookup {
+                        SwrLookup::Hit(path) => {
+                            rc.verdict(CacheVerdict::Hit, epoch);
+                            Ok(path)
+                        }
                         SwrLookup::Stale(path) => {
                             // A previous-epoch route may be served only
                             // if every hop still exists, still offers
                             // its service, and is routable in the
                             // *current* snapshot.
-                            if self.stale_path_usable(snap, &path, None) {
+                            let usable = acc.measure(StageSlot::Admit, || {
+                                self.stale_path_usable(snap, &path, None)
+                            });
+                            if usable {
+                                rc.verdict(CacheVerdict::StaleServe, epoch);
                                 if queued.insert(key.clone()) {
                                     revalidate.push((key.clone(), i));
                                 }
                                 Ok(path)
                             } else {
+                                rc.verdict(CacheVerdict::StaleDrop, epoch);
                                 self.cache.remove(&key);
                                 self.route_uncached(
                                     snap,
@@ -699,11 +1067,36 @@ where
                                     &key,
                                     router.as_ref(),
                                     csp,
+                                    rc,
+                                    &mut acc,
                                 )
                             }
                         }
-                        SwrLookup::Miss | SwrLookup::StaleDrop => {
-                            self.route_uncached(snap, epoch, request, &key, router.as_ref(), csp)
+                        SwrLookup::Miss => {
+                            rc.verdict(CacheVerdict::Miss, epoch);
+                            self.route_uncached(
+                                snap,
+                                epoch,
+                                request,
+                                &key,
+                                router.as_ref(),
+                                csp,
+                                rc,
+                                &mut acc,
+                            )
+                        }
+                        SwrLookup::StaleDrop => {
+                            rc.verdict(CacheVerdict::StaleDrop, epoch);
+                            self.route_uncached(
+                                snap,
+                                epoch,
+                                request,
+                                &key,
+                                router.as_ref(),
+                                csp,
+                                rc,
+                                &mut acc,
+                            )
                         }
                     };
                     (result, 0, false, 0, 0.0)
@@ -719,11 +1112,14 @@ where
                     ctx,
                     (&mut queued, &mut revalidate),
                     i,
+                    rc,
+                    &mut acc,
                 ),
             };
             if self.config.dispatch_us_per_delay > 0.0 {
                 if let Ok(path) = &result {
                     let hold = path.length(snap.delays()) * self.config.dispatch_us_per_delay;
+                    dispatch_us += hold;
                     thread::sleep(Duration::from_micros(hold as u64));
                 }
             }
@@ -734,6 +1130,33 @@ where
             if let Some(local) = local_latency.as_mut() {
                 local.record(latency_us);
             }
+            rc.emit(
+                FlightKind::Disposition(disposition_mark(&result, degraded)),
+                epoch,
+            );
+            if let Some(slo) = slo {
+                // One relaxed fetch-add per request; latencies ride the
+                // local histogram and fold in at window boundaries.
+                let sealing = if result.is_ok() {
+                    slo.tick_served()
+                } else {
+                    slo.tick_rejected()
+                };
+                if let Some(tick) = sealing {
+                    // A window seal is an export boundary (the SLO layer
+                    // or its anomaly handler may snapshot the registry):
+                    // flush this worker's batched latencies first so the
+                    // sealing window sees them and no export interleaves
+                    // with a partial flush.
+                    if let Some(local) = local_latency.as_mut() {
+                        match latency_hist {
+                            Some(hist) => local.flush_into_each(&[hist, slo.latency_sink()]),
+                            None => local.flush_into(slo.latency_sink()),
+                        }
+                    }
+                    slo.seal_at(tick);
+                }
+            }
             out.push(WorkerItem {
                 index: i,
                 result,
@@ -743,8 +1166,11 @@ where
                 health_drops,
             });
         }
-        if let (Some(local), Some(hist)) = (local_latency.as_mut(), latency_hist) {
-            local.flush_into(hist);
+        if let Some(local) = local_latency.as_mut() {
+            let mut sinks: Vec<&Histogram> = Vec::with_capacity(2);
+            sinks.extend(latency_hist);
+            sinks.extend(slo.map(|s| s.latency_sink()));
+            local.flush_into_each(&sinks);
         }
         // Revalidate every stale-served key with a fresh current-epoch
         // solve. This runs after the last request is answered, so the
@@ -752,7 +1178,7 @@ where
         // converges to current-epoch truth within the batch.
         for (key, i) in revalidate {
             let request = &requests[i];
-            match self.solve_fresh(snap, epoch, request, router.as_ref(), csp) {
+            match self.solve_fresh(snap, epoch, request, router.as_ref(), csp, ReqCtx::silent()) {
                 Ok(path) => {
                     let ok_for_ctx = ctx.is_none_or(|c| c.first_down_hop(&path).is_none());
                     if ok_for_ctx {
@@ -773,7 +1199,22 @@ where
             }
             self.revalidations.fetch_add(1, Ordering::Relaxed);
         }
-        out
+        // Sampled stage times scale back up to shard estimates; busy,
+        // queue, and dispatch are exact (their clocks and holds exist
+        // regardless of instrumentation).
+        let scale = acc.scale();
+        let stats = WorkerStats {
+            worker,
+            requests: indices.len() as u64,
+            busy_us: worker_started.elapsed().as_secs_f64() * 1e6,
+            idle_us: 0.0, // filled by serve() once the batch wall is known
+            queue_us,
+            route_us: acc.route_us * scale,
+            admit_us: acc.admit_us * scale,
+            cache_us: acc.cache_us * scale,
+            dispatch_us,
+        };
+        (out, stats)
     }
 
     /// Whether a previous-epoch cached path is still servable over the
@@ -831,6 +1272,7 @@ where
         request: &ServiceRequest,
         router: &dyn Router,
         csp: Option<&dyn CspRouter>,
+        rc: ReqCtx,
     ) -> Result<ServicePath, RouteError> {
         let Some(csp_router) = csp else {
             return router.route_path(request);
@@ -839,7 +1281,10 @@ where
             return router.route_path(request);
         };
         match self.csp.lookup(&ckey, epoch) {
-            Some(frontier) => csp_router.route_from_frontier(request, &frontier),
+            Some(frontier) => {
+                rc.verdict(CacheVerdict::CspHit, epoch);
+                csp_router.route_from_frontier(request, &frontier)
+            }
             None => match csp_router.solve_frontier(request) {
                 Ok(frontier) => {
                     let frontier = Arc::new(frontier);
@@ -853,6 +1298,7 @@ where
 
     /// Uncached unconstrained solve: negative fast-reject, then the
     /// CSP-aware fresh solve, then cache fill (positive or negative).
+    #[allow(clippy::too_many_arguments)]
     fn route_uncached(
         &self,
         snap: &EngineSnapshot<D>,
@@ -861,13 +1307,21 @@ where
         key: &RouteKey,
         router: &dyn Router,
         csp: Option<&dyn CspRouter>,
+        rc: ReqCtx,
+        acc: &mut StageAcc,
     ) -> Result<ServicePath, RouteError> {
         let health_gen = self.health_gen.load(Ordering::SeqCst);
-        if let Some(err) = self.negative.lookup(key, epoch, health_gen) {
+        let negative = acc.measure(StageSlot::Cache, || {
+            self.negative.lookup(key, epoch, health_gen)
+        });
+        if let Some(err) = negative {
+            rc.verdict(CacheVerdict::NegativeHit, epoch);
             return Err(err);
         }
-        let result = self.solve_fresh(snap, epoch, request, router, csp);
-        match &result {
+        let result = acc.measure(StageSlot::Route, || {
+            self.solve_fresh(snap, epoch, request, router, csp, rc)
+        });
+        acc.measure(StageSlot::Cache, || match &result {
             Ok(path) => self.cache.insert(key.clone(), epoch, path.clone()),
             Err(err) => {
                 if matches!(err, RouteError::NoProvider(_) | RouteError::Infeasible) {
@@ -875,7 +1329,7 @@ where
                         .insert(key.clone(), epoch, health_gen, err.clone());
                 }
             }
-        }
+        });
         result
     }
 
@@ -913,6 +1367,8 @@ where
             &mut Vec<(RouteKey, usize)>,
         ),
         index: usize,
+        rc: ReqCtx,
+        acc: &mut StageAcc,
     ) -> (Result<ServicePath, RouteError>, u32, bool, u64, f64) {
         let mut health_drops = 0u64;
         let mut retries = 0u32;
@@ -924,54 +1380,87 @@ where
         // this epoch and health generation is final — recomputing (and
         // re-retrying) it would reach the same answer.
         let health_gen = self.health_gen.load(Ordering::SeqCst);
-        if let Some(err) = self.negative.lookup(key, epoch, health_gen) {
+        let negative = acc.measure(StageSlot::Cache, || {
+            self.negative.lookup(key, epoch, health_gen)
+        });
+        if let Some(err) = negative {
+            rc.verdict(CacheVerdict::NegativeHit, epoch);
             return (Err(err), 0, false, 0, 0.0);
         }
 
-        let mut candidate: Result<(ServicePath, bool), RouteError> =
-            match self.cache.lookup_swr(key, epoch, &self.stale_budget) {
-                SwrLookup::Hit(path) => {
-                    if ctx.first_down_hop(&path).is_some() {
-                        self.cache.remove(key);
-                        health_drops += 1;
-                        self.solve_fresh(snap, epoch, request, router, csp)
-                            .map(|p| (p, false))
-                    } else {
-                        Ok((path, true))
-                    }
+        let lookup = acc.measure(StageSlot::Cache, || {
+            self.cache.lookup_swr(key, epoch, &self.stale_budget)
+        });
+        let mut candidate: Result<(ServicePath, bool), RouteError> = match lookup {
+            SwrLookup::Hit(path) => {
+                let down = acc.measure(StageSlot::Admit, || ctx.first_down_hop(&path));
+                if down.is_some() {
+                    rc.verdict(CacheVerdict::HealthDrop, epoch);
+                    self.cache.remove(key);
+                    health_drops += 1;
+                    acc.measure(StageSlot::Route, || {
+                        self.solve_fresh(snap, epoch, request, router, csp, rc)
+                    })
+                    .map(|p| (p, false))
+                } else {
+                    rc.verdict(CacheVerdict::Hit, epoch);
+                    Ok((path, true))
                 }
-                SwrLookup::Stale(path) => {
-                    if self.stale_path_usable(snap, &path, Some(ctx)) {
-                        if revalidate.0.insert(key.clone()) {
-                            revalidate.1.push((key.clone(), index));
-                        }
-                        Ok((path, true))
-                    } else {
-                        self.cache.remove(key);
-                        self.solve_fresh(snap, epoch, request, router, csp)
-                            .map(|p| (p, false))
+            }
+            SwrLookup::Stale(path) => {
+                let usable = acc.measure(StageSlot::Admit, || {
+                    self.stale_path_usable(snap, &path, Some(ctx))
+                });
+                if usable {
+                    rc.verdict(CacheVerdict::StaleServe, epoch);
+                    if revalidate.0.insert(key.clone()) {
+                        revalidate.1.push((key.clone(), index));
                     }
+                    Ok((path, true))
+                } else {
+                    rc.verdict(CacheVerdict::StaleDrop, epoch);
+                    self.cache.remove(key);
+                    acc.measure(StageSlot::Route, || {
+                        self.solve_fresh(snap, epoch, request, router, csp, rc)
+                    })
+                    .map(|p| (p, false))
                 }
-                SwrLookup::Miss | SwrLookup::StaleDrop => self
-                    .solve_fresh(snap, epoch, request, router, csp)
-                    .map(|p| (p, false)),
-            };
+            }
+            miss @ (SwrLookup::Miss | SwrLookup::StaleDrop) => {
+                rc.verdict(
+                    if matches!(miss, SwrLookup::Miss) {
+                        CacheVerdict::Miss
+                    } else {
+                        CacheVerdict::StaleDrop
+                    },
+                    epoch,
+                );
+                acc.measure(StageSlot::Route, || {
+                    self.solve_fresh(snap, epoch, request, router, csp, rc)
+                })
+                .map(|p| (p, false))
+            }
+        };
 
         let mut attempt = 0u32;
         loop {
             let mut route_error = None;
             match candidate {
                 Ok((path, from_cache)) => {
-                    if let Some(p) = ctx.first_down_hop(&path) {
+                    let down = acc.measure(StageSlot::Admit, || ctx.first_down_hop(&path));
+                    if let Some(p) = down {
                         if !avoid.contains(&p) {
                             avoid.push(p);
                         }
                         overloaded = false;
                     } else {
-                        match ctx.try_admit(&path) {
+                        let admitted = acc.measure(StageSlot::Admit, || ctx.try_admit(&path));
+                        match admitted {
                             Ok(()) => {
                                 if !from_cache && attempt == 0 {
-                                    self.cache.insert(key.clone(), epoch, path.clone());
+                                    acc.measure(StageSlot::Cache, || {
+                                        self.cache.insert(key.clone(), epoch, path.clone())
+                                    });
                                 }
                                 let degraded = attempt > 0 || ctx.touches_draining(&path);
                                 return (Ok(path), retries, degraded, health_drops, backoff_us);
@@ -1008,16 +1497,32 @@ where
             attempt += 1;
             retries += 1;
             backoff_us += ctx.admission.backoff_base_us * 2f64.powi(attempt as i32 - 1);
-            // Re-route with dead and saturated proxies priced out.
-            let mut statuses = ctx.model.statuses().clone();
-            for &p in &avoid {
-                statuses.set_health(p, Health::Down);
+            if rc.flight_on {
+                // The retry event names the proxy being routed around —
+                // the most recent addition to the avoid set, if any.
+                let mut ev = FlightEvent::new(FlightKind::FailoverRetry)
+                    .tick(rc.rid)
+                    .request(rc.rid)
+                    .epoch(epoch)
+                    .worker(rc.worker)
+                    .value(backoff_us);
+                if let Some(p) = avoid.last() {
+                    ev = ev.proxy(p.index() as u32);
+                }
+                flight().record(ev);
             }
-            let model = CostModel::new(*ctx.model.config(), statuses);
-            let delays = LoadAwareDelays::new(snap.delays(), &model);
-            candidate = FlatRouter::new(fallback, delays)
-                .route(request)
-                .map(|p| (p, false));
+            // Re-route with dead and saturated proxies priced out.
+            candidate = acc.measure(StageSlot::Route, || {
+                let mut statuses = ctx.model.statuses().clone();
+                for &p in &avoid {
+                    statuses.set_health(p, Health::Down);
+                }
+                let model = CostModel::new(*ctx.model.config(), statuses);
+                let delays = LoadAwareDelays::new(snap.delays(), &model);
+                FlatRouter::new(fallback, delays)
+                    .route(request)
+                    .map(|p| (p, false))
+            });
         }
     }
 
@@ -1481,5 +1986,163 @@ mod tests {
         // Every request holds ≥ 0; cross-proxy paths hold ≥ 2ms each.
         assert!(outcome.report.elapsed_secs > 0.002);
         assert_eq!(outcome.report.errors, 0);
+    }
+
+    /// A leaked private recorder so SLO/anomaly tests never touch the
+    /// process-global ring other tests may be using.
+    fn private_flight(capacity: usize) -> &'static son_telemetry::FlightRecorder {
+        let recorder = Box::leak(Box::new(son_telemetry::FlightRecorder::new(capacity)));
+        recorder.set_enabled(true);
+        recorder
+    }
+
+    #[test]
+    fn worker_stats_attribute_the_batch() {
+        let eng = engine(2);
+        let batch = requests(12, 30);
+        let outcome = eng.serve(&batch);
+        let stats = &outcome.report.worker_stats;
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats.iter().map(|w| w.requests).sum::<u64>(), 30);
+        for w in stats {
+            assert!(w.busy_us > 0.0, "{w:?}");
+            assert!(w.idle_us >= 0.0, "{w:?}");
+            assert!(w.queue_us >= 0.0, "{w:?}");
+        }
+        // Telemetry is on by default, so the cold batch's CSP solves
+        // show up as route time and its lookups as cache time.
+        let breakdown = outcome.report.stage_breakdown();
+        assert!(breakdown.busy_us > 0.0, "{breakdown:?}");
+        assert!(breakdown.route_us > 0.0, "{breakdown:?}");
+        assert!(breakdown.cache_us > 0.0, "{breakdown:?}");
+        assert!(breakdown.imbalance >= 1.0, "{breakdown:?}");
+    }
+
+    #[test]
+    fn attach_slo_windows_advance_on_served_ticks() {
+        let recorder = private_flight(256);
+        let slo = Arc::new(SloTracker::with_flight(
+            son_telemetry::SloConfig {
+                window_ticks: 8,
+                ..son_telemetry::SloConfig::default()
+            },
+            recorder,
+        ));
+        let eng = engine(1);
+        eng.attach_slo(Arc::clone(&slo));
+        let outcome = eng.serve(&requests(12, 24));
+        assert_eq!(outcome.report.errors, 0);
+        // One tick per request: 24 requests seal exactly 3 windows, and
+        // every sealed frame holds exactly its 8 requests' deltas.
+        assert_eq!(slo.ticks(), 24);
+        assert_eq!(slo.sealed(), 3);
+        assert_eq!(slo.served_total(), 24);
+        assert_eq!(slo.rejected_total(), 0);
+        for frame in slo.frames() {
+            assert_eq!(frame.served, 8, "{frame:?}");
+            assert_eq!(frame.rejected, 0, "{frame:?}");
+            assert_eq!(frame.latency.count, 8, "{frame:?}");
+            assert_eq!(frame.availability, 1.0, "{frame:?}");
+            assert!(frame.availability_ok, "{frame:?}");
+        }
+        assert_eq!(slo.breaches(), 0);
+        assert!(recorder.anomaly().is_none());
+    }
+
+    #[test]
+    fn rejection_spike_fires_the_anomaly_through_serve() {
+        let recorder = private_flight(256);
+        let slo = Arc::new(SloTracker::with_flight(
+            son_telemetry::SloConfig {
+                window_ticks: 4,
+                rejection_trigger: 0.5,
+                ..son_telemetry::SloConfig::default()
+            },
+            recorder,
+        ));
+        let eng = engine(2);
+        eng.attach_slo(Arc::clone(&slo));
+        // Every proxy Down: all 8 requests shed as NoIngress before the
+        // workers even spawn, so the ticks are sequential and the first
+        // window's rejection rate is exactly 1.0 ≥ the 0.5 trigger.
+        for i in 0..12 {
+            eng.set_health(ProxyId::new(i), Health::Down);
+        }
+        let outcome = eng.serve(&requests(12, 8));
+        assert_eq!(outcome.report.admission.rejected_no_ingress, 8);
+        assert_eq!(slo.rejected_total(), 8);
+        assert_eq!(slo.sealed(), 2);
+        let snap = recorder.anomaly().expect("rejection spike must trigger");
+        assert!(matches!(
+            snap.kind,
+            son_telemetry::AnomalyKind::RejectionRate
+        ));
+        assert_eq!(snap.window, 0);
+        assert_eq!(snap.tick, 4);
+        assert_eq!(snap.observed, 1.0);
+        assert_eq!(snap.threshold, 0.5);
+    }
+
+    #[test]
+    fn flight_timeline_reconstructs_per_request_events() {
+        let recorder = flight();
+        // Sampling stride 1: the timeline assertion needs every
+        // request's events, not the production 1-in-8 sample.
+        let eng = Engine::new(
+            line_snapshot(12, 3),
+            HierProvider::default(),
+            EngineConfig {
+                workers: 1,
+                flight_sample: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let watermark = recorder.recorded();
+        recorder.set_enabled(true);
+        // Mark this engine's events with a unique epoch (5) so batches
+        // served concurrently by other tests — all at epoch 0 or 1 —
+        // can never be mistaken for ours.
+        for _ in 0..5 {
+            eng.install_snapshot(line_snapshot(12, 3));
+        }
+        assert_eq!(eng.epoch(), 5);
+        let outcome = eng.serve(&requests(12, 6));
+        recorder.set_enabled(false);
+        assert_eq!(outcome.report.errors, 0);
+        let events: Vec<FlightEvent> = recorder
+            .since(watermark)
+            .into_iter()
+            .filter(|e| e.epoch == 5)
+            .collect();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, FlightKind::SnapshotInstall)),
+            "the epoch-5 install must be on the timeline"
+        );
+        // Every request's timeline: a cold-cache Miss verdict followed
+        // (in seq order) by an Optimal disposition, tied by request id.
+        for rid in 0..6u64 {
+            let timeline: Vec<&FlightEvent> = events.iter().filter(|e| e.request == rid).collect();
+            let verdict = timeline
+                .iter()
+                .position(|e| matches!(e.kind, FlightKind::CacheVerdict(CacheVerdict::Miss)))
+                .unwrap_or_else(|| panic!("request {rid} has no miss verdict: {timeline:?}"));
+            let disposition = timeline
+                .iter()
+                .position(|e| matches!(e.kind, FlightKind::Disposition(DispositionMark::Optimal)))
+                .unwrap_or_else(|| panic!("request {rid} has no disposition: {timeline:?}"));
+            assert!(verdict < disposition, "verdict must precede disposition");
+            assert!(timeline.iter().all(|e| e.worker == 0));
+        }
+        // Per-worker stage timings rode along for the batch.
+        let stages: Vec<&FlightEvent> = events
+            .iter()
+            .filter(|e| matches!(e.kind, FlightKind::StageTime(_)))
+            .collect();
+        assert_eq!(stages.len(), 7, "{stages:?}");
+        assert!(stages
+            .iter()
+            .any(|e| matches!(e.kind, FlightKind::StageTime(Stage::Busy)) && e.value > 0.0));
     }
 }

@@ -93,14 +93,79 @@ impl LatencySummary {
     /// ([`son_telemetry::RELATIVE_ERROR_BOUND`]); mean and max are
     /// exact.
     pub fn from_histogram(hist: &son_telemetry::Histogram) -> Self {
+        // One coherent capture: count, quantiles, and max all derive
+        // from the same bucket view, so a summary read while another
+        // thread flushes a batch can never report p50 > p99.
+        LatencySummary::from_snapshot(&hist.snapshot())
+    }
+
+    /// Summarizes an already-captured histogram snapshot — used for
+    /// windowed (delta) summaries, where no live histogram exists.
+    pub fn from_snapshot(snap: &son_telemetry::HistogramSnapshot) -> Self {
         LatencySummary {
-            p50_us: hist.quantile(0.50),
-            p90_us: hist.quantile(0.90),
-            p99_us: hist.quantile(0.99),
-            mean_us: hist.mean(),
-            max_us: hist.max(),
+            p50_us: snap.p50,
+            p90_us: snap.p90,
+            p99_us: snap.p99,
+            mean_us: if snap.count == 0 {
+                0.0
+            } else {
+                snap.sum / snap.count as f64
+            },
+            max_us: snap.max,
         }
     }
+}
+
+/// Where one worker's wall-clock went while serving its batch share.
+/// All figures are microseconds summed over the worker's requests.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Worker index within the batch.
+    pub worker: usize,
+    /// Requests this worker served (its shard of the batch).
+    pub requests: u64,
+    /// Total time the worker spent in its serving loop, including the
+    /// post-loop revalidation pass.
+    pub busy_us: f64,
+    /// Wall time between this worker finishing and the whole batch
+    /// finishing — the cost of shard imbalance.
+    pub idle_us: f64,
+    /// Sum over requests of the wait between batch start and service
+    /// start (queueing delay behind earlier requests on this worker).
+    pub queue_us: f64,
+    /// Route computation: CSP solves, frontier replays, fallback
+    /// re-routes. Zero when telemetry is disabled.
+    pub route_us: f64,
+    /// Admission and health validation. Zero when telemetry is
+    /// disabled.
+    pub admit_us: f64,
+    /// Cache lookups and negative-cache probes. Zero when telemetry is
+    /// disabled.
+    pub cache_us: f64,
+    /// Simulated dispatch holds (the overlappable part of serving).
+    pub dispatch_us: f64,
+}
+
+/// Batch-wide totals of the per-worker stage attribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// Σ busy over workers.
+    pub busy_us: f64,
+    /// Σ idle over workers.
+    pub idle_us: f64,
+    /// Σ queue wait over requests.
+    pub queue_us: f64,
+    /// Σ route computation.
+    pub route_us: f64,
+    /// Σ admission/health validation.
+    pub admit_us: f64,
+    /// Σ cache work.
+    pub cache_us: f64,
+    /// Σ dispatch holds.
+    pub dispatch_us: f64,
+    /// Busiest worker's busy time over the mean worker busy time
+    /// (1.0 = perfectly balanced shards).
+    pub imbalance: f64,
 }
 
 /// Everything the engine measured while serving one batch.
@@ -133,9 +198,40 @@ pub struct ServeReport {
     /// Admitted requests per proxy (empty unless admission control ran;
     /// each entry is ≤ the proxy's capacity by construction).
     pub admitted_load: Vec<u64>,
+    /// Per-worker time attribution, one entry per worker. `route_us` /
+    /// `admit_us` / `cache_us` are populated only while telemetry is
+    /// enabled; the wall-clock fields are always measured.
+    pub worker_stats: Vec<WorkerStats>,
 }
 
 impl ServeReport {
+    /// Sums the per-worker stage attribution across the batch.
+    pub fn stage_breakdown(&self) -> StageBreakdown {
+        let mut total = StageBreakdown::default();
+        let mut max_busy = 0.0f64;
+        for w in &self.worker_stats {
+            total.busy_us += w.busy_us;
+            total.idle_us += w.idle_us;
+            total.queue_us += w.queue_us;
+            total.route_us += w.route_us;
+            total.admit_us += w.admit_us;
+            total.cache_us += w.cache_us;
+            total.dispatch_us += w.dispatch_us;
+            max_busy = max_busy.max(w.busy_us);
+        }
+        let mean_busy = if self.worker_stats.is_empty() {
+            0.0
+        } else {
+            total.busy_us / self.worker_stats.len() as f64
+        };
+        total.imbalance = if mean_busy > 0.0 {
+            max_busy / mean_busy
+        } else {
+            1.0
+        };
+        total
+    }
+
     /// Border proxies ranked by load, busiest first (zero-load borders
     /// are omitted).
     pub fn busiest_borders(&self) -> Vec<(ProxyId, u64)> {
@@ -229,6 +325,7 @@ mod tests {
             border_load: vec![0, 5, 0, 9, 5],
             admission: AdmissionStats::default(),
             admitted_load: Vec::new(),
+            worker_stats: Vec::new(),
         };
         assert_eq!(
             report.busiest_borders(),

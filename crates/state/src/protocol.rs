@@ -616,6 +616,13 @@ impl Actor for ProxyActor {
                         // their tables, so the orphaned subtree keeps
                         // both teaching and learning.
                         self.repairs += 1;
+                        son_telemetry::flight::flight().record(
+                            son_telemetry::flight::FlightEvent::new(
+                                son_telemetry::flight::FlightKind::TreeRepair,
+                            )
+                            .tick(ctx.now().as_micros())
+                            .proxy(self.id.index() as u32),
+                        );
                         let (sctp, sctc) = self.full_payload();
                         for &peer in &self.peers {
                             ctx.send(
@@ -1635,11 +1642,27 @@ mod tree_tests {
             SimTime::from_ms(60.0),
             None,
         ));
+        // Repairs also land on the flight recorder so `son flight`
+        // timelines show dissemination-tree trouble.
+        let recorder = son_telemetry::flight::flight();
+        let watermark = recorder.recorded();
+        recorder.set_enabled(true);
         let report = protocol.run_until_converged(SimTime::from_ms(5_000.0));
+        recorder.set_enabled(false);
         assert!(report.converged, "{report:?}");
         assert_eq!(report.stale_entries, 0);
         assert_eq!(report.crashed_proxies, 1);
         assert!(report.tree_repairs > 0, "orphans must have repaired");
+        let repair_events = recorder
+            .since(watermark)
+            .into_iter()
+            .filter(|e| matches!(e.kind, son_telemetry::flight::FlightKind::TreeRepair))
+            .count() as u64;
+        assert!(
+            repair_events > 0 && repair_events <= report.tree_repairs,
+            "{repair_events} flight repairs vs {} counted",
+            report.tree_repairs
+        );
     }
 
     #[test]

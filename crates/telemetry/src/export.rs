@@ -147,6 +147,15 @@ mod tests {
         // `StateProtocol` folds them.
         reg.counter("state.tree.sent").add(7);
         reg.gauge("state.tree.depth").set(3.0);
+        // Flight-recorder and SLO-window keys, as
+        // `FlightRecorder::publish` / `SloTracker::publish` set them.
+        reg.gauge("flight.events").set(128.0);
+        reg.gauge("flight.dropped").set(0.0);
+        reg.gauge("flight.anomalies").set(1.0);
+        reg.gauge("slo.availability").set(0.9975);
+        reg.gauge("slo.windows").set(16.0);
+        reg.gauge("slo.breaches").set(1.0);
+        reg.gauge("slo.window.burn_rate").set(0.25);
         let h = reg.histogram_with("engine.serve_us", &[("worker", "0")]);
         for v in [10.0, 20.0, 30.0, 40.0] {
             h.record(v);
@@ -157,10 +166,15 @@ mod tests {
     #[test]
     fn prometheus_text_matches_golden_file() {
         let text = render_prometheus(&demo_registry());
-        let golden = include_str!("../tests/golden/metrics.prom");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::write(path, &text).expect("regenerate golden file");
+        }
+        let golden = std::fs::read_to_string(path).expect("read golden file");
         assert_eq!(
             text, golden,
-            "Prometheus exposition drifted from golden file"
+            "Prometheus exposition drifted from the golden file \
+             (UPDATE_GOLDEN=1 regenerates it)"
         );
     }
 

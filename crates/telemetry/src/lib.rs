@@ -19,17 +19,26 @@
 //! `telemetry` bench uses this to measure instrumentation overhead.
 
 pub mod export;
+pub mod flight;
 pub mod histogram;
 pub mod json;
 pub mod registry;
 pub mod span;
 pub mod trace;
+pub mod window;
 
 pub use export::{render_prometheus, sanitize_name, snapshot_json, write_json_snapshot};
-pub use histogram::{Histogram, HistogramSnapshot, LocalHistogram, RELATIVE_ERROR_BOUND};
+pub use flight::{
+    flight, AnomalyKind, AnomalySnapshot, CacheVerdict, DispositionMark, FlightEvent, FlightKind,
+    FlightRecorder, Stage, DEFAULT_FLIGHT_CAPACITY, NO_PROXY, NO_REQUEST, NO_WORKER,
+};
+pub use histogram::{
+    Histogram, HistogramCells, HistogramSnapshot, LocalHistogram, RELATIVE_ERROR_BOUND,
+};
 pub use json::Json;
 pub use registry::{
     enabled, global, set_enabled, Counter, Gauge, MetricKey, MetricValue, Registry,
 };
 pub use span::Span;
 pub use trace::{BorderHop, CacheOutcome, ChildTrace, CspStage, RouteTrace, TraceHop};
+pub use window::{SloConfig, SloTracker, WindowFrame};

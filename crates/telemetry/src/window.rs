@@ -1,0 +1,524 @@
+//! Sliding-window time series and SLO tracking.
+//!
+//! Cumulative counters answer "how much since start"; SLOs need "how
+//! much *lately*". This module keeps fixed-width windows of counter and
+//! histogram **deltas**. Windows advance on served-request ticks, never
+//! on wall clock, so window contents are exactly reproducible on the
+//! 1-core CI box: with a single worker, window `k` contains precisely
+//! requests `k·W .. (k+1)·W`.
+//!
+//! [`SloTracker`] layers objectives on top: an availability target
+//! (fraction of requests served) and a p99 latency target, evaluated
+//! per window. The error-budget burn rate is the windowed error rate
+//! divided by the allowed error rate — burn 1.0 consumes the budget
+//! exactly at the objective boundary, burn 10 exhausts it ten times
+//! faster. When a window breaches the latency objective or the
+//! rejection-rate trigger, the tracker fires the flight recorder's
+//! anomaly trigger ([`FlightRecorder::trigger_anomaly`]), freezing the
+//! event ring around the first breach.
+//!
+//! With multiple engine workers, ticks from concurrent threads may
+//! interleave between a window boundary and its seal, so exact-content
+//! assertions hold for one worker; multi-worker runs assert
+//! conservation (window sums equal totals) instead.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::flight::{flight, AnomalyKind, FlightRecorder};
+use crate::histogram::{Histogram, HistogramCells, HistogramSnapshot};
+use crate::registry::{Counter, Registry};
+
+/// Objectives and window geometry for an [`SloTracker`].
+#[derive(Debug, Clone, Copy)]
+pub struct SloConfig {
+    /// Window width in served-request ticks, rounded up to a power of
+    /// two at construction so the per-tick boundary test is a mask,
+    /// not a division. A seal snapshots the full latency histogram
+    /// under a mutex (microseconds, not nanoseconds), so the default
+    /// width is chosen to keep the amortized per-request seal cost
+    /// well inside the telemetry budget.
+    pub window_ticks: u64,
+    /// Sealed windows retained for inspection.
+    pub retain: usize,
+    /// Availability objective: minimum fraction of requests served.
+    pub availability_objective: f64,
+    /// Latency objective: windowed p99 must stay at or under this (µs).
+    pub p99_objective_us: f64,
+    /// Windowed rejection-rate fraction that fires the anomaly trigger.
+    pub rejection_trigger: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            window_ticks: 1024,
+            retain: 64,
+            availability_objective: 0.99,
+            p99_objective_us: 50_000.0,
+            rejection_trigger: 0.5,
+        }
+    }
+}
+
+/// One sealed window: deltas over exactly `window_ticks` requests.
+#[derive(Debug, Clone)]
+pub struct WindowFrame {
+    /// Zero-based window index.
+    pub index: u64,
+    /// Tick at which the window sealed (`(index+1) · window_ticks` with
+    /// a single worker).
+    pub end_tick: u64,
+    /// Requests served (optimal or degraded) in the window.
+    pub served: u64,
+    /// Requests rejected in the window.
+    pub rejected: u64,
+    /// `served / (served + rejected)`; 1.0 for an empty window.
+    pub availability: f64,
+    /// `rejected / (served + rejected)`.
+    pub rejection_rate: f64,
+    /// Windowed error rate over the allowed error rate. Burn 1.0 spends
+    /// the error budget exactly at the objective boundary.
+    pub burn_rate: f64,
+    /// Latency delta summary for the window's served requests.
+    pub latency: HistogramSnapshot,
+    /// Whether the window met the availability objective.
+    pub availability_ok: bool,
+    /// Whether the windowed p99 met the latency objective.
+    pub latency_ok: bool,
+}
+
+struct Baseline {
+    served: u64,
+    rejected: u64,
+    latency: HistogramCells,
+}
+
+struct Inner {
+    baseline: Baseline,
+    frames: VecDeque<WindowFrame>,
+    sealed: u64,
+    breaches: u64,
+}
+
+/// Tick-driven sliding-window SLO tracker.
+///
+/// The tracker owns its counters and latency histogram (they are not
+/// registry series), so tests can assert exact window contents without
+/// global-state interference; [`publish`](Self::publish) exports the
+/// derived `slo.*` series into a registry on demand.
+pub struct SloTracker {
+    config: SloConfig,
+    /// `window_ticks - 1`; valid because the width is a power of two.
+    window_mask: u64,
+    ticks: AtomicU64,
+    rejected: Counter,
+    latency: Histogram,
+    flight: &'static FlightRecorder,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for SloTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloTracker")
+            .field("config", &self.config)
+            .field("ticks", &self.ticks())
+            .field("served", &self.served_total())
+            .field("rejected", &self.rejected.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SloTracker {
+    /// Creates a tracker wired to the process-wide flight recorder.
+    pub fn new(config: SloConfig) -> SloTracker {
+        SloTracker::with_flight(config, flight())
+    }
+
+    /// Creates a tracker wired to a specific flight recorder (tests use
+    /// a leaked private recorder to avoid global-state interference).
+    pub fn with_flight(config: SloConfig, flight: &'static FlightRecorder) -> SloTracker {
+        let config = SloConfig {
+            window_ticks: config.window_ticks.max(1).next_power_of_two(),
+            retain: config.retain.max(1),
+            ..config
+        };
+        SloTracker {
+            window_mask: config.window_ticks - 1,
+            config,
+            ticks: AtomicU64::new(0),
+            rejected: Counter::new(),
+            latency: Histogram::new(),
+            flight,
+            inner: Mutex::new(Inner {
+                baseline: Baseline {
+                    served: 0,
+                    rejected: 0,
+                    latency: HistogramCells::default(),
+                },
+                frames: VecDeque::new(),
+                sealed: 0,
+                breaches: 0,
+            }),
+        }
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Total ticks recorded (served + rejected requests).
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Total requests served since creation. Served counts are derived
+    /// (`ticks - rejected`) rather than counted, so the serve hot path
+    /// pays exactly one atomic increment per request.
+    pub fn served_total(&self) -> u64 {
+        self.ticks().saturating_sub(self.rejected.get())
+    }
+
+    /// Total requests rejected since creation.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected.get()
+    }
+
+    /// Windows that have breached either objective.
+    pub fn breaches(&self) -> u64 {
+        self.inner.lock().unwrap().breaches
+    }
+
+    /// Number of windows sealed so far.
+    pub fn sealed(&self) -> u64 {
+        self.inner.lock().unwrap().sealed
+    }
+
+    /// The retained sealed windows, oldest first.
+    pub fn frames(&self) -> Vec<WindowFrame> {
+        self.inner.lock().unwrap().frames.iter().cloned().collect()
+    }
+
+    /// Records the outcome of one request: `served` with its latency in
+    /// µs, or rejected (`latency_us` ignored). Advances the tick clock;
+    /// returns the sealed frame when this tick closes a window.
+    pub fn record(&self, served: bool, latency_us: f64) -> Option<WindowFrame> {
+        if served {
+            self.latency.record(latency_us);
+            self.tick_served()
+        } else {
+            self.tick_rejected()
+        }
+        .map(|tick| self.seal(tick))
+    }
+
+    /// Advances the tick clock for a served request *without* recording
+    /// its latency — the fast path for callers that batch latencies in
+    /// a worker-local histogram and fold them into
+    /// [`latency_sink`](Self::latency_sink) at window boundaries.
+    /// Returns the closing tick when this tick completes a window; the
+    /// caller must flush its pending latencies and then call
+    /// [`seal_at`](Self::seal_at) with it (skipping the seal merges
+    /// this window into the next).
+    #[inline]
+    pub fn tick_served(&self) -> Option<u64> {
+        let tick = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        (tick & self.window_mask == 0).then_some(tick)
+    }
+
+    /// Advances the tick clock for a rejected request. Same sealing
+    /// contract as [`tick_served`](Self::tick_served).
+    #[inline]
+    pub fn tick_rejected(&self) -> Option<u64> {
+        self.rejected.inc();
+        self.tick_served()
+    }
+
+    /// The tracker's latency histogram, for callers on the
+    /// [`tick_served`](Self::tick_served) fast path to fold
+    /// worker-local latency cells into.
+    pub fn latency_sink(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Seals the window closed by `tick` (as returned by a `tick_*`
+    /// call) and fires anomaly triggers on breach. Latencies folded
+    /// into [`latency_sink`](Self::latency_sink) before this call are
+    /// attributed to the sealing window.
+    pub fn seal_at(&self, tick: u64) -> WindowFrame {
+        self.seal(tick)
+    }
+
+    fn seal(&self, tick: u64) -> WindowFrame {
+        let rejected_now = self.rejected.get();
+        // `rejected_now` may include rejections ticked after `tick` by
+        // other workers; the saturating delta below absorbs the skew.
+        let served_now = tick.saturating_sub(rejected_now);
+        let cells = self.latency.cells();
+        let mut inner = self.inner.lock().unwrap();
+        // Two workers can close windows concurrently; the one that read
+        // its counters earlier may take the lock after the baseline has
+        // already advanced past that reading, so deltas saturate rather
+        // than underflow (the shortfall lands in the next window).
+        let served = served_now.saturating_sub(inner.baseline.served);
+        let rejected = rejected_now.saturating_sub(inner.baseline.rejected);
+        let latency = cells.delta(&inner.baseline.latency);
+        let total = served + rejected;
+        let availability = if total == 0 {
+            1.0
+        } else {
+            served as f64 / total as f64
+        };
+        let rejection_rate = 1.0 - availability;
+        let allowed = (1.0 - self.config.availability_objective).max(1e-9);
+        let burn_rate = rejection_rate / allowed;
+        let availability_ok = availability >= self.config.availability_objective;
+        let latency_ok = latency.p99 <= self.config.p99_objective_us;
+        let index = inner.sealed;
+        let frame = WindowFrame {
+            index,
+            end_tick: tick,
+            served,
+            rejected,
+            availability,
+            rejection_rate,
+            burn_rate,
+            latency,
+            availability_ok,
+            latency_ok,
+        };
+        if !availability_ok || !latency_ok {
+            inner.breaches += 1;
+        }
+        inner.sealed += 1;
+        // Monotone baseline: an out-of-order seal must not rewind it,
+        // or the next window would double-count the difference.
+        inner.baseline.served = inner.baseline.served.max(served_now);
+        inner.baseline.rejected = inner.baseline.rejected.max(rejected_now);
+        if cells.count() >= inner.baseline.latency.count() {
+            inner.baseline.latency = cells;
+        }
+        inner.frames.push_back(frame.clone());
+        while inner.frames.len() > self.config.retain {
+            inner.frames.pop_front();
+        }
+        drop(inner);
+        // Anomaly triggers fire outside the lock: the flight recorder
+        // freezes its own ring and must not wait on window state.
+        if rejection_rate >= self.config.rejection_trigger {
+            self.flight.trigger_anomaly(
+                AnomalyKind::RejectionRate,
+                index,
+                tick,
+                rejection_rate,
+                self.config.rejection_trigger,
+            );
+        }
+        if !latency_ok {
+            self.flight.trigger_anomaly(
+                AnomalyKind::LatencyP99,
+                index,
+                tick,
+                latency.p99,
+                self.config.p99_objective_us,
+            );
+        }
+        frame
+    }
+
+    /// Overall availability since creation (1.0 before any request).
+    pub fn availability(&self) -> f64 {
+        let total = self.ticks();
+        if total == 0 {
+            1.0
+        } else {
+            self.served_total() as f64 / total as f64
+        }
+    }
+
+    /// Publishes derived `slo.*` series into `registry`: overall and
+    /// last-window availability, burn rate, windowed p99, window/breach
+    /// totals.
+    pub fn publish(&self, registry: &Registry) {
+        registry.gauge("slo.availability").set(self.availability());
+        registry
+            .gauge("slo.objective.availability")
+            .set(self.config.availability_objective);
+        registry
+            .gauge("slo.objective.p99_us")
+            .set(self.config.p99_objective_us);
+        let inner = self.inner.lock().unwrap();
+        registry.gauge("slo.windows").set(inner.sealed as f64);
+        registry.gauge("slo.breaches").set(inner.breaches as f64);
+        if let Some(last) = inner.frames.back() {
+            registry
+                .gauge("slo.window.availability")
+                .set(last.availability);
+            registry
+                .gauge("slo.window.rejection_rate")
+                .set(last.rejection_rate);
+            registry.gauge("slo.window.burn_rate").set(last.burn_rate);
+            registry.gauge("slo.window.p99_us").set(last.latency.p99);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::{FlightKind, FlightRecorder};
+
+    fn private_flight(capacity: usize) -> &'static FlightRecorder {
+        let rec = Box::leak(Box::new(FlightRecorder::new(capacity)));
+        rec.set_enabled(true);
+        rec
+    }
+
+    fn tracker(window: u64, flight: &'static FlightRecorder) -> SloTracker {
+        SloTracker::with_flight(
+            SloConfig {
+                window_ticks: window,
+                retain: 8,
+                availability_objective: 0.9,
+                p99_objective_us: 1000.0,
+                rejection_trigger: 0.5,
+            },
+            flight,
+        )
+    }
+
+    #[test]
+    fn windows_seal_on_exact_tick_boundaries_with_exact_contents() {
+        let t = tracker(4, private_flight(32));
+        // Window 0: four served requests at known latencies.
+        assert!(t.record(true, 10.0).is_none());
+        assert!(t.record(true, 20.0).is_none());
+        assert!(t.record(true, 30.0).is_none());
+        let f0 = t.record(true, 40.0).expect("tick 4 seals window 0");
+        assert_eq!(
+            (f0.index, f0.end_tick, f0.served, f0.rejected),
+            (0, 4, 4, 0)
+        );
+        assert_eq!(f0.availability, 1.0);
+        assert_eq!(f0.burn_rate, 0.0);
+        assert_eq!(f0.latency.count, 4);
+        assert!(f0.availability_ok && f0.latency_ok);
+        // Window 1: two served, two rejected — deltas, not cumulatives.
+        t.record(true, 10.0);
+        t.record(false, 0.0);
+        t.record(false, 0.0);
+        let f1 = t.record(true, 10.0).expect("tick 8 seals window 1");
+        assert_eq!((f1.index, f1.served, f1.rejected), (1, 2, 2));
+        assert_eq!(f1.availability, 0.5);
+        assert_eq!(f1.latency.count, 2);
+        // Error rate 0.5 against an allowed 0.1 → burn 5.
+        assert!((f1.burn_rate - 5.0).abs() < 1e-9);
+        assert!(!f1.availability_ok);
+        assert_eq!(t.breaches(), 1);
+        assert_eq!(t.sealed(), 2);
+        assert_eq!(t.ticks(), 8);
+    }
+
+    #[test]
+    fn latency_objective_breach_is_detected_per_window() {
+        let flight = private_flight(32);
+        let t = tracker(2, flight);
+        // Window 0 fast, window 1 slow, window 2 fast again.
+        t.record(true, 100.0);
+        let f0 = t.record(true, 100.0).unwrap();
+        assert!(f0.latency_ok);
+        t.record(true, 90_000.0);
+        let f1 = t.record(true, 90_000.0).unwrap();
+        assert!(!f1.latency_ok && f1.availability_ok);
+        t.record(true, 100.0);
+        let f2 = t.record(true, 100.0).unwrap();
+        // The slow window does not contaminate the next delta.
+        assert!(
+            f2.latency_ok,
+            "window 2 p99 {} should be fast",
+            f2.latency.p99
+        );
+        assert_eq!(t.breaches(), 1);
+    }
+
+    #[test]
+    fn rejection_spike_fires_the_flight_anomaly_deterministically() {
+        let flight = private_flight(64);
+        let t = tracker(4, flight);
+        for _ in 0..4 {
+            t.record(true, 10.0);
+        }
+        assert!(flight.anomaly().is_none());
+        // Injected spike: 3 of 4 requests rejected → rate 0.75 ≥ 0.5.
+        t.record(false, 0.0);
+        t.record(false, 0.0);
+        t.record(false, 0.0);
+        t.record(true, 10.0);
+        let snap = flight.anomaly().expect("spike fires the trigger");
+        assert_eq!(snap.kind, AnomalyKind::RejectionRate);
+        assert_eq!(snap.window, 1);
+        assert_eq!(snap.tick, 8);
+        assert!((snap.observed - 0.75).abs() < 1e-9);
+        assert_eq!(snap.threshold, 0.5);
+        // The frozen ring contains the anomaly event itself.
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.kind == FlightKind::Anomaly(AnomalyKind::RejectionRate)));
+        assert_eq!(flight.anomaly_count(), 1);
+    }
+
+    #[test]
+    fn frames_are_bounded_by_retain_and_conserve_totals() {
+        let t = tracker(2, private_flight(16));
+        for i in 0..40u64 {
+            t.record(i % 5 != 0, 10.0);
+        }
+        assert_eq!(t.sealed(), 20);
+        let frames = t.frames();
+        assert_eq!(frames.len(), 8, "retain bounds the kept frames");
+        assert_eq!(frames.first().unwrap().index, 12);
+        assert_eq!(frames.last().unwrap().index, 19);
+        // Conservation across all windows (sealed counts cover every
+        // tick, so totals match the cumulative counters).
+        assert_eq!(t.served_total() + t.rejected_total(), 40);
+        assert_eq!(t.served_total(), 32);
+        assert!((t.availability() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_worker_recording_conserves_counts_across_windows() {
+        let t = tracker(8, private_flight(16));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let t = &t;
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        t.record(i % 10 != 0, 25.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.ticks(), 800);
+        assert_eq!(t.sealed(), 100);
+        assert_eq!(t.served_total(), 720);
+        assert_eq!(t.rejected_total(), 80);
+    }
+
+    #[test]
+    fn publish_exports_slo_series() {
+        let t = tracker(2, private_flight(16));
+        t.record(true, 10.0);
+        t.record(false, 0.0);
+        let reg = Registry::new();
+        t.publish(&reg);
+        assert_eq!(reg.gauge("slo.availability").get(), 0.5);
+        assert_eq!(reg.gauge("slo.windows").get(), 1.0);
+        assert_eq!(reg.gauge("slo.window.availability").get(), 0.5);
+        assert_eq!(reg.gauge("slo.window.rejection_rate").get(), 0.5);
+        assert_eq!(reg.gauge("slo.breaches").get(), 1.0);
+        assert_eq!(reg.gauge("slo.objective.availability").get(), 0.9);
+    }
+}
